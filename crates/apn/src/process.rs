@@ -1,0 +1,150 @@
+//! Process abstraction: a set of guarded actions, as in Gouda's Abstract
+//! Protocol Notation (the paper's specification language, reference [1]).
+//!
+//! A process is defined by constants, variables and actions of the form
+//! `<guard> → <statement>`. A guard is either a boolean expression over
+//! the process's own state (a *local* guard) or a receive guard
+//! `rcv <message> from x`. The runtime in [`crate::System`] executes one
+//! action at a time, only when its guard is true, with weak fairness.
+
+/// Index of a process within a [`crate::System`].
+pub type ProcId = usize;
+
+/// The kind of guard an action has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardKind {
+    /// Boolean expression over local state; enabledness is asked via
+    /// [`ApnProcess::local_enabled`].
+    Local,
+    /// `rcv <msg> from <proc>`: enabled iff the channel from `from` to
+    /// this process is non-empty.
+    Receive {
+        /// The peer the receive guard names.
+        from: ProcId,
+    },
+}
+
+/// Messages emitted by a firing action, each addressed to a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outbox<M> {
+    msgs: Vec<(ProcId, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// The APN `send <message> to <proc>` statement.
+    pub fn send(&mut self, to: ProcId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Number of queued sends.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True iff no sends were queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Drains the queued sends.
+    pub fn into_msgs(self) -> Vec<(ProcId, M)> {
+        self.msgs
+    }
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+/// A process in the Abstract Protocol Notation.
+///
+/// Implementations list their actions by index; the runtime asks for each
+/// action's [`GuardKind`], checks enabledness, and fires exactly one
+/// enabled action per step.
+///
+/// The two fault hooks model the paper's environment-triggered actions
+/// `(process x is reset)` and `(process x wakes up after a reset)`; the
+/// default implementations ignore faults (a reset-oblivious process).
+pub trait ApnProcess {
+    /// The protocol's message type.
+    type Msg;
+
+    /// Human-readable name for traces (e.g. `"p"`, `"q"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of actions this process defines.
+    fn action_count(&self) -> usize;
+
+    /// The guard kind of action `i`.
+    fn guard(&self, action: usize) -> GuardKind;
+
+    /// For [`GuardKind::Local`] actions: is the boolean guard true?
+    fn local_enabled(&self, action: usize) -> bool;
+
+    /// Fires a local action.
+    fn fire_local(&mut self, action: usize, out: &mut Outbox<Self::Msg>);
+
+    /// Fires a receive action with the message popped from the channel.
+    fn fire_receive(
+        &mut self,
+        action: usize,
+        from: ProcId,
+        msg: Self::Msg,
+        out: &mut Outbox<Self::Msg>,
+    );
+
+    /// Environment fault: the process is reset (volatile state will be
+    /// lost; in the paper this sets `wait := true`).
+    fn on_reset(&mut self) {}
+
+    /// Environment fault: the process wakes up after a reset (in the
+    /// paper: FETCH, leap, synchronous SAVE, `wait := false`).
+    fn on_wakeup(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_queues_in_order() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.send(1, "a");
+        out.send(0, "b");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.into_msgs(), vec![(1, "a"), (0, "b")]);
+    }
+
+    #[test]
+    fn default_fault_hooks_are_noops() {
+        struct Nop;
+        impl ApnProcess for Nop {
+            type Msg = ();
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+            fn action_count(&self) -> usize {
+                0
+            }
+            fn guard(&self, _: usize) -> GuardKind {
+                GuardKind::Local
+            }
+            fn local_enabled(&self, _: usize) -> bool {
+                false
+            }
+            fn fire_local(&mut self, _: usize, _: &mut Outbox<()>) {}
+            fn fire_receive(&mut self, _: usize, _: ProcId, _: (), _: &mut Outbox<()>) {}
+        }
+        let mut n = Nop;
+        n.on_reset();
+        n.on_wakeup();
+    }
+}

@@ -1,0 +1,443 @@
+//! The APN execution engine: channels, scheduling, faults.
+//!
+//! Execution follows the three rules of the notation (paper §1):
+//!
+//! 1. an action is executed only when its guard is true;
+//! 2. actions are executed one at a time;
+//! 3. an action whose guard is continuously true is eventually executed
+//!    (weak fairness — guaranteed by the round-robin policy).
+//!
+//! On top of the pure notation, the system exposes *fault* transitions:
+//! message loss/duplication/injection on channels (the paper's adversary
+//! inserts copies of recorded messages) and reset/wake-up of processes.
+
+use std::collections::VecDeque;
+
+use reset_sim::DetRng;
+
+use crate::process::{ApnProcess, GuardKind, Outbox, ProcId};
+
+/// How the scheduler picks among enabled actions.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// Rotating priority over `(process, action)` pairs — weakly fair.
+    RoundRobin,
+    /// Uniformly random among enabled actions (seeded, reproducible).
+    /// Random schedules are *probabilistically* fair; convergence tests
+    /// combine them with step bounds.
+    Random(DetRng),
+}
+
+/// Identifies one fired action for traces and exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// Which process fired.
+    pub proc: ProcId,
+    /// Which of its actions fired.
+    pub action: usize,
+}
+
+/// A running APN system over homogeneous process type `P`.
+///
+/// Heterogeneous protocols (the paper's `p` and `q`) wrap their processes
+/// in an enum implementing [`ApnProcess`].
+///
+/// `System` is `Clone` when the processes and messages are, which is what
+/// enables exhaustive state-space exploration in tests (branch on every
+/// enabled step from a cloned snapshot).
+#[derive(Debug)]
+pub struct System<P: ApnProcess> {
+    procs: Vec<P>,
+    /// chans[from][to] is the FIFO channel from `from` to `to`.
+    chans: Vec<Vec<VecDeque<P::Msg>>>,
+    schedule: Schedule,
+    cursor: usize,
+    steps: u64,
+}
+
+impl<P: ApnProcess> System<P> {
+    /// Builds a system from processes; all pairwise channels start empty.
+    pub fn new(procs: Vec<P>, schedule: Schedule) -> Self {
+        let n = procs.len();
+        let chans = (0..n)
+            .map(|_| (0..n).map(|_| VecDeque::new()).collect())
+            .collect();
+        System {
+            procs,
+            chans,
+            schedule,
+            cursor: 0,
+            steps: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True iff the system has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Shared access to a process (for assertions).
+    pub fn proc(&self, id: ProcId) -> &P {
+        &self.procs[id]
+    }
+
+    /// Mutable access to a process (test setup only; protocol execution
+    /// should go through [`System::step`]).
+    pub fn proc_mut(&mut self, id: ProcId) -> &mut P {
+        &mut self.procs[id]
+    }
+
+    /// Messages currently in the channel `from → to`.
+    pub fn channel(&self, from: ProcId, to: ProcId) -> &VecDeque<P::Msg> {
+        &self.chans[from][to]
+    }
+
+    /// Total steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Lists every currently enabled `(process, action)` pair — the
+    /// nondeterministic choice set. Exposed so tests can exhaustively
+    /// explore interleavings.
+    pub fn enabled(&self) -> Vec<Step> {
+        let mut out = Vec::new();
+        for (pid, p) in self.procs.iter().enumerate() {
+            for a in 0..p.action_count() {
+                let on = match p.guard(a) {
+                    GuardKind::Local => p.local_enabled(a),
+                    GuardKind::Receive { from } => !self.chans[from][pid].is_empty(),
+                };
+                if on {
+                    out.push(Step {
+                        proc: pid,
+                        action: a,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Fires a specific enabled step (for exhaustive exploration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step's guard is not currently true.
+    pub fn fire(&mut self, step: Step) {
+        let pid = step.proc;
+        let a = step.action;
+        let mut out = Outbox::new();
+        match self.procs[pid].guard(a) {
+            GuardKind::Local => {
+                assert!(
+                    self.procs[pid].local_enabled(a),
+                    "firing disabled local action"
+                );
+                self.procs[pid].fire_local(a, &mut out);
+            }
+            GuardKind::Receive { from } => {
+                let msg = self.chans[from][pid]
+                    .pop_front()
+                    .expect("firing receive on empty channel");
+                self.procs[pid].fire_receive(a, from, msg, &mut out);
+            }
+        }
+        for (to, msg) in out.into_msgs() {
+            self.chans[pid][to].push_back(msg);
+        }
+        self.steps += 1;
+    }
+
+    /// Executes one scheduler-chosen step. Returns the step, or `None`
+    /// when no action is enabled (deadlock / quiescence).
+    pub fn step(&mut self) -> Option<Step> {
+        let enabled = self.enabled();
+        if enabled.is_empty() {
+            return None;
+        }
+        let chosen = match &mut self.schedule {
+            Schedule::Random(rng) => enabled[rng.below(enabled.len() as u64) as usize],
+            Schedule::RoundRobin => {
+                // Rotate priority by total (proc, action) index so every
+                // continuously enabled action is eventually first.
+                let total: usize = self.procs.iter().map(|p| p.action_count()).sum();
+                let flat_index = |s: &Step| {
+                    let mut idx = 0;
+                    for (pid, p) in self.procs.iter().enumerate() {
+                        if pid == s.proc {
+                            return idx + s.action;
+                        }
+                        idx += p.action_count();
+                    }
+                    unreachable!("step refers to known process")
+                };
+                let cur = self.cursor;
+                let chosen = *enabled
+                    .iter()
+                    .min_by_key(|s| (flat_index(s) + total - cur) % total)
+                    .expect("non-empty");
+                self.cursor = (flat_index(&chosen) + 1) % total.max(1);
+                chosen
+            }
+        };
+        self.fire(chosen);
+        Some(chosen)
+    }
+
+    /// Runs until quiescence or `max_steps`. Returns steps executed.
+    pub fn run(&mut self, max_steps: u64) -> u64 {
+        let mut n = 0;
+        while n < max_steps && self.step().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Fault transitions (the environment's moves).
+    // ------------------------------------------------------------------
+
+    /// Resets process `pid` (the paper's `(process x is reset)` action).
+    pub fn inject_reset(&mut self, pid: ProcId) {
+        self.procs[pid].on_reset();
+    }
+
+    /// Wakes process `pid` up after a reset.
+    pub fn inject_wakeup(&mut self, pid: ProcId) {
+        self.procs[pid].on_wakeup();
+    }
+
+    /// Drops the message at `pos` in channel `from → to`. Returns it.
+    pub fn lose(&mut self, from: ProcId, to: ProcId, pos: usize) -> Option<P::Msg> {
+        self.chans[from][to].remove(pos)
+    }
+
+    /// Injects `msg` at the back of channel `from → to` (adversary move).
+    pub fn inject(&mut self, from: ProcId, to: ProcId, msg: P::Msg) {
+        self.chans[from][to].push_back(msg);
+    }
+
+    /// Moves the front message of `from → to` behind the next `by`
+    /// messages (a bounded reorder).
+    pub fn reorder_front(&mut self, from: ProcId, to: ProcId, by: usize) {
+        let ch = &mut self.chans[from][to];
+        if let Some(m) = ch.pop_front() {
+            let pos = by.min(ch.len());
+            ch.insert(pos, m);
+        }
+    }
+}
+
+impl<P: ApnProcess + Clone> Clone for System<P>
+where
+    P::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        System {
+            procs: self.procs.clone(),
+            chans: self.chans.clone(),
+            schedule: self.schedule.clone(),
+            cursor: self.cursor,
+            steps: self.steps,
+        }
+    }
+}
+
+impl<P: ApnProcess> System<P>
+where
+    P::Msg: Clone,
+{
+    /// Duplicates the message at `pos` in channel `from → to` (channel
+    /// fault or adversary copy).
+    pub fn duplicate(&mut self, from: ProcId, to: ProcId, pos: usize) {
+        if let Some(m) = self.chans[from][to].get(pos).cloned() {
+            self.chans[from][to].push_back(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A token-passing ring: each process forwards an incremented counter.
+    #[derive(Debug, Clone)]
+    struct Node {
+        id: ProcId,
+        next: ProcId,
+        has_token: bool,
+        value: u64,
+        fired: u64,
+    }
+
+    impl ApnProcess for Node {
+        type Msg = u64;
+
+        fn name(&self) -> &'static str {
+            "node"
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn guard(&self, action: usize) -> GuardKind {
+            match action {
+                0 => GuardKind::Local,
+                _ => GuardKind::Receive {
+                    from: if self.id == 0 { 1 } else { self.id - 1 },
+                },
+            }
+        }
+        fn local_enabled(&self, action: usize) -> bool {
+            action == 0 && self.has_token
+        }
+        fn fire_local(&mut self, _: usize, out: &mut Outbox<u64>) {
+            self.has_token = false;
+            out.send(self.next, self.value + 1);
+            self.fired += 1;
+        }
+        fn fire_receive(&mut self, _: usize, _from: ProcId, msg: u64, _out: &mut Outbox<u64>) {
+            self.value = msg;
+            self.has_token = true;
+            self.fired += 1;
+        }
+    }
+
+    fn ring() -> System<Node> {
+        let n0 = Node {
+            id: 0,
+            next: 1,
+            has_token: true,
+            value: 0,
+            fired: 0,
+        };
+        let n1 = Node {
+            id: 1,
+            next: 0,
+            has_token: false,
+            value: 0,
+            fired: 0,
+        };
+        System::new(vec![n0, n1], Schedule::RoundRobin)
+    }
+
+    #[test]
+    fn token_passes_around_ring() {
+        let mut sys = ring();
+        let steps = sys.run(100);
+        assert_eq!(steps, 100, "ring never quiesces");
+        // Token alternates; counter grows roughly every other step.
+        assert!(sys.proc(0).value + sys.proc(1).value > 20);
+    }
+
+    #[test]
+    fn round_robin_is_weakly_fair() {
+        let mut sys = ring();
+        sys.run(200);
+        assert!(sys.proc(0).fired > 40, "p0 starved: {}", sys.proc(0).fired);
+        assert!(sys.proc(1).fired > 40, "p1 starved: {}", sys.proc(1).fired);
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sys = System::new(
+                ring().procs.clone(),
+                Schedule::Random(DetRng::new(seed)),
+            );
+            sys.run(50);
+            (sys.proc(0).value, sys.proc(1).value)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn quiescence_detected() {
+        // Remove the token: no action is ever enabled.
+        let mut sys = ring();
+        sys.proc_mut(0).has_token = false;
+        assert_eq!(sys.step(), None);
+        assert_eq!(sys.run(10), 0);
+    }
+
+    #[test]
+    fn receive_guard_enabled_only_with_message() {
+        let mut sys = ring();
+        // Initially, only p0's local action is enabled.
+        let enabled = sys.enabled();
+        assert_eq!(enabled, vec![Step { proc: 0, action: 0 }]);
+        sys.step();
+        // Now a message is in flight to p1: its receive guard is enabled.
+        let enabled = sys.enabled();
+        assert_eq!(enabled, vec![Step { proc: 1, action: 1 }]);
+    }
+
+    #[test]
+    fn lose_and_inject_manipulate_channels() {
+        let mut sys = ring();
+        sys.step(); // p0 sends token to p1
+        assert_eq!(sys.channel(0, 1).len(), 1);
+        let lost = sys.lose(0, 1, 0);
+        assert_eq!(lost, Some(1));
+        assert!(sys.channel(0, 1).is_empty());
+        // Adversary injects a forged token.
+        sys.inject(0, 1, 99);
+        sys.step();
+        assert_eq!(sys.proc(1).value, 99);
+    }
+
+    #[test]
+    fn duplicate_and_reorder() {
+        let mut sys = ring();
+        sys.inject(0, 1, 1);
+        sys.inject(0, 1, 2);
+        sys.duplicate(0, 1, 0); // channel: 1, 2, 1
+        assert_eq!(sys.channel(0, 1).len(), 3);
+        sys.reorder_front(0, 1, 2); // channel: 2, 1, 1
+        assert_eq!(*sys.channel(0, 1).front().unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled local action")]
+    fn firing_disabled_action_panics() {
+        let mut sys = ring();
+        sys.fire(Step { proc: 1, action: 0 }); // p1 has no token
+    }
+
+    #[test]
+    fn exhaustive_exploration_hooks() {
+        // Clone-based breadth-first exploration over 3 steps: no panic,
+        // and every reachable state keeps exactly one token in flight or
+        // held.
+        let sys = ring();
+        let mut frontier = vec![sys];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for step in s.enabled() {
+                    let mut c = System::new(s.procs.clone(), Schedule::RoundRobin);
+                    // Copy channel contents.
+                    for f in 0..2 {
+                        for t in 0..2 {
+                            for m in s.channel(f, t) {
+                                c.inject(f, t, *m);
+                            }
+                        }
+                    }
+                    c.fire(step);
+                    let tokens = c.procs.iter().filter(|p| p.has_token).count()
+                        + c.channel(0, 1).len()
+                        + c.channel(1, 0).len();
+                    assert_eq!(tokens, 1, "token conservation");
+                    next.push(c);
+                }
+            }
+            frontier = next;
+        }
+    }
+}

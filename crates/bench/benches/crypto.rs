@@ -1,0 +1,72 @@
+//! Bench: crypto substrate throughput (SHA-256, HMAC, keystream, modexp).
+//!
+//! Sanity numbers for the cost model used by t5: HMAC should be
+//! microseconds or less (the paper's 4 µs/message datapath is feasible);
+//! the 768-bit modular exponentiation should dominate by orders of
+//! magnitude (the re-handshake cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use reset_crypto::{hmac_sha256_96, sha256, xor_keystream, BigUint, DhKeyPair};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/sha256");
+    for &len in &[64usize, 1_000, 16_384] {
+        let data = vec![0xA5u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, d| {
+            b.iter(|| std::hint::black_box(sha256(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac_1000b(c: &mut Criterion) {
+    // The paper's canonical packet: 1000 bytes.
+    let data = vec![0x5Au8; 1_000];
+    let mut g = c.benchmark_group("crypto/hmac_96");
+    g.throughput(Throughput::Bytes(1_000));
+    g.bench_function("1000B", |b| {
+        b.iter(|| std::hint::black_box(hmac_sha256_96(b"auth-key", &data)))
+    });
+    g.finish();
+}
+
+fn bench_keystream_1000b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/keystream");
+    g.throughput(Throughput::Bytes(1_000));
+    g.bench_function("1000B", |b| {
+        let mut data = vec![0u8; 1_000];
+        b.iter(|| {
+            xor_keystream(b"enc-key", 42, &mut data);
+            std::hint::black_box(&data);
+        })
+    });
+    g.finish();
+}
+
+fn bench_modexp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/modexp");
+    g.sample_size(10);
+    g.bench_function("toy_64bit", |b| {
+        let group = reset_crypto::toy_group();
+        b.iter(|| DhKeyPair::from_secret(group.clone(), b"bench-secret"))
+    });
+    g.bench_function("oakley1_768bit_shared", |b| {
+        let group = reset_crypto::oakley_group1();
+        let kp = DhKeyPair::from_secret(group.clone(), b"bench-secret-a");
+        let other = DhKeyPair::from_secret(group, b"bench-secret-b");
+        let other_pub = BigUint::from_be_bytes(&other.public().to_be_bytes());
+        b.iter(|| std::hint::black_box(kp.shared_secret(&other_pub)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac_1000b,
+    bench_keystream_1000b,
+    bench_modexp
+);
+criterion_main!(benches);

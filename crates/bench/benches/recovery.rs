@@ -1,0 +1,98 @@
+//! Bench: reset recovery — SAVE/FETCH wake-up vs ISAKMP re-handshake.
+//!
+//! The t5 cost comparison as wall-clock measurements: one FETCH + leap +
+//! synchronous SAVE (in-memory and file-backed) against one full
+//! simplified ISAKMP exchange with real OAKLEY group-1 Diffie–Hellman.
+//! The expected shape: recovery is microseconds; the handshake is tens of
+//! milliseconds of modular exponentiation before any network latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use anti_replay::SfSender;
+use reset_crypto::{oakley_group1, toy_group};
+use reset_ipsec::run_handshake;
+use reset_stable::{Durability, FileStable, MemStable, SlotId};
+
+fn bench_savefetch_recovery_mem(c: &mut Criterion) {
+    c.bench_function("recovery/savefetch_mem", |b| {
+        b.iter_batched(
+            || {
+                let mut p = SfSender::new(MemStable::new(), SlotId::sender(1), 25);
+                for _ in 0..30 {
+                    p.send_next().expect("store");
+                }
+                p.save_completed().expect("store");
+                p.reset();
+                p
+            },
+            |mut p| {
+                p.wake_up().expect("store");
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_savefetch_recovery_file(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("reset-bench-recovery-{}", std::process::id()));
+    c.bench_function("recovery/savefetch_file", |b| {
+        b.iter_batched(
+            || {
+                let store = FileStable::open(&dir, Durability::ProcessCrash).expect("tmp");
+                let mut p = SfSender::new(store, SlotId::sender(1), 25);
+                for _ in 0..30 {
+                    p.send_next().expect("store");
+                }
+                p.save_completed().expect("store");
+                p.reset();
+                p
+            },
+            |mut p| {
+                p.wake_up().expect("store");
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_ike_handshake_toy(c: &mut Criterion) {
+    // Toy group isolates the protocol machinery from bignum cost.
+    c.bench_function("recovery/ike_handshake_toy64", |b| {
+        b.iter(|| {
+            run_handshake(toy_group(), b"psk", b"secret-i", b"secret-r", 1, 2)
+                .expect("handshake")
+        })
+    });
+}
+
+fn bench_ike_handshake_oakley1(c: &mut Criterion) {
+    // The real 768-bit group the paper's era used; dominated by modexp.
+    let mut g = c.benchmark_group("recovery/ike_handshake_oakley1");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| {
+            run_handshake(
+                oakley_group1(),
+                b"psk",
+                b"initiator-secret-material",
+                b"responder-secret-material",
+                1,
+                2,
+            )
+            .expect("handshake")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_savefetch_recovery_mem,
+    bench_savefetch_recovery_file,
+    bench_ike_handshake_toy,
+    bench_ike_handshake_oakley1
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Bench: sender datapath throughput vs save interval K.
+//!
+//! Regenerates the §4 overhead argument: how much the periodic
+//! (in-memory-simulated) SAVE costs the sender per message as K varies,
+//! including the K = 1 extreme (save every message) and a no-save
+//! baseline. The absolute numbers are host-specific; the *shape* — cost
+//! per message decaying like 1/K toward the baseline — is the claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use anti_replay::{BaselineSender, SfSender};
+use reset_stable::{MemStable, SlotId};
+
+fn bench_sender_vs_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("save_overhead/sender");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    for &k in &[1u64, 5, 25, 100, 1_000] {
+        g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut p = SfSender::new(MemStable::new(), SlotId::sender(1), k);
+                for _ in 0..N {
+                    std::hint::black_box(p.send_next().expect("mem store"));
+                    // Completion is immediate in this microbenchmark; the
+                    // latency-aware cost lives in the scenario runner.
+                    p.save_completed().expect("mem store");
+                }
+                p
+            })
+        });
+    }
+    g.bench_function("baseline_no_save", |b| {
+        b.iter(|| {
+            let mut p = BaselineSender::new();
+            for _ in 0..N {
+                std::hint::black_box(p.send_next());
+            }
+            p
+        })
+    });
+    g.finish();
+}
+
+fn bench_receiver_vs_k(c: &mut Criterion) {
+    use anti_replay::{SeqNum, SfReceiver};
+    let mut g = c.benchmark_group("save_overhead/receiver");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    for &k in &[1u64, 25, 1_000] {
+        g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut q = SfReceiver::new(MemStable::new(), SlotId::receiver(1), k, 64);
+                for s in 1..=N {
+                    std::hint::black_box(q.receive(SeqNum::new(s)).expect("mem store"));
+                    q.save_completed().expect("mem store");
+                }
+                q
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sender_vs_k, bench_receiver_vs_k);
+criterion_main!(benches);

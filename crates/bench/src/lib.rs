@@ -1,0 +1,17 @@
+//! # reset-bench — Criterion benchmarks for the reproduction
+//!
+//! This crate only hosts bench targets (see `benches/`); one per
+//! performance claim of the paper:
+//!
+//! | bench | claim |
+//! |---|---|
+//! | `window_datapath` | the §2 window check is cheap at any size `w` |
+//! | `save_overhead` | SAVE every K messages amortizes toward the no-save baseline |
+//! | `recovery` | FETCH + leap + SAVE ≪ one ISAKMP re-handshake (t5) |
+//! | `crypto` | HMAC µs-scale vs 768-bit modexp ms-scale (the t5 cost model) |
+//! | `wire` | the 1000-byte message datapath cost (the t4 calibration input) |
+//!
+//! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

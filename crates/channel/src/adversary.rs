@@ -1,0 +1,187 @@
+//! The replay adversary of the paper's threat model.
+//!
+//! "At any instant, an adversary can insert in the message stream from p
+//! to q a copy of any message t that was sent earlier by p." — §2.
+//!
+//! [`Tap`] records every message that crosses the link; replay strategies
+//! pick which recorded copies to inject and in what order. Injection
+//! itself goes back through the caller's link/simulator so replayed
+//! traffic shares the normal delivery path.
+
+use reset_sim::DetRng;
+
+/// Passive recorder + active replayer sitting on a link.
+///
+/// # Examples
+///
+/// ```
+/// use reset_channel::Tap;
+///
+/// let mut tap = Tap::new();
+/// tap.record("msg(1)");
+/// tap.record("msg(2)");
+/// // The §3 attack: after the receiver resets, replay the entire
+/// // recorded history in order.
+/// assert_eq!(tap.replay_all(), vec!["msg(1)", "msg(2)"]);
+/// assert_eq!(tap.injected(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tap<M> {
+    recorded: Vec<M>,
+    injected: u64,
+}
+
+impl<M: Clone> Tap<M> {
+    /// An empty tap.
+    pub fn new() -> Self {
+        Tap {
+            recorded: Vec::new(),
+            injected: 0,
+        }
+    }
+
+    /// Records one message passing over the link.
+    pub fn record(&mut self, msg: M) {
+        self.recorded.push(msg);
+    }
+
+    /// Number of messages recorded so far.
+    pub fn len(&self) -> usize {
+        self.recorded.len()
+    }
+
+    /// True iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recorded.is_empty()
+    }
+
+    /// All recorded messages, oldest first.
+    pub fn recorded(&self) -> &[M] {
+        &self.recorded
+    }
+
+    /// Total messages injected across all replay calls.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Replays the full recorded history in original order — the §3
+    /// attack after a receiver reset ("replay in order all the messages
+    /// with sequence numbers within the range from 1 to x").
+    pub fn replay_all(&mut self) -> Vec<M> {
+        self.injected += self.recorded.len() as u64;
+        self.recorded.clone()
+    }
+
+    /// Replays the recorded messages at indices `[from, to)` in order.
+    pub fn replay_range(&mut self, from: usize, to: usize) -> Vec<M> {
+        let to = to.min(self.recorded.len());
+        let from = from.min(to);
+        self.injected += (to - from) as u64;
+        self.recorded[from..to].to_vec()
+    }
+
+    /// Replays the most recently recorded message — the §3 "both reset"
+    /// attack injects the *highest* sequence number to shift the window.
+    pub fn replay_latest(&mut self) -> Option<M> {
+        let m = self.recorded.last().cloned();
+        if m.is_some() {
+            self.injected += 1;
+        }
+        m
+    }
+
+    /// Replays `count` uniformly random recorded messages (with
+    /// replacement) — background replay noise for stress tests.
+    pub fn replay_random(&mut self, count: usize, rng: &mut DetRng) -> Vec<M> {
+        if self.recorded.is_empty() {
+            return Vec::new();
+        }
+        self.injected += count as u64;
+        (0..count)
+            .map(|_| self.recorded[rng.below(self.recorded.len() as u64) as usize].clone())
+            .collect()
+    }
+
+    /// Forgets everything recorded (e.g. after SA rekey makes old traffic
+    /// useless to the adversary).
+    pub fn clear(&mut self) {
+        self.recorded.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut tap = Tap::new();
+        for i in 0..5u32 {
+            tap.record(i);
+        }
+        assert_eq!(tap.recorded(), &[0, 1, 2, 3, 4]);
+        assert_eq!(tap.len(), 5);
+    }
+
+    #[test]
+    fn replay_all_preserves_order_and_counts() {
+        let mut tap = Tap::new();
+        tap.record("a");
+        tap.record("b");
+        assert_eq!(tap.replay_all(), vec!["a", "b"]);
+        assert_eq!(tap.replay_all(), vec!["a", "b"], "replay is repeatable");
+        assert_eq!(tap.injected(), 4);
+    }
+
+    #[test]
+    fn replay_range_clamps() {
+        let mut tap = Tap::new();
+        for i in 0..10u32 {
+            tap.record(i);
+        }
+        assert_eq!(tap.replay_range(2, 5), vec![2, 3, 4]);
+        assert_eq!(tap.replay_range(8, 100), vec![8, 9]);
+        assert_eq!(tap.replay_range(7, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn replay_latest_is_highest_recorded() {
+        let mut tap = Tap::new();
+        assert_eq!(tap.replay_latest(), None);
+        tap.record(1u64);
+        tap.record(99);
+        assert_eq!(tap.replay_latest(), Some(99));
+        assert_eq!(tap.injected(), 1);
+    }
+
+    #[test]
+    fn replay_random_draws_from_recorded() {
+        let mut tap = Tap::new();
+        for i in 0..4u32 {
+            tap.record(i);
+        }
+        let mut rng = DetRng::new(5);
+        let picks = tap.replay_random(100, &mut rng);
+        assert_eq!(picks.len(), 100);
+        assert!(picks.iter().all(|p| *p < 4));
+        assert_eq!(tap.injected(), 100);
+    }
+
+    #[test]
+    fn replay_random_on_empty_is_empty() {
+        let mut tap: Tap<u32> = Tap::new();
+        let mut rng = DetRng::new(5);
+        assert!(tap.replay_random(10, &mut rng).is_empty());
+        assert_eq!(tap.injected(), 0);
+    }
+
+    #[test]
+    fn clear_forgets_history() {
+        let mut tap = Tap::new();
+        tap.record(1u8);
+        tap.clear();
+        assert!(tap.is_empty());
+        assert_eq!(tap.replay_latest(), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! Unidirectional link with configurable faults.
+//!
+//! The paper's channel "may lose or reorder" messages, and an adversary
+//! may insert copies. [`Link`] models loss, duplication, delay and
+//! jitter-induced reordering; the adversary lives in
+//! [`Tap`](crate::Tap). A link does not execute anything itself — it maps
+//! each send to zero or more `(delivery_time, message)` pairs which the
+//! caller schedules on its simulator, keeping all event ordering in one
+//! place.
+
+use reset_sim::{DetRng, SimDuration, SimTime};
+
+/// Fault and timing parameters of a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Probability a sent message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is additionally duplicated.
+    pub duplicate_prob: f64,
+    /// Minimum propagation delay.
+    pub base_delay: SimDuration,
+    /// Uniform extra delay in `[0, jitter]`; jitter larger than the
+    /// inter-send gap is what produces reordering.
+    pub jitter: SimDuration,
+    /// When true, delivery order is forced to match send order (delays are
+    /// clamped to be non-decreasing): a lossy FIFO pipe.
+    pub fifo: bool,
+}
+
+impl LinkConfig {
+    /// A perfect link: no loss, no duplication, fixed small delay, FIFO.
+    pub fn perfect() -> Self {
+        LinkConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            base_delay: SimDuration::from_micros(50),
+            jitter: SimDuration::ZERO,
+            fifo: true,
+        }
+    }
+
+    /// A lossy but ordered link.
+    pub fn lossy(drop_prob: f64) -> Self {
+        LinkConfig {
+            drop_prob,
+            ..LinkConfig::perfect()
+        }
+    }
+
+    /// An unordered link whose jitter spans `jitter`; combined with the
+    /// send rate this controls the reorder degree seen by the receiver.
+    pub fn jittery(jitter: SimDuration) -> Self {
+        LinkConfig {
+            jitter,
+            fifo: false,
+            ..LinkConfig::perfect()
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::perfect()
+    }
+}
+
+/// Statistics a link keeps about its own behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages handed to the link.
+    pub sent: u64,
+    /// Messages scheduled for delivery (incl. duplicates).
+    pub delivered: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Extra copies created by duplication.
+    pub duplicated: u64,
+}
+
+/// A unidirectional faulty link.
+///
+/// # Examples
+///
+/// ```
+/// use reset_channel::{Link, LinkConfig};
+/// use reset_sim::{DetRng, SimTime};
+///
+/// let mut rng = DetRng::new(1);
+/// let mut link = Link::new(LinkConfig::perfect(), rng.fork());
+/// let deliveries = link.transmit(SimTime::ZERO, "msg(1)");
+/// assert_eq!(deliveries.len(), 1);
+/// assert!(deliveries[0].0 > SimTime::ZERO); // propagation delay
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    rng: DetRng,
+    stats: LinkStats,
+    last_delivery: SimTime,
+}
+
+impl Link {
+    /// A link with the given fault configuration and its own RNG stream.
+    pub fn new(config: LinkConfig, rng: DetRng) -> Self {
+        Link {
+            config,
+            rng,
+            stats: LinkStats::default(),
+            last_delivery: SimTime::ZERO,
+        }
+    }
+
+    /// Current fault configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Replaces the fault configuration mid-run (e.g. to start a loss
+    /// burst).
+    pub fn set_config(&mut self, config: LinkConfig) {
+        self.config = config;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Maps one send at `now` to its deliveries. Returns zero entries on a
+    /// drop, one normally, two when duplicated. Deliveries are
+    /// `(time, message)` pairs for the caller to schedule.
+    pub fn transmit<M: Clone>(&mut self, now: SimTime, msg: M) -> Vec<(SimTime, M)> {
+        self.stats.sent += 1;
+        if self.rng.chance(self.config.drop_prob) {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(2);
+        let first = self.delivery_time(now);
+        out.push((first, msg.clone()));
+        self.stats.delivered += 1;
+        if self.rng.chance(self.config.duplicate_prob) {
+            let second = self.delivery_time(now);
+            out.push((second, msg));
+            self.stats.delivered += 1;
+            self.stats.duplicated += 1;
+        }
+        out
+    }
+
+    fn delivery_time(&mut self, now: SimTime) -> SimTime {
+        let jitter_ns = if self.config.jitter.is_zero() {
+            0
+        } else {
+            self.rng.below(self.config.jitter.as_nanos() + 1)
+        };
+        let mut at = now + self.config.base_delay + SimDuration::from_nanos(jitter_ns);
+        if self.config.fifo && at < self.last_delivery {
+            at = self.last_delivery;
+        }
+        self.last_delivery = self.last_delivery.max(at);
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(0xBEEF)
+    }
+
+    #[test]
+    fn perfect_link_delivers_everything_in_order() {
+        let mut link = Link::new(LinkConfig::perfect(), rng());
+        let mut last = SimTime::ZERO;
+        for i in 0..100u64 {
+            let now = SimTime::from_micros(i);
+            let d = link.transmit(now, i);
+            assert_eq!(d.len(), 1);
+            assert!(d[0].0 >= last, "FIFO violated");
+            last = d[0].0;
+        }
+        assert_eq!(link.stats().dropped, 0);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut link = Link::new(LinkConfig::lossy(1.0), rng());
+        for i in 0..10u64 {
+            assert!(link.transmit(SimTime::from_micros(i), i).is_empty());
+        }
+        assert_eq!(link.stats().dropped, 10);
+        assert_eq!(link.stats().delivered, 0);
+    }
+
+    #[test]
+    fn partial_loss_rate_roughly_matches() {
+        let mut link = Link::new(LinkConfig::lossy(0.25), rng());
+        let mut delivered = 0;
+        for i in 0..10_000u64 {
+            if !link.transmit(SimTime::from_micros(i), i).is_empty() {
+                delivered += 1;
+            }
+        }
+        assert!(
+            (7_000..8_000).contains(&delivered),
+            "delivered={delivered}"
+        );
+    }
+
+    #[test]
+    fn duplication_produces_two_copies() {
+        let cfg = LinkConfig {
+            duplicate_prob: 1.0,
+            ..LinkConfig::perfect()
+        };
+        let mut link = Link::new(cfg, rng());
+        let d = link.transmit(SimTime::ZERO, 42u64);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].1, 42);
+        assert_eq!(d[1].1, 42);
+        assert_eq!(link.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn jitter_without_fifo_can_reorder() {
+        let cfg = LinkConfig::jittery(SimDuration::from_micros(500));
+        let mut link = Link::new(cfg, rng());
+        // Send fast relative to jitter; check some pair is out of order.
+        let mut times = Vec::new();
+        for i in 0..200u64 {
+            let d = link.transmit(SimTime::from_micros(i), i);
+            times.push(d[0].0);
+        }
+        let reordered = times.windows(2).any(|w| w[1] < w[0]);
+        assert!(reordered, "expected at least one inversion");
+    }
+
+    #[test]
+    fn fifo_clamps_jitter() {
+        let cfg = LinkConfig {
+            jitter: SimDuration::from_micros(500),
+            fifo: true,
+            ..LinkConfig::perfect()
+        };
+        let mut link = Link::new(cfg, rng());
+        let mut last = SimTime::ZERO;
+        for i in 0..200u64 {
+            let d = link.transmit(SimTime::from_micros(i), i);
+            assert!(d[0].0 >= last);
+            last = d[0].0;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_identical_seeds() {
+        let mk = || {
+            let mut link = Link::new(
+                LinkConfig {
+                    drop_prob: 0.3,
+                    duplicate_prob: 0.2,
+                    jitter: SimDuration::from_micros(100),
+                    fifo: false,
+                    ..LinkConfig::perfect()
+                },
+                DetRng::new(777),
+            );
+            (0..100u64)
+                .flat_map(|i| link.transmit(SimTime::from_micros(i), i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn reconfigure_midstream() {
+        let mut link = Link::new(LinkConfig::perfect(), rng());
+        assert_eq!(link.transmit(SimTime::ZERO, 0u64).len(), 1);
+        link.set_config(LinkConfig::lossy(1.0));
+        assert!(link.transmit(SimTime::from_micros(1), 1u64).is_empty());
+    }
+}

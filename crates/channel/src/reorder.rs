@@ -1,0 +1,115 @@
+//! Reorder-degree measurement.
+//!
+//! §2 of the paper: *"A message m is said to suffer a reorder of degree w
+//! iff the w-th message sent (by p) after m is received (by q) before m."*
+//! So for a message with send index `i`, its degree is the largest offset
+//! `j − i` over messages `j > i` received before it (0 when nothing
+//! overtook it). The w-Delivery condition only promises delivery of
+//! messages with degree < w — exactly the set the window can still
+//! discriminate when they arrive.
+
+/// Computes the maximum reorder degree of a received stream.
+///
+/// `receive_order` lists the *send indices* of messages in the order the
+/// receiver saw them (duplicates allowed; only the first arrival of each
+/// message defines its degree).
+///
+/// # Examples
+///
+/// ```
+/// use reset_channel::max_reorder_degree;
+///
+/// assert_eq!(max_reorder_degree(&[0, 1, 2, 3]), 0);  // in order
+/// assert_eq!(max_reorder_degree(&[1, 0]), 1);        // msg 1 overtook msg 0
+/// assert_eq!(max_reorder_degree(&[3, 0]), 3);        // the 3rd-after overtook
+/// assert_eq!(max_reorder_degree(&[1, 2, 3, 0]), 3);
+/// ```
+pub fn max_reorder_degree(receive_order: &[u64]) -> u64 {
+    reorder_degrees(receive_order).into_iter().max().unwrap_or(0)
+}
+
+/// Per-arrival reorder degrees, aligned with `receive_order`.
+///
+/// The degree of the arrival at position `p` carrying send index `i` is
+/// `max(j − i)` over send indices `j > i` seen strictly before `p`
+/// (0 when none). Since only the running maximum of earlier indices
+/// matters, this is linear time.
+pub fn reorder_degrees(receive_order: &[u64]) -> Vec<u64> {
+    let mut max_seen: Option<u64> = None;
+    let mut out = Vec::with_capacity(receive_order.len());
+    for &i in receive_order {
+        let degree = match max_seen {
+            Some(m) if m > i => m - i,
+            _ => 0,
+        };
+        out.push(degree);
+        max_seen = Some(max_seen.map_or(i, |m| m.max(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_has_degree_zero() {
+        assert_eq!(max_reorder_degree(&(0..100).collect::<Vec<_>>()), 0);
+        assert_eq!(max_reorder_degree(&[]), 0);
+        assert_eq!(max_reorder_degree(&[5]), 0);
+    }
+
+    #[test]
+    fn single_swap_is_degree_one() {
+        assert_eq!(max_reorder_degree(&[0, 2, 1, 3]), 1);
+    }
+
+    #[test]
+    fn deeply_late_message() {
+        // Message 0 arrives after message 5: the 5th message sent after
+        // it was received first, so degree 5.
+        assert_eq!(max_reorder_degree(&[1, 2, 3, 4, 5, 0]), 5);
+    }
+
+    #[test]
+    fn offset_counts_even_with_losses() {
+        // Only messages 9 then 1 arrive: msg 8-after-1 overtook → degree 8.
+        assert_eq!(max_reorder_degree(&[9, 1]), 8);
+    }
+
+    #[test]
+    fn duplicates_use_offset_too() {
+        // The same later message received thrice still gives offset 2.
+        assert_eq!(max_reorder_degree(&[2, 2, 2, 0]), 2);
+    }
+
+    #[test]
+    fn per_arrival_degrees() {
+        assert_eq!(reorder_degrees(&[1, 0, 2]), vec![0, 1, 0]);
+        assert_eq!(reorder_degrees(&[3, 0, 1, 4, 2]), vec![0, 3, 2, 0, 2]);
+    }
+
+    #[test]
+    fn reversed_stream_worst_case() {
+        let rev: Vec<u64> = (0..10).rev().collect();
+        assert_eq!(max_reorder_degree(&rev), 9);
+    }
+
+    #[test]
+    fn degree_matches_window_staleness() {
+        // The whole point of the definition: first-arrival degree < w
+        // iff the arrival is not yet left of a w-window whose right edge
+        // is the max index seen so far.
+        let order = [5u64, 9, 2, 14, 3];
+        let degrees = reorder_degrees(&order);
+        let mut max_seen = None::<u64>;
+        for (pos, &i) in order.iter().enumerate() {
+            if let Some(m) = max_seen {
+                let w = 6u64;
+                let stale = i + w <= m;
+                assert_eq!(stale, degrees[pos] >= w, "pos {pos}");
+            }
+            max_seen = Some(max_seen.map_or(i, |m| m.max(i)));
+        }
+    }
+}

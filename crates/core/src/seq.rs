@@ -1,0 +1,129 @@
+//! Sequence numbers.
+//!
+//! The paper treats sequence numbers as unbounded integers starting at 1;
+//! we use `u64` (with explicit overflow checks) which at the paper's
+//! 4 µs-per-message rate would take ~2.3 million years to exhaust.
+
+use std::fmt;
+
+/// A message sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use anti_replay::SeqNum;
+///
+/// let s = SeqNum::FIRST;
+/// assert_eq!(s.value(), 1);
+/// assert_eq!(s.next().value(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(u64);
+
+impl SeqNum {
+    /// The first sequence number a sender uses (the paper's `s` starts
+    /// at 1).
+    pub const FIRST: SeqNum = SeqNum(1);
+
+    /// The receiver's initial right edge (the paper's `r` starts at 0).
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Wraps a raw value.
+    pub const fn new(v: u64) -> SeqNum {
+        SeqNum(v)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The successor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u64` overflow — per RFC 2406 a sequence space must be
+    /// retired before wrapping, and the paper assumes unbounded integers.
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0.checked_add(1).expect("sequence number overflow"))
+    }
+
+    /// `self + k` (used for the leap `fetched + 2K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn leap(self, k: u64) -> SeqNum {
+        SeqNum(self.0.checked_add(k).expect("sequence number overflow"))
+    }
+
+    /// Distance `self - earlier`, saturating at zero.
+    pub fn gap_from(self, earlier: SeqNum) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl From<u64> for SeqNum {
+    fn from(v: u64) -> Self {
+        SeqNum(v)
+    }
+}
+
+impl From<SeqNum> for u64 {
+    fn from(s: SeqNum) -> u64 {
+        s.0
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(SeqNum::FIRST.value(), 1);
+        assert_eq!(SeqNum::ZERO.value(), 0);
+    }
+
+    #[test]
+    fn next_and_leap() {
+        assert_eq!(SeqNum::new(10).next(), SeqNum::new(11));
+        assert_eq!(SeqNum::new(100).leap(50), SeqNum::new(150));
+    }
+
+    #[test]
+    fn gap_saturates() {
+        assert_eq!(SeqNum::new(10).gap_from(SeqNum::new(3)), 7);
+        assert_eq!(SeqNum::new(3).gap_from(SeqNum::new(10)), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let s: SeqNum = 42u64.into();
+        let v: u64 = s.into();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let _ = SeqNum::new(u64::MAX).next();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SeqNum::new(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SeqNum::new(2) > SeqNum::new(1));
+        assert!(SeqNum::ZERO < SeqNum::FIRST);
+    }
+}

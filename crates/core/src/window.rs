@@ -1,0 +1,377 @@
+//! The anti-replay window — §2 of the paper, bit-for-bit.
+//!
+//! Process `q` maintains a window of `w` consecutive sequence numbers
+//! ending at its right edge `r`, with one boolean per number recording
+//! whether that message was already received. Receiving `msg(s)` has
+//! exactly three cases:
+//!
+//! 1. `s ≤ r − w` — left of the window: `q` "cannot determine whether it
+//!    has received this message before" and discards it ([`Verdict::Stale`]).
+//! 2. `r − w < s ≤ r` — in the window: the boolean decides
+//!    ([`Verdict::Duplicate`] or [`Verdict::Fresh`]).
+//! 3. `r < s` — right of the window: fresh; the window slides so `s`
+//!    becomes the new right edge.
+//!
+//! The implementation is a circular bitmap (bit `s mod w`), the classic
+//! constant-space realization of the paper's boolean array.
+
+use std::fmt;
+
+use crate::seq::SeqNum;
+
+/// Outcome of checking a received sequence number against the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Left of the window (`s ≤ r − w`): assumed replayed, discarded.
+    Stale,
+    /// In the window and already marked received: replayed, discarded.
+    Duplicate,
+    /// Never seen: deliver (and, on accept, mark / slide).
+    Fresh,
+}
+
+impl Verdict {
+    /// True iff the message should be delivered.
+    pub fn is_deliverable(self) -> bool {
+        matches!(self, Verdict::Fresh)
+    }
+}
+
+/// The sliding anti-replay window of process `q`.
+///
+/// # Examples
+///
+/// ```
+/// use anti_replay::{AntiReplayWindow, SeqNum, Verdict};
+///
+/// let mut w = AntiReplayWindow::new(32);
+/// assert_eq!(w.check_and_accept(SeqNum::new(5)), Verdict::Fresh);
+/// assert_eq!(w.check_and_accept(SeqNum::new(5)), Verdict::Duplicate);
+/// assert_eq!(w.check_and_accept(SeqNum::new(3)), Verdict::Fresh);
+/// assert_eq!(w.right_edge(), SeqNum::new(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AntiReplayWindow {
+    /// Circular bitmap: bit `(seq mod w)` records receipt of `seq` for
+    /// sequence numbers in `(right − w, right]`.
+    bits: Vec<u64>,
+    w: u64,
+    right: u64,
+}
+
+impl AntiReplayWindow {
+    /// A fresh window of size `w` in the paper's initial state: right
+    /// edge 0, every entry "already received" (`wdw` initially true).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn new(w: u64) -> Self {
+        Self::with_right_edge(w, SeqNum::ZERO, true)
+    }
+
+    /// A window resuming at `right` — used on wake-up after FETCH+leap,
+    /// where §4's process `q` sets "the whole array wdw to true, because
+    /// every sequence number up to r should be assumed to be already
+    /// received". `all_seen = false` gives the *naive* (vulnerable)
+    /// restart of §3 instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn with_right_edge(w: u64, right: SeqNum, all_seen: bool) -> Self {
+        assert!(w > 0, "window size must be positive");
+        let words = (w as usize).div_ceil(64);
+        let fill = if all_seen { u64::MAX } else { 0 };
+        AntiReplayWindow {
+            bits: vec![fill; words],
+            w,
+            right: right.value(),
+        }
+    }
+
+    /// Window size `w`.
+    pub fn size(&self) -> u64 {
+        self.w
+    }
+
+    /// The right edge `r` — the largest sequence number in the window.
+    pub fn right_edge(&self) -> SeqNum {
+        SeqNum::new(self.right)
+    }
+
+    /// The left edge `r − w + 1` (clamped at 0): the smallest sequence
+    /// number the window can still discriminate.
+    pub fn left_edge(&self) -> SeqNum {
+        SeqNum::new((self.right + 1).saturating_sub(self.w))
+    }
+
+    fn bit(&self, seq: u64) -> bool {
+        let idx = (seq % self.w) as usize;
+        self.bits[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    fn set_bit(&mut self, seq: u64, value: bool) {
+        let idx = (seq % self.w) as usize;
+        if value {
+            self.bits[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.bits[idx / 64] &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Classifies `seq` without mutating the window — the paper's
+    /// three-case analysis.
+    pub fn check(&self, seq: SeqNum) -> Verdict {
+        let s = seq.value();
+        if s > self.right {
+            Verdict::Fresh
+        } else if s as u128 + self.w as u128 <= self.right as u128 {
+            Verdict::Stale
+        } else if self.bit(s) {
+            Verdict::Duplicate
+        } else {
+            Verdict::Fresh
+        }
+    }
+
+    /// Records `seq` as received; slides the window when `seq` is beyond
+    /// the right edge. Only call after [`AntiReplayWindow::check`]
+    /// returned [`Verdict::Fresh`] (in IPsec terms: after the ICV
+    /// verified).
+    pub fn accept(&mut self, seq: SeqNum) {
+        let s = seq.value();
+        if s > self.right {
+            let d = s - self.right;
+            if d >= self.w {
+                // The whole old window is out of range: clear everything.
+                self.bits.fill(0);
+            } else {
+                // Clear the bits of the sequence numbers newly entering
+                // the window (right+1 ..= s); they have not been seen.
+                for x in (self.right + 1)..=s {
+                    self.set_bit(x, false);
+                }
+            }
+            self.right = s;
+        }
+        self.set_bit(s, true);
+    }
+
+    /// [`check`](Self::check) + [`accept`](Self::accept) when fresh, in
+    /// one call. Returns the verdict.
+    pub fn check_and_accept(&mut self, seq: SeqNum) -> Verdict {
+        let v = self.check(seq);
+        if v == Verdict::Fresh {
+            self.accept(seq);
+        }
+        v
+    }
+
+    /// Marks the whole window "already received" without moving the right
+    /// edge — §4's wake-up behaviour.
+    pub fn mark_all_seen(&mut self) {
+        self.bits.fill(u64::MAX);
+    }
+
+    /// The §3 *naive* restart after a reset without SAVE/FETCH: right
+    /// edge back to 0, everything forgotten. This is the vulnerable
+    /// behaviour the paper fixes; it exists here for the baseline
+    /// experiments.
+    pub fn reset_naive(&mut self) {
+        self.right = 0;
+        self.bits.fill(0);
+    }
+}
+
+impl fmt::Display for AntiReplayWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window[w={}, r={}]", self.w, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> SeqNum {
+        SeqNum::new(v)
+    }
+
+    #[test]
+    fn initial_state_matches_paper() {
+        let w = AntiReplayWindow::new(8);
+        assert_eq!(w.right_edge(), SeqNum::ZERO);
+        assert_eq!(w.size(), 8);
+        // First real message (s = 1 > r = 0) is case 3: fresh.
+        assert_eq!(w.check(n(1)), Verdict::Fresh);
+    }
+
+    #[test]
+    fn case1_stale_left_of_window() {
+        let mut w = AntiReplayWindow::new(4);
+        w.accept(n(100));
+        // Window covers 97..=100; 96 = r - w is stale.
+        assert_eq!(w.check(n(96)), Verdict::Stale);
+        assert_eq!(w.check(n(1)), Verdict::Stale);
+        // 97 = r - w + 1 is the left edge: in window.
+        assert_eq!(w.left_edge(), n(97));
+        assert_ne!(w.check(n(97)), Verdict::Stale);
+    }
+
+    #[test]
+    fn case2_in_window_discrimination() {
+        let mut w = AntiReplayWindow::new(8);
+        w.accept(n(10));
+        assert_eq!(w.check_and_accept(n(7)), Verdict::Fresh);
+        assert_eq!(w.check_and_accept(n(7)), Verdict::Duplicate);
+        assert_eq!(w.check_and_accept(n(10)), Verdict::Duplicate);
+        assert_eq!(w.check_and_accept(n(4)), Verdict::Fresh);
+    }
+
+    #[test]
+    fn case3_slide_to_new_right_edge() {
+        let mut w = AntiReplayWindow::new(4);
+        w.accept(n(5));
+        assert_eq!(w.right_edge(), n(5));
+        w.accept(n(9));
+        assert_eq!(w.right_edge(), n(9));
+        // 5 is still in window (6..=9? no: window is 6..=9 — w=4 means
+        // (9-4, 9] = 6..=9), so 5 is now stale.
+        assert_eq!(w.check(n(5)), Verdict::Stale);
+        // 6,7,8 entered the window unseen.
+        assert_eq!(w.check(n(6)), Verdict::Fresh);
+        assert_eq!(w.check(n(8)), Verdict::Fresh);
+    }
+
+    #[test]
+    fn slide_farther_than_window_clears_everything() {
+        let mut w = AntiReplayWindow::new(4);
+        for s in 1..=4u64 {
+            w.accept(n(s));
+        }
+        w.accept(n(1000));
+        assert_eq!(w.right_edge(), n(1000));
+        for s in 997..1000u64 {
+            assert_eq!(w.check(n(s)), Verdict::Fresh, "seq {s}");
+        }
+        assert_eq!(w.check(n(996)), Verdict::Stale);
+    }
+
+    #[test]
+    fn in_order_stream_all_fresh() {
+        let mut w = AntiReplayWindow::new(32);
+        for s in 1..=1000u64 {
+            assert_eq!(w.check_and_accept(n(s)), Verdict::Fresh, "seq {s}");
+        }
+        assert_eq!(w.right_edge(), n(1000));
+    }
+
+    #[test]
+    fn full_replay_of_inorder_stream_all_rejected() {
+        let mut w = AntiReplayWindow::new(32);
+        for s in 1..=100u64 {
+            w.check_and_accept(n(s));
+        }
+        for s in 1..=100u64 {
+            let v = w.check_and_accept(n(s));
+            assert!(
+                matches!(v, Verdict::Stale | Verdict::Duplicate),
+                "replayed {s} verdict {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_within_window_delivered_exactly_once() {
+        // Messages arrive shuffled but each reordered < w: all delivered.
+        let mut w = AntiReplayWindow::new(8);
+        let order = [3u64, 1, 2, 5, 4, 8, 6, 7, 10, 9];
+        let mut delivered = 0;
+        for &s in &order {
+            if w.check_and_accept(n(s)).is_deliverable() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, order.len());
+    }
+
+    #[test]
+    fn reorder_beyond_window_dropped() {
+        let mut w = AntiReplayWindow::new(4);
+        w.accept(n(10));
+        // Message 5 was reordered by more than w: conservative discard.
+        assert_eq!(w.check(n(5)), Verdict::Stale);
+    }
+
+    #[test]
+    fn resume_all_seen_blocks_replays_up_to_edge() {
+        // §4 wake-up: window rebuilt at fetched + 2K with all entries
+        // marked seen.
+        let w = AntiReplayWindow::with_right_edge(8, n(100), true);
+        for s in 93..=100u64 {
+            assert_eq!(w.check(n(s)), Verdict::Duplicate, "seq {s}");
+        }
+        assert_eq!(w.check(n(92)), Verdict::Stale);
+        assert_eq!(w.check(n(101)), Verdict::Fresh);
+    }
+
+    #[test]
+    fn naive_reset_is_vulnerable() {
+        // §3: after a naive restart any replayed old message looks fresh.
+        let mut w = AntiReplayWindow::new(8);
+        for s in 1..=50u64 {
+            w.check_and_accept(n(s));
+        }
+        w.reset_naive();
+        assert_eq!(w.right_edge(), SeqNum::ZERO);
+        // The adversary replays old traffic — it is accepted.
+        assert_eq!(w.check_and_accept(n(1)), Verdict::Fresh);
+        assert_eq!(w.check_and_accept(n(2)), Verdict::Fresh);
+    }
+
+    #[test]
+    fn window_size_one() {
+        let mut w = AntiReplayWindow::new(1);
+        assert_eq!(w.check_and_accept(n(1)), Verdict::Fresh);
+        assert_eq!(w.check_and_accept(n(1)), Verdict::Duplicate);
+        assert_eq!(w.check_and_accept(n(2)), Verdict::Fresh);
+        assert_eq!(w.check(n(1)), Verdict::Stale);
+    }
+
+    #[test]
+    fn large_window_crossing_word_boundaries() {
+        let mut w = AntiReplayWindow::new(200); // > 3 u64 words
+        for s in (1..=400u64).rev().step_by(3) {
+            w.check_and_accept(n(s));
+        }
+        // Every accepted seq must now be Duplicate or Stale; never Fresh.
+        for s in (1..=400u64).rev().step_by(3) {
+            assert!(!w.check(n(s)).is_deliverable(), "seq {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = AntiReplayWindow::new(0);
+    }
+
+    #[test]
+    fn display_shows_state() {
+        let mut w = AntiReplayWindow::new(16);
+        w.accept(n(9));
+        assert_eq!(w.to_string(), "window[w=16, r=9]");
+    }
+
+    #[test]
+    fn check_does_not_mutate() {
+        let mut w = AntiReplayWindow::new(8);
+        w.accept(n(5));
+        let before = w.clone();
+        let _ = w.check(n(3));
+        let _ = w.check(n(100));
+        let _ = w.check(n(1));
+        assert_eq!(w, before);
+    }
+}

@@ -1,0 +1,131 @@
+//! Abstraction over anti-replay window implementations.
+//!
+//! The §2 semantics (three receive cases + sliding) admit several
+//! realizations: the reference circular bitmap
+//! ([`AntiReplayWindow`](crate::AntiReplayWindow)) and the RFC 6479
+//! block-granular variant ([`BlockWindow`](crate::BlockWindow)).
+//! [`ReplayWindow`] is the interface the SAVE/FETCH receiver needs, so
+//! either can back the datapath.
+//!
+//! This trait is sealed: correctness of the convergence theorem depends
+//! on window implementations honouring the verdict semantics exactly, so
+//! implementations live (and are verified) in this crate.
+
+use crate::block_window::BlockWindow;
+use crate::seq::SeqNum;
+use crate::window::{AntiReplayWindow, Verdict};
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::AntiReplayWindow {}
+    impl Sealed for super::BlockWindow {}
+}
+
+/// The operations the SAVE/FETCH receiver requires of a window.
+///
+/// Sealed — see the module docs.
+pub trait ReplayWindow: private::Sealed {
+    /// Classifies `seq` (the §2 three-case analysis) without mutating.
+    fn check(&self, seq: SeqNum) -> Verdict;
+
+    /// Records `seq` as received, sliding if beyond the right edge.
+    fn accept(&mut self, seq: SeqNum);
+
+    /// Check-and-accept in one call.
+    fn check_and_accept(&mut self, seq: SeqNum) -> Verdict {
+        let v = self.check(seq);
+        if v == Verdict::Fresh {
+            self.accept(seq);
+        }
+        v
+    }
+
+    /// The current right edge `r`.
+    fn right_edge(&self) -> SeqNum;
+
+    /// Rebuilds at `right` with every entry marked received — the §4
+    /// wake-up ("every sequence number up to r should be assumed to be
+    /// already received").
+    fn resume_at(&mut self, right: SeqNum);
+
+    /// The §3 naive restart (baseline experiments only).
+    fn reset_naive(&mut self);
+}
+
+impl ReplayWindow for AntiReplayWindow {
+    fn check(&self, seq: SeqNum) -> Verdict {
+        AntiReplayWindow::check(self, seq)
+    }
+    fn accept(&mut self, seq: SeqNum) {
+        AntiReplayWindow::accept(self, seq)
+    }
+    fn check_and_accept(&mut self, seq: SeqNum) -> Verdict {
+        AntiReplayWindow::check_and_accept(self, seq)
+    }
+    fn right_edge(&self) -> SeqNum {
+        AntiReplayWindow::right_edge(self)
+    }
+    fn resume_at(&mut self, right: SeqNum) {
+        *self = AntiReplayWindow::with_right_edge(self.size(), right, true);
+    }
+    fn reset_naive(&mut self) {
+        AntiReplayWindow::reset_naive(self)
+    }
+}
+
+impl ReplayWindow for BlockWindow {
+    fn check(&self, seq: SeqNum) -> Verdict {
+        BlockWindow::check(self, seq)
+    }
+    fn accept(&mut self, seq: SeqNum) {
+        BlockWindow::accept(self, seq)
+    }
+    fn check_and_accept(&mut self, seq: SeqNum) -> Verdict {
+        BlockWindow::check_and_accept(self, seq)
+    }
+    fn right_edge(&self) -> SeqNum {
+        BlockWindow::right_edge(self)
+    }
+    fn resume_at(&mut self, right: SeqNum) {
+        BlockWindow::resume_at(self, right)
+    }
+    fn reset_naive(&mut self) {
+        // Forget everything: edge to 0, ring cleared — the vulnerable
+        // restart, for baseline experiments.
+        *self = BlockWindow::new(self.effective_size());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<W: ReplayWindow>(mut w: W) {
+        assert_eq!(w.check_and_accept(SeqNum::new(5)), Verdict::Fresh);
+        assert_eq!(w.check_and_accept(SeqNum::new(5)), Verdict::Duplicate);
+        w.resume_at(SeqNum::new(100));
+        assert!(!w.check(SeqNum::new(50)).is_deliverable());
+        assert_eq!(w.check(SeqNum::new(101)), Verdict::Fresh);
+        w.reset_naive();
+        assert_eq!(w.right_edge(), SeqNum::ZERO);
+    }
+
+    #[test]
+    fn both_implementations_satisfy_the_contract() {
+        exercise(AntiReplayWindow::new(64));
+        exercise(BlockWindow::new(64));
+    }
+
+    #[test]
+    fn trait_object_not_required_but_generics_work() {
+        fn right_of<W: ReplayWindow>(w: &W) -> u64 {
+            w.right_edge().value()
+        }
+        let mut a = AntiReplayWindow::new(32);
+        a.accept(SeqNum::new(9));
+        assert_eq!(right_of(&a), 9);
+        let mut b = BlockWindow::new(32);
+        b.accept(SeqNum::new(9));
+        assert_eq!(right_of(&b), 9);
+    }
+}

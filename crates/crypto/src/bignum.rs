@@ -1,0 +1,460 @@
+//! Minimal arbitrary-precision unsigned integers for Diffie–Hellman.
+//!
+//! Only the operations modular exponentiation needs: comparison,
+//! addition/subtraction, doubling, remainder, and a binary
+//! square-and-multiply [`BigUint::mod_pow`]. The representation is
+//! little-endian `u64` limbs. Performance is adequate for the IKE cost
+//! experiments (a 768-bit modexp is a few milliseconds); constant-time
+//! behaviour is *not* claimed — this substrate models cost, not a
+//! production TLS stack.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Arbitrary-precision unsigned integer (little-endian 64-bit limbs).
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::BigUint;
+///
+/// let p = BigUint::from_u64(23);
+/// let g = BigUint::from_u64(5);
+/// // 5^6 mod 23 = 8
+/// assert_eq!(g.mod_pow(&BigUint::from_u64(6), &p), BigUint::from_u64(8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing zero limbs (zero is an empty vec).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Parses big-endian bytes (as found in RFC-formatted primes).
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Parses a hex string, ignoring ASCII whitespace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters (inputs are compiled-in constants).
+    pub fn from_hex(s: &str) -> Self {
+        let digits: Vec<u8> = s
+            .chars()
+            .filter(|c| !c.is_ascii_whitespace())
+            .map(|c| c.to_digit(16).expect("invalid hex digit") as u8)
+            .collect();
+        let mut bytes = Vec::with_capacity(digits.len().div_ceil(2));
+        let mut i = 0;
+        // Odd digit counts get an implicit leading zero nibble.
+        if digits.len() % 2 == 1 {
+            bytes.push(digits[0]);
+            i = 1;
+        }
+        while i < digits.len() {
+            bytes.push((digits[i] << 4) | digits[i + 1]);
+            i += 2;
+        }
+        Self::from_be_bytes(&bytes)
+    }
+
+    /// Serializes as minimal big-endian bytes (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        // Strip leading zeros.
+        let first = out.iter().position(|&b| b != 0).unwrap_or(out.len() - 1);
+        out.drain(..first);
+        out
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        match self.limbs.get(limb) {
+            Some(&l) => (l >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (callers maintain that invariant).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "bignum underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self << 1`.
+    pub fn shl1(&self) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            out.push((l << 1) | carry);
+            carry = l >> 63;
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self mod m` by binary long division (shift-subtract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulo zero");
+        if self < m {
+            return self.clone();
+        }
+        let mut r = BigUint::zero();
+        for i in (0..self.bits()).rev() {
+            r = r.shl1();
+            if self.bit(i) {
+                r = r.add(&BigUint::one());
+            }
+            if &r >= m {
+                r = r.sub(m);
+            }
+        }
+        r
+    }
+
+    /// `(self + other) mod m`, assuming both inputs are already `< m`.
+    fn mod_add(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let s = self.add(other);
+        if &s >= m {
+            s.sub(m)
+        } else {
+            s
+        }
+    }
+
+    /// `(self * other) mod m` by interleaved double-and-add; inputs may be
+    /// arbitrary (they are reduced first).
+    pub fn mod_mul(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let a = self.rem(m);
+        let b = other.rem(m);
+        let mut acc = BigUint::zero();
+        for i in (0..b.bits()).rev() {
+            acc = acc.mod_add(&acc, m); // acc = 2*acc mod m
+            if b.bit(i) {
+                acc = acc.mod_add(&a, m);
+            }
+        }
+        acc
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulo zero");
+        if m == &BigUint::one() {
+            return BigUint::zero();
+        }
+        let base = self.rem(m);
+        let mut acc = BigUint::one();
+        for i in (0..exp.bits()).rev() {
+            acc = acc.mod_mul(&acc, m);
+            if exp.bit(i) {
+                acc = acc.mod_mul(&base, m);
+            }
+        }
+        acc
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn construction_and_zero() {
+        assert!(BigUint::zero().is_zero());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(n(0), BigUint::zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(n(1).bits(), 1);
+        assert_eq!(n(255).bits(), 8);
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0x01],
+            vec![0xff, 0xee, 0xdd],
+            vec![0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11],
+        ];
+        for bytes in cases {
+            let v = BigUint::from_be_bytes(&bytes);
+            assert_eq!(v.to_be_bytes(), bytes);
+        }
+        // Leading zeros are dropped.
+        assert_eq!(
+            BigUint::from_be_bytes(&[0, 0, 0x05]).to_be_bytes(),
+            vec![0x05]
+        );
+    }
+
+    #[test]
+    fn from_hex_matches_bytes() {
+        assert_eq!(BigUint::from_hex("ff"), n(255));
+        assert_eq!(BigUint::from_hex("1 00"), n(256));
+        assert_eq!(BigUint::from_hex("F"), n(15)); // odd digit count
+        assert_eq!(
+            BigUint::from_hex("FFFFFFFFFFFFFFFF FFFFFFFFFFFFFFFF").bits(),
+            128
+        );
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef0");
+        let b = BigUint::from_hex("0fedcba987654321");
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from_u64(u64::MAX);
+        let s = a.add(&BigUint::one());
+        assert_eq!(s.bits(), 65);
+        assert_eq!(s.to_be_bytes(), vec![1, 0, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(1).sub(&n(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(5) > n(4));
+        assert!(BigUint::from_hex("10000000000000000") > n(u64::MAX));
+        assert_eq!(n(7).cmp(&n(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn rem_small_cases() {
+        assert_eq!(n(10).rem(&n(3)), n(1));
+        assert_eq!(n(10).rem(&n(10)), n(0));
+        assert_eq!(n(3).rem(&n(10)), n(3));
+        assert_eq!(n(0).rem(&n(7)), n(0));
+    }
+
+    #[test]
+    fn rem_multi_limb() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff");
+        let m = BigUint::from_hex("10000000000000001");
+        // a = (2^128 - 1); m = 2^64 + 1. 2^128 - 1 = (2^64+1)(2^64-1),
+        // so remainder is 0.
+        assert_eq!(a.rem(&m), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_mul_matches_u128() {
+        let m = 0xffff_fffb_u64; // prime below 2^32
+        for (a, b) in [(3u64, 5u64), (1 << 31, 1 << 31), (m - 1, m - 1)] {
+            let expect = ((a as u128 * b as u128) % m as u128) as u64;
+            assert_eq!(n(a).mod_mul(&n(b), &n(m)), n(expect), "{a}*{b} mod {m}");
+        }
+    }
+
+    #[test]
+    fn mod_pow_small_cases() {
+        // Fermat: a^(p-1) = 1 mod p for prime p, gcd(a,p)=1.
+        let p = n(101);
+        for a in [2u64, 3, 50, 100] {
+            assert_eq!(n(a).mod_pow(&n(100), &p), n(1), "{a}^100 mod 101");
+        }
+        assert_eq!(n(2).mod_pow(&n(10), &n(1000)), n(24)); // 1024 mod 1000
+        assert_eq!(n(5).mod_pow(&n(0), &n(7)), n(1));
+        assert_eq!(n(5).mod_pow(&n(3), &BigUint::one()), n(0));
+    }
+
+    #[test]
+    fn mod_pow_matches_u128_reference() {
+        fn ref_pow(mut b: u128, mut e: u128, m: u128) -> u128 {
+            let mut acc = 1u128;
+            b %= m;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = acc * b % m;
+                }
+                b = b * b % m;
+                e >>= 1;
+            }
+            acc
+        }
+        let m = 0xffff_fffb_u64;
+        for (b, e) in [(2u64, 1000u64), (12345, 67890), (m - 2, m - 1)] {
+            let expect = ref_pow(b as u128, e as u128, m as u128) as u64;
+            assert_eq!(n(b).mod_pow(&n(e), &n(m)), n(expect));
+        }
+    }
+
+    #[test]
+    fn dh_commutativity_toy() {
+        // (g^a)^b == (g^b)^a mod p — the property IKE relies on.
+        let p = BigUint::from_hex("ffffffffffffffc5"); // 2^64 - 59, prime
+        let g = n(2);
+        let a = n(0x1234_5678_9abc_def1);
+        let b = n(0x0fed_cba9_8765_4321);
+        let ga = g.mod_pow(&a, &p);
+        let gb = g.mod_pow(&b, &p);
+        assert_eq!(ga.mod_pow(&b, &p), gb.mod_pow(&a, &p));
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(BigUint::zero().to_string(), "0x0");
+        assert_eq!(n(0xdead).to_string(), "0xdead");
+        assert_eq!(
+            BigUint::from_hex("10000000000000000").to_string(),
+            "0x10000000000000000"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Constant-time comparison for authentication tags.
+//!
+//! Comparing an ICV with `==` leaks, via timing, how many leading bytes of
+//! a forged tag were correct. [`ct_eq`] always touches every byte.
+
+/// Constant-time equality of two byte slices.
+///
+/// Slices of different lengths compare unequal (length is considered
+/// public). The comparison time depends only on the length, never on the
+/// position of the first mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::ct_eq;
+///
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Reduce without branching on intermediate values.
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"x", b"x"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(b"aaaa", b"aaab"));
+        assert!(!ct_eq(b"baaa", b"aaaa"));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"abcd", b"abc"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+
+    #[test]
+    fn single_bit_differences_detected() {
+        let a = [0b1010_1010u8; 16];
+        for byte in 0..16 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[byte] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! HMAC-SHA-256 (RFC 2104), the integrity primitive behind ESP's ICV.
+//!
+//! IPsec's anti-replay guarantee rests on authenticity: an adversary can
+//! *replay* recorded packets but cannot *forge* new ones. The ICV computed
+//! here is what enforces that asymmetry in our ESP pipeline.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA-256.
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::{hmac_sha256, to_hex};
+///
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     to_hex(&tag),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context for `key` (any length; long keys are
+    /// pre-hashed per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = crate::sha256::sha256(key);
+            k[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = HmacSha256::new(key);
+    h.update(msg);
+    h.finalize()
+}
+
+/// Truncated 96-bit tag as used by `HMAC-SHA-256-96` style ESP transforms.
+pub fn hmac_sha256_96(key: &[u8], msg: &[u8]) -> [u8; 12] {
+    let full = hmac_sha256(key, msg);
+    let mut out = [0u8; 12];
+    out.copy_from_slice(&full[..12]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2_short_key() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_repeated_bytes() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            to_hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = b"secret";
+        let msg = b"hello world, this spans updates";
+        let mut h = HmacSha256::new(key);
+        h.update(&msg[..7]);
+        h.update(&msg[7..]);
+        assert_eq!(h.finalize(), hmac_sha256(key, msg));
+    }
+
+    #[test]
+    fn truncated_tag_is_prefix() {
+        let t96 = hmac_sha256_96(b"k", b"m");
+        let full = hmac_sha256(b"k", b"m");
+        assert_eq!(&t96[..], &full[..12]);
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

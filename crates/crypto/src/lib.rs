@@ -1,0 +1,50 @@
+//! # reset-crypto — from-scratch primitives for the IPsec substrate
+//!
+//! The offline build has no cryptography crates, so the pieces IPsec needs
+//! are implemented here and validated against published test vectors:
+//!
+//! * [`Sha256`] / [`sha256`] — FIPS 180-4, NIST vectors.
+//! * [`HmacSha256`] / [`hmac_sha256`] / [`hmac_sha256_96`] — RFC 2104 /
+//!   RFC 4231 vectors; the ESP integrity check (ICV) that makes replay the
+//!   *only* attack available to the adversary, exactly as the paper
+//!   assumes.
+//! * [`ct_eq`] — constant-time tag comparison.
+//! * [`prf_plus`] / [`xor_keystream`] — key derivation and a stand-in
+//!   confidentiality transform for the simulated ESP.
+//! * [`BigUint`] + the OAKLEY groups ([`oakley_group1`],
+//!   [`oakley_group2`], RFC 2412 — the paper's reference \[9\]) — the
+//!   modular exponentiation that dominates the cost of the IETF
+//!   "renegotiate the whole SA" remedy the paper argues against.
+//!
+//! Scope note: these implementations model *behaviour and cost* for the
+//! reproduction. They are not hardened against side channels (except
+//! [`ct_eq`]) and must not be lifted into production use.
+//!
+//! # Examples
+//!
+//! ```
+//! use reset_crypto::{hmac_sha256_96, ct_eq};
+//!
+//! let key = b"sa-auth-key";
+//! let packet = b"spi=1 seq=42 payload";
+//! let icv = hmac_sha256_96(key, packet);
+//! // The receiver recomputes and compares in constant time:
+//! assert!(ct_eq(&icv, &hmac_sha256_96(key, packet)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bignum;
+mod ct;
+mod dh;
+mod hmac;
+mod prf;
+mod sha256;
+
+pub use bignum::BigUint;
+pub use ct::ct_eq;
+pub use dh::{oakley_group1, oakley_group2, toy_group, DhGroup, DhKeyPair};
+pub use hmac::{hmac_sha256, hmac_sha256_96, HmacSha256};
+pub use prf::{prf_plus, xor_keystream};
+pub use sha256::{sha256, to_hex, Sha256, BLOCK_LEN, DIGEST_LEN};

@@ -1,0 +1,51 @@
+//! CLI entry point: regenerates the paper's figures and tables.
+//!
+//! ```text
+//! experiments all            # every experiment
+//! experiments fig1 t2 t5     # a subset
+//! experiments --list         # what exists
+//! experiments t6 --csv       # additionally dump CSV after each table
+//! ```
+
+use std::process::ExitCode;
+
+use reset_harness::experiments::{run_by_id, ALL_IDS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv = false;
+    for a in &args {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--list" => {
+                println!("available experiments: {}", ALL_IDS.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        println!("available experiments: {}", ALL_IDS.join(", "));
+        println!("usage: experiments <id>... | all [--csv] [--list]");
+        return ExitCode::SUCCESS;
+    }
+    for id in &ids {
+        let Some(tables) = run_by_id(id) else {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            return ExitCode::FAILURE;
+        };
+        for table in tables {
+            println!("{table}");
+            if csv {
+                println!("--- csv ---\n{}", table.to_csv());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,146 @@
+//! t1 — §5 condition (i) under the full timed scenario.
+//!
+//! Sweep the sender save interval `Kp` and many seeds; in every run the
+//! sender is reset mid-stream while traffic flows at the paper's rate
+//! over an in-order channel. Report the worst case over seeds of:
+//! sequence numbers wasted (bound `2Kp`), fresh messages discarded
+//! (bound: **zero** without reorder), and replays accepted (zero).
+
+use reset_sim::{SimDuration, SimTime};
+use reset_stable::SaveLatencyModel;
+
+use crate::report::Table;
+use crate::scenario::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig};
+
+/// Aggregated worst-case results for one `Kp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct T1Row {
+    /// Save interval swept.
+    pub kp: u64,
+    /// Seeds run.
+    pub seeds: u64,
+    /// max over seeds of wasted sequence numbers.
+    pub max_lost: u64,
+    /// The paper bound `2Kp`.
+    pub bound: u64,
+    /// max over seeds of fresh messages discarded.
+    pub max_fresh_discarded: u64,
+    /// max over seeds of replays accepted.
+    pub max_replays_accepted: u64,
+    /// Were all runs violation-free?
+    pub all_clean: bool,
+}
+
+/// Runs the sweep.
+pub fn sweep(kps: &[u64], seeds: u64) -> Vec<T1Row> {
+    kps.iter()
+        .map(|&kp| {
+            let mut max_lost = 0;
+            let mut max_fresh = 0;
+            let mut max_replays = 0;
+            let mut all_clean = true;
+            for seed in 0..seeds {
+                let cfg = ScenarioConfig {
+                    seed,
+                    protocol: Protocol::SaveFetch,
+                    kp,
+                    kq: kp,
+                    // §4's premise: K must cover the messages that can
+                    // flow during one SAVE. Small K therefore implies a
+                    // faster device (the calibration of t4), capped at
+                    // the paper's 100 µs disk.
+                    save_latency: SaveLatencyModel::fixed_ns((kp * 4_000 / 2).min(100_000)),
+                    // Two resets at varying points in the save cycle (seed
+                    // offsets shift the alignment).
+                    sender_resets: vec![
+                        SimTime::from_micros(3_000 + seed * 37),
+                        SimTime::from_micros(7_000 + seed * 53),
+                    ],
+                    downtime: SimDuration::from_micros(200),
+                    adversary: AdversaryPlan::PeriodicRandom {
+                        every: SimDuration::from_micros(500),
+                        count: 2,
+                    },
+                    ..ScenarioConfig::default()
+                };
+                let out = run_scenario(cfg);
+                max_lost = max_lost.max(out.monitor.seqs_lost_to_leaps);
+                max_fresh = max_fresh.max(out.monitor.fresh_discarded);
+                max_replays = max_replays.max(out.monitor.replays_accepted);
+                all_clean &= out.monitor.clean();
+            }
+            T1Row {
+                kp,
+                seeds,
+                // Two resets per run: bound is per-reset; report per-reset
+                // worst by halving is wrong (one reset may dominate), so
+                // compare against resets × 2Kp.
+                max_lost,
+                bound: 2 * kp * 2,
+                max_fresh_discarded: max_fresh,
+                max_replays_accepted: max_replays,
+                all_clean,
+            }
+        })
+        .collect()
+}
+
+/// Renders the t1 table.
+///
+/// # Panics
+///
+/// Panics if any bound is violated.
+pub fn table(kps: &[u64], seeds: u64) -> Table {
+    let mut t = Table::new(
+        "t1: sender reset — condition (i), timed scenario",
+        &[
+            "Kp",
+            "seeds",
+            "max_lost_seqs",
+            "bound(2 resets x 2Kp)",
+            "max_fresh_discarded",
+            "max_replays_accepted",
+            "clean",
+        ],
+    );
+    for row in sweep(kps, seeds) {
+        assert!(row.max_lost <= row.bound, "{row:?}");
+        assert_eq!(row.max_fresh_discarded, 0, "{row:?}");
+        assert_eq!(row.max_replays_accepted, 0, "{row:?}");
+        assert!(row.all_clean, "{row:?}");
+        t.row_owned(vec![
+            row.kp.to_string(),
+            row.seeds.to_string(),
+            row.max_lost.to_string(),
+            row.bound.to_string(),
+            row.max_fresh_discarded.to_string(),
+            row.max_replays_accepted.to_string(),
+            row.all_clean.to_string(),
+        ]);
+    }
+    t.note("in-order channel: zero fresh discards after sender resets, loss ≤ 2Kp per reset");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_holds_bounds() {
+        let rows = sweep(&[8, 32], 3);
+        for r in rows {
+            assert!(r.max_lost <= r.bound);
+            assert_eq!(r.max_fresh_discarded, 0);
+            assert_eq!(r.max_replays_accepted, 0);
+            assert!(r.all_clean);
+            assert!(r.max_lost > 0, "resets really happened");
+        }
+    }
+
+    #[test]
+    fn table_builds() {
+        let t = table(&[16], 2);
+        assert_eq!(t.len(), 1);
+    }
+}

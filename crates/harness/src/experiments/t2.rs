@@ -1,0 +1,134 @@
+//! t2 — §5 condition (ii) under the full timed scenario.
+//!
+//! Sweep the receiver save interval `Kq`; in every run the receiver is
+//! reset mid-stream and, the moment it finishes waking up, the adversary
+//! replays the **entire** recorded history (the §3 attack). Report the
+//! worst case over seeds of fresh discards (bound `2Kq` per reset) and
+//! replays accepted (zero, always).
+
+use reset_sim::{SimDuration, SimTime};
+use reset_stable::SaveLatencyModel;
+
+use crate::report::Table;
+use crate::scenario::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig};
+
+/// Aggregated worst-case results for one `Kq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct T2Row {
+    /// Save interval swept.
+    pub kq: u64,
+    /// Seeds run.
+    pub seeds: u64,
+    /// max over seeds of fresh messages discarded by the leap.
+    pub max_fresh_discarded: u64,
+    /// Bound: resets × `2Kq` (+ downtime drops are counted separately).
+    pub bound: u64,
+    /// max over seeds of replays accepted (must be 0).
+    pub max_replays_accepted: u64,
+    /// min over seeds of replays *rejected* (sanity: attack actually ran).
+    pub min_replays_rejected: u64,
+    /// All runs violation-free?
+    pub all_clean: bool,
+}
+
+/// Runs the sweep. One receiver reset per run.
+pub fn sweep(kqs: &[u64], seeds: u64) -> Vec<T2Row> {
+    kqs.iter()
+        .map(|&kq| {
+            let mut max_fresh = 0u64;
+            let mut max_acc = 0u64;
+            let mut min_rej = u64::MAX;
+            let mut all_clean = true;
+            for seed in 0..seeds {
+                let cfg = ScenarioConfig {
+                    seed,
+                    protocol: Protocol::SaveFetch,
+                    kp: kq,
+                    kq,
+                    // Device calibrated to K (see t1/t4): K must cover
+                    // one SAVE's worth of messages.
+                    save_latency: SaveLatencyModel::fixed_ns((kq * 4_000 / 2).min(100_000)),
+                    receiver_resets: vec![SimTime::from_micros(4_000 + seed * 41)],
+                    downtime: SimDuration::from_micros(200),
+                    adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+                    ..ScenarioConfig::default()
+                };
+                let out = run_scenario(cfg);
+                max_fresh = max_fresh.max(out.monitor.fresh_discarded);
+                max_acc = max_acc.max(out.monitor.replays_accepted);
+                min_rej = min_rej.min(out.monitor.replays_rejected);
+                all_clean &= out.monitor.clean();
+            }
+            T2Row {
+                kq,
+                seeds,
+                max_fresh_discarded: max_fresh,
+                bound: 2 * kq,
+                max_replays_accepted: max_acc,
+                min_replays_rejected: min_rej,
+                all_clean,
+            }
+        })
+        .collect()
+}
+
+/// Renders the t2 table.
+///
+/// # Panics
+///
+/// Panics if any bound is violated or the attack never ran.
+pub fn table(kqs: &[u64], seeds: u64) -> Table {
+    let mut t = Table::new(
+        "t2: receiver reset + full-history replay — condition (ii)",
+        &[
+            "Kq",
+            "seeds",
+            "max_fresh_discarded",
+            "bound(2Kq)",
+            "max_replays_accepted",
+            "min_replays_rejected",
+            "clean",
+        ],
+    );
+    for row in sweep(kqs, seeds) {
+        assert!(
+            row.max_fresh_discarded <= row.bound,
+            "condition (ii) violated: {row:?}"
+        );
+        assert_eq!(row.max_replays_accepted, 0, "{row:?}");
+        assert!(row.min_replays_rejected > 0, "attack never ran: {row:?}");
+        assert!(row.all_clean, "{row:?}");
+        t.row_owned(vec![
+            row.kq.to_string(),
+            row.seeds.to_string(),
+            row.max_fresh_discarded.to_string(),
+            row.bound.to_string(),
+            row.max_replays_accepted.to_string(),
+            row.min_replays_rejected.to_string(),
+            row.all_clean.to_string(),
+        ]);
+    }
+    t.note("whole-history replay after wake-up: 0 accepted; fresh loss ≤ 2Kq");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_holds_bounds() {
+        for r in sweep(&[8, 32], 3) {
+            assert!(r.max_fresh_discarded <= r.bound, "{r:?}");
+            assert_eq!(r.max_replays_accepted, 0);
+            assert!(r.min_replays_rejected > 100, "{r:?}");
+            assert!(r.all_clean);
+        }
+    }
+
+    #[test]
+    fn bigger_k_bigger_allowed_sacrifice() {
+        let rows = sweep(&[8, 64], 2);
+        assert!(rows[1].bound > rows[0].bound);
+    }
+}

@@ -1,0 +1,126 @@
+//! t4 — §4's SAVE-interval calibration.
+//!
+//! The paper: *"on a Pentium III 730-MHz machine running Linux 2.4.18, a
+//! write-to-file operation takes 100 µs and sending a 1000-byte message
+//! takes 4 µs on average. In this case, we can set the interval between
+//! two SAVEs to be at least 25."* The rule: `K ≥ ⌈t_save / t_msg⌉`, the
+//! maximum number of messages that can be sent during one SAVE.
+//!
+//! The table reproduces that arithmetic for a range of storage devices
+//! and also *measures* a real write-to-file SAVE on the current host via
+//! [`FileStable`], deriving the K this machine would need.
+
+use std::time::Instant;
+
+use reset_stable::{Durability, FileStable, SlotId, StableStore};
+
+use crate::report::Table;
+
+/// Minimum save interval for a device: `⌈t_save / t_msg⌉`, at least 1.
+pub fn k_min(t_save_ns: u64, t_msg_ns: u64) -> u64 {
+    assert!(t_msg_ns > 0, "message time must be positive");
+    t_save_ns.div_ceil(t_msg_ns).max(1)
+}
+
+/// Measures the median latency of `n` real file-backed SAVEs in a temp
+/// directory. Returns nanoseconds.
+pub fn measure_file_save_ns(n: usize) -> u64 {
+    let dir = std::env::temp_dir().join(format!(
+        "ipsec-reset-calibrate-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let mut store = FileStable::open(&dir, Durability::ProcessCrash).expect("temp dir writable");
+    let slot = SlotId::sender(0xCAFE);
+    let mut samples: Vec<u64> = Vec::with_capacity(n);
+    // Warm-up write to create the file and fault in paths.
+    store.store(slot, 0).expect("store");
+    for i in 0..n {
+        let t0 = Instant::now();
+        store.store(slot, i as u64).expect("store");
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Renders the calibration table.
+pub fn table() -> Table {
+    let t_msg_ns = 4_000; // the paper's 4 µs per 1000-byte message
+    let mut t = Table::new(
+        "t4: SAVE interval calibration (K >= ceil(t_save / t_msg), t_msg = 4us)",
+        &["device", "t_save", "K_min", "matches_paper"],
+    );
+    let devices: &[(&str, u64)] = &[
+        ("ramdisk", 10_000),
+        ("paper's disk (PIII/Linux 2.4)", 100_000),
+        ("modern NVMe", 20_000),
+        ("SATA SSD", 60_000),
+        ("spinning HDD", 5_000_000),
+        ("NFS mount", 20_000_000),
+    ];
+    for &(name, t_save) in devices {
+        let k = k_min(t_save, t_msg_ns);
+        let is_paper = t_save == 100_000;
+        if is_paper {
+            assert_eq!(k, 25, "the paper's example must yield K = 25");
+        }
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{}us", t_save / 1_000),
+            k.to_string(),
+            if is_paper { "K=25 ✓".to_string() } else { "-".to_string() },
+        ]);
+    }
+    // Measured on this host.
+    let measured = measure_file_save_ns(200);
+    let k_here = k_min(measured, t_msg_ns);
+    t.row_owned(vec![
+        "THIS HOST (measured, 200 writes)".to_string(),
+        format!("{:.1}us", measured as f64 / 1_000.0),
+        k_here.to_string(),
+        "-".to_string(),
+    ]);
+    t.note("paper: 100us write / 4us msg => save every >= 25 messages");
+    t.note("interval counted in messages, not time: idle periods must not trigger wasteful SAVEs");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_25() {
+        assert_eq!(k_min(100_000, 4_000), 25);
+    }
+
+    #[test]
+    fn rounding_up() {
+        assert_eq!(k_min(100_001, 4_000), 26);
+        assert_eq!(k_min(3_999, 4_000), 1);
+        assert_eq!(k_min(0, 4_000), 1, "K is at least 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_msg_time_panics() {
+        let _ = k_min(1, 0);
+    }
+
+    #[test]
+    fn real_measurement_is_positive() {
+        let ns = measure_file_save_ns(20);
+        assert!(ns > 0);
+        assert!(ns < 1_000_000_000, "a file write should not take 1s: {ns}");
+    }
+
+    #[test]
+    fn table_contains_paper_row() {
+        let t = table();
+        let s = t.render();
+        assert!(s.contains("paper's disk"));
+        assert!(s.contains("THIS HOST"));
+    }
+}

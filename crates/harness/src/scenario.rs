@@ -1,0 +1,699 @@
+//! The timed scenario runner: one unidirectional SA under faults.
+//!
+//! A scenario wires together the paper's whole cast: sender `p` and
+//! receiver `q` (SAVE/FETCH or the §2/§3 baseline), the faulty channel,
+//! the replay adversary, the background-save latency of the persistent
+//! store, reset/wake-up schedules, and an online [`Monitor`] checking the
+//! §5 guarantees. All randomness forks from one seed; runs are exactly
+//! reproducible.
+
+use std::collections::VecDeque;
+
+use anti_replay::{
+    BaselineReceiver, BaselineSender, Monitor, MsgId, Origin, Phase, Report, RxOutcome, SeqNum,
+    SfReceiver, SfSender,
+};
+use reset_channel::{Link, LinkConfig, LinkStats, Tap};
+use reset_sim::{DetRng, SimDuration, SimTime, Simulator};
+use reset_stable::{MemStable, SaveLatencyModel, SlotId};
+
+use crate::workload::Workload;
+
+/// Which protocol variant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// §4: SAVE/FETCH with the `2K` leap.
+    SaveFetch,
+    /// §2 protocol with the §3 naive restart (the vulnerable baseline).
+    Baseline,
+}
+
+/// What the adversary does during the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryPlan {
+    /// Passive (records but never injects).
+    None,
+    /// Replays the entire recorded history the moment the receiver
+    /// restarts — the §3 attack on a reset receiver.
+    ReplayAllOnReceiverRestart,
+    /// Replays the highest recorded sequence number after a restart —
+    /// the §3 blackhole attack (aimed at a freshly reset receiver while
+    /// the sender also restarted).
+    ReplayLatestOnRestart,
+    /// Injects `count` random recorded messages every `every`.
+    PeriodicRandom {
+        /// Injection period.
+        every: SimDuration,
+        /// Copies per injection.
+        count: usize,
+    },
+}
+
+/// Full scenario parameterization.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Protocol variant.
+    pub protocol: Protocol,
+    /// Sender save interval `Kp`.
+    pub kp: u64,
+    /// Receiver save interval `Kq`.
+    pub kq: u64,
+    /// Anti-replay window size `w`.
+    pub w: u64,
+    /// Message arrival process.
+    pub workload: Workload,
+    /// SAVE device latency.
+    pub save_latency: SaveLatencyModel,
+    /// Channel faults.
+    pub link: LinkConfig,
+    /// Virtual run length.
+    pub duration: SimDuration,
+    /// Instants at which the sender is reset.
+    pub sender_resets: Vec<SimTime>,
+    /// Instants at which the receiver is reset.
+    pub receiver_resets: Vec<SimTime>,
+    /// How long a reset machine stays down before waking.
+    pub downtime: SimDuration,
+    /// Adversary behaviour.
+    pub adversary: AdversaryPlan,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0,
+            protocol: Protocol::SaveFetch,
+            kp: 25,
+            kq: 25,
+            w: 64,
+            workload: Workload::paper_rate(),
+            save_latency: SaveLatencyModel::paper_disk(),
+            link: LinkConfig::perfect(),
+            duration: SimDuration::from_millis(10),
+            sender_resets: Vec::new(),
+            receiver_resets: Vec::new(),
+            downtime: SimDuration::from_millis(1),
+            adversary: AdversaryPlan::None,
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The monitor's ground-truth report (§5 guarantees).
+    pub monitor: Report,
+    /// Messages whose delivery hit a down receiver.
+    pub dropped_down: u64,
+    /// Channel statistics.
+    pub link: LinkStats,
+    /// Adversary injections performed.
+    pub injected: u64,
+    /// Final sender counter (next to send).
+    pub final_next_seq: u64,
+    /// Final receiver right edge.
+    pub final_right_edge: u64,
+    /// Sender resets executed.
+    pub sender_resets: u64,
+    /// Receiver resets executed.
+    pub receiver_resets: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    P,
+    Q,
+}
+
+/// One message instance on the wire: the sequence number the protocol
+/// sees plus the ground-truth instance identity the monitor tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Msg {
+    id: MsgId,
+    seq: SeqNum,
+}
+
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Msg is 3 words; boxing would cost more
+enum Ev {
+    Send,
+    Deliver(Msg, Origin),
+    SaveDone(Side),
+    Reset(Side),
+    Wake(Side),
+    FinishWake(Side),
+    AdversaryTick,
+}
+
+#[allow(clippy::large_enum_variant)] // one Proto per scenario; size is irrelevant
+enum Proto {
+    Sf {
+        p: SfSender<MemStable>,
+        q: SfReceiver<MemStable>,
+    },
+    Base {
+        p: BaselineSender,
+        q: BaselineReceiver,
+    },
+}
+
+/// Runs one scenario to completion.
+///
+/// # Examples
+///
+/// ```
+/// use reset_harness::{run_scenario, ScenarioConfig};
+///
+/// let outcome = run_scenario(ScenarioConfig::default());
+/// assert!(outcome.monitor.clean());
+/// assert!(outcome.monitor.fresh_delivered > 0);
+/// ```
+pub fn run_scenario(config: ScenarioConfig) -> ScenarioOutcome {
+    ScenarioRunner::new(config).run()
+}
+
+struct ScenarioRunner {
+    cfg: ScenarioConfig,
+    sim: Simulator<Ev>,
+    proto: Proto,
+    monitor: Monitor,
+    tap: Tap<Msg>,
+    link: Link,
+    workload: Workload,
+    workload_rng: DetRng,
+    latency_rng: DetRng,
+    adv_rng: DetRng,
+    p_save_outstanding: bool,
+    q_save_outstanding: bool,
+    buffered_meta: VecDeque<(MsgId, Origin)>,
+    next_msg_id: u64,
+    dropped_down: u64,
+    p_next_at_reset: SeqNum,
+    p_resets: u64,
+    q_resets: u64,
+    /// Baseline both-reset bookkeeping for ReplayLatestOnRestart.
+    pending_latest_replay: bool,
+}
+
+impl ScenarioRunner {
+    fn new(cfg: ScenarioConfig) -> Self {
+        let mut sim = Simulator::new(cfg.seed);
+        let link_rng = sim.rng().fork();
+        let workload_rng = sim.rng().fork();
+        let latency_rng = sim.rng().fork();
+        let adv_rng = sim.rng().fork();
+        let proto = match cfg.protocol {
+            Protocol::SaveFetch => Proto::Sf {
+                p: SfSender::new(MemStable::new(), SlotId::sender(1), cfg.kp),
+                q: SfReceiver::new(MemStable::new(), SlotId::receiver(1), cfg.kq, cfg.w),
+            },
+            Protocol::Baseline => Proto::Base {
+                p: BaselineSender::new(),
+                q: BaselineReceiver::new(cfg.w),
+            },
+        };
+        let link = Link::new(cfg.link, link_rng);
+        let workload = cfg.workload.clone();
+        ScenarioRunner {
+            cfg,
+            sim,
+            proto,
+            monitor: Monitor::new(),
+            tap: Tap::new(),
+            link,
+            workload,
+            workload_rng,
+            latency_rng,
+            adv_rng,
+            p_save_outstanding: false,
+            q_save_outstanding: false,
+            buffered_meta: VecDeque::new(),
+            next_msg_id: 0,
+            dropped_down: 0,
+            p_next_at_reset: SeqNum::ZERO,
+            p_resets: 0,
+            q_resets: 0,
+            pending_latest_replay: false,
+        }
+    }
+
+    fn run(mut self) -> ScenarioOutcome {
+        self.sim.schedule_at(SimTime::ZERO, Ev::Send);
+        for &t in &self.cfg.sender_resets {
+            self.sim.schedule_at(t, Ev::Reset(Side::P));
+        }
+        for &t in &self.cfg.receiver_resets {
+            self.sim.schedule_at(t, Ev::Reset(Side::Q));
+        }
+        if let AdversaryPlan::PeriodicRandom { every, .. } = self.cfg.adversary {
+            self.sim.schedule_at(SimTime::ZERO + every, Ev::AdversaryTick);
+        }
+        let deadline = SimTime::ZERO + self.cfg.duration;
+        // Pump events; the handler needs &mut self alongside &mut sim, so
+        // the loop is hand-rolled rather than using Simulator::run.
+        loop {
+            match self.sim.peek_time() {
+                Some(t) if t <= deadline => {}
+                _ => break,
+            }
+            let (now, ev) = self.sim.next_event().expect("peeked");
+            self.handle(now, ev);
+        }
+        self.finish()
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Send => self.on_send(now),
+            Ev::Deliver(seq, origin) => self.on_deliver(seq, origin),
+            Ev::SaveDone(side) => self.on_save_done(side),
+            Ev::Reset(side) => self.on_reset(now, side),
+            Ev::Wake(side) => self.on_wake(now, side),
+            Ev::FinishWake(side) => self.on_finish_wake(now, side),
+            Ev::AdversaryTick => self.on_adversary_tick(now),
+        }
+    }
+
+    fn on_send(&mut self, now: SimTime) {
+        let sent = match &mut self.proto {
+            Proto::Sf { p, .. } => p.send_next().expect("mem store"),
+            Proto::Base { p, .. } => Some(p.send_next()),
+        };
+        if let Some(seq) = sent {
+            let msg = Msg {
+                id: MsgId(self.next_msg_id),
+                seq,
+            };
+            self.next_msg_id += 1;
+            self.monitor.on_send(msg.id, seq);
+            self.tap.record(msg);
+            self.transmit(now, msg, true);
+            self.maybe_schedule_save(Side::P, now);
+        }
+        let gap = self.workload.next_gap(&mut self.workload_rng);
+        self.sim.schedule_at(now + gap, Ev::Send);
+    }
+
+    /// Pushes one message instance through the link; `fresh` marks the
+    /// sender's original (vs an adversary injection).
+    fn transmit(&mut self, now: SimTime, msg: Msg, fresh: bool) {
+        let deliveries = self.link.transmit(now, msg);
+        for (i, (at, msg)) in deliveries.into_iter().enumerate() {
+            let origin = if !fresh {
+                Origin::Adversary
+            } else if i == 0 {
+                Origin::Original
+            } else {
+                Origin::ChannelDup
+            };
+            self.sim.schedule_at(at, Ev::Deliver(msg, origin));
+        }
+    }
+
+    fn on_deliver(&mut self, msg: Msg, origin: Origin) {
+        match &mut self.proto {
+            Proto::Sf { q, .. } => {
+                let outcome = q.receive(msg.seq).expect("mem store");
+                match outcome {
+                    RxOutcome::Delivered => self.monitor.on_deliver(Some(msg.id), msg.seq, origin),
+                    RxOutcome::DiscardedStale | RxOutcome::DiscardedDuplicate => {
+                        self.monitor.on_discard(Some(msg.id), msg.seq, origin)
+                    }
+                    RxOutcome::Buffered => self.buffered_meta.push_back((msg.id, origin)),
+                    RxOutcome::DroppedDown => self.dropped_down += 1,
+                }
+            }
+            Proto::Base { q, .. } => {
+                if q.receive(msg.seq).is_deliverable() {
+                    self.monitor.on_deliver(Some(msg.id), msg.seq, origin);
+                } else {
+                    self.monitor.on_discard(Some(msg.id), msg.seq, origin);
+                }
+            }
+        }
+        // Receiver-side background save (SAVE/FETCH only).
+        let now = self.sim.now();
+        self.maybe_schedule_save(Side::Q, now);
+    }
+
+    fn maybe_schedule_save(&mut self, side: Side, now: SimTime) {
+        let Proto::Sf { p, q } = &self.proto else {
+            return;
+        };
+        let (pending, outstanding) = match side {
+            Side::P => (p.pending_save().is_some(), self.p_save_outstanding),
+            Side::Q => (q.pending_save().is_some(), self.q_save_outstanding),
+        };
+        if pending && !outstanding {
+            let d = self
+                .cfg
+                .save_latency
+                .sample_ns(self.latency_rng.next_u64());
+            self.sim
+                .schedule_at(now + SimDuration::from_nanos(d), Ev::SaveDone(side));
+            match side {
+                Side::P => self.p_save_outstanding = true,
+                Side::Q => self.q_save_outstanding = true,
+            }
+        }
+    }
+
+    fn on_save_done(&mut self, side: Side) {
+        let Proto::Sf { p, q } = &mut self.proto else {
+            return;
+        };
+        match side {
+            Side::P => {
+                self.p_save_outstanding = false;
+                p.save_completed().expect("mem store");
+            }
+            Side::Q => {
+                self.q_save_outstanding = false;
+                q.save_completed().expect("mem store");
+            }
+        }
+        // A superseding issue may already be pending again.
+        let now = self.sim.now();
+        self.maybe_schedule_save(side, now);
+    }
+
+    fn on_reset(&mut self, now: SimTime, side: Side) {
+        match &mut self.proto {
+            Proto::Sf { p, q } => match side {
+                Side::P => {
+                    if p.phase() == Phase::Running {
+                        self.p_next_at_reset = p.next_seq();
+                    }
+                    p.reset();
+                    self.p_resets += 1;
+                    self.sim
+                        .schedule_at(now + self.cfg.downtime, Ev::Wake(Side::P));
+                }
+                Side::Q => {
+                    // Buffered instances die with the machine.
+                    self.buffered_meta.clear();
+                    q.reset();
+                    self.q_resets += 1;
+                    self.sim
+                        .schedule_at(now + self.cfg.downtime, Ev::Wake(Side::Q));
+                }
+            },
+            Proto::Base { p, q } => match side {
+                Side::P => {
+                    let old_next = p.next_seq();
+                    p.reset_and_wake();
+                    self.p_resets += 1;
+                    // The baseline "resumes" at 1 — the monitor records the
+                    // stale resume as a violation, which t3 reports.
+                    self.monitor.on_sender_wakeup(old_next, SeqNum::FIRST, self.cfg.kp);
+                    if self.cfg.adversary == AdversaryPlan::ReplayLatestOnRestart {
+                        self.pending_latest_replay = true;
+                        self.try_latest_replay();
+                    }
+                }
+                Side::Q => {
+                    q.reset_and_wake();
+                    self.q_resets += 1;
+                    match self.cfg.adversary {
+                        AdversaryPlan::ReplayAllOnReceiverRestart => self.replay_all(),
+                        AdversaryPlan::ReplayLatestOnRestart => {
+                            self.pending_latest_replay = true;
+                            self.try_latest_replay();
+                        }
+                        _ => {}
+                    }
+                }
+            },
+        }
+    }
+
+    /// Adversary injection happens at the receiver's last hop: the §2
+    /// threat model lets the adversary insert copies "at any instant",
+    /// so injections do not queue behind in-flight fresh traffic.
+    fn inject_now(&mut self, msg: Msg) {
+        self.sim.schedule_now(Ev::Deliver(msg, Origin::Adversary));
+    }
+
+    fn try_latest_replay(&mut self) {
+        if self.pending_latest_replay {
+            if let Some(msg) = self.tap.replay_latest() {
+                self.inject_now(msg);
+                self.pending_latest_replay = false;
+            }
+        }
+    }
+
+    fn replay_all(&mut self) {
+        for msg in self.tap.replay_all() {
+            self.inject_now(msg);
+        }
+    }
+
+    fn on_wake(&mut self, now: SimTime, side: Side) {
+        let Proto::Sf { p, q } = &mut self.proto else {
+            return;
+        };
+        let d = self
+            .cfg
+            .save_latency
+            .sample_ns(self.latency_rng.next_u64());
+        match side {
+            Side::P => {
+                if p.phase() != Phase::Down {
+                    return; // stale wake after overlapping resets
+                }
+                p.begin_wakeup().expect("mem store");
+                self.sim.schedule_at(
+                    now + SimDuration::from_nanos(d),
+                    Ev::FinishWake(Side::P),
+                );
+            }
+            Side::Q => {
+                if q.phase() != Phase::Down {
+                    return;
+                }
+                q.begin_wakeup().expect("mem store");
+                self.sim.schedule_at(
+                    now + SimDuration::from_nanos(d),
+                    Ev::FinishWake(Side::Q),
+                );
+            }
+        }
+    }
+
+    fn on_finish_wake(&mut self, _now: SimTime, side: Side) {
+        let Proto::Sf { p, q } = &mut self.proto else {
+            return;
+        };
+        match side {
+            Side::P => {
+                if p.phase() != Phase::Waking {
+                    return;
+                }
+                let resumed = p.finish_wakeup().expect("mem store");
+                self.monitor
+                    .on_sender_wakeup(self.p_next_at_reset, resumed, self.cfg.kp);
+            }
+            Side::Q => {
+                if q.phase() != Phase::Waking {
+                    return;
+                }
+                let outcomes = q.finish_wakeup().expect("mem store");
+                for (seq, outcome) in outcomes {
+                    let (id, origin) = self
+                        .buffered_meta
+                        .pop_front()
+                        .map(|(i, o)| (Some(i), o))
+                        .unwrap_or((None, Origin::Original));
+                    match outcome {
+                        RxOutcome::Delivered => self.monitor.on_deliver(id, seq, origin),
+                        _ => self.monitor.on_discard(id, seq, origin),
+                    }
+                }
+                match self.cfg.adversary {
+                    AdversaryPlan::ReplayAllOnReceiverRestart => self.replay_all(),
+                    AdversaryPlan::ReplayLatestOnRestart => {
+                        self.pending_latest_replay = true;
+                        self.try_latest_replay();
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn on_adversary_tick(&mut self, now: SimTime) {
+        if let AdversaryPlan::PeriodicRandom { every, count } = self.cfg.adversary {
+            let picks = self.tap.replay_random(count, &mut self.adv_rng);
+            for msg in picks {
+                self.inject_now(msg);
+            }
+            self.sim.schedule_at(now + every, Ev::AdversaryTick);
+        }
+    }
+
+    fn finish(self) -> ScenarioOutcome {
+        let (final_next_seq, final_right_edge) = match &self.proto {
+            Proto::Sf { p, q } => (p.next_seq().value(), q.right_edge().value()),
+            Proto::Base { p, q } => (p.next_seq().value(), q.right_edge().value()),
+        };
+        ScenarioOutcome {
+            monitor: self.monitor.into_report(),
+            dropped_down: self.dropped_down,
+            link: self.link.stats(),
+            injected: self.tap.injected(),
+            final_next_seq,
+            final_right_edge,
+            sender_resets: self.p_resets,
+            receiver_resets: self.q_resets,
+            end_time: self.sim.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_is_clean() {
+        let out = run_scenario(ScenarioConfig::default());
+        assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
+        assert!(out.monitor.sent > 1000, "paper rate over 10ms");
+        assert_eq!(out.monitor.fresh_discarded, 0);
+        assert_eq!(out.monitor.replays_accepted, 0);
+    }
+
+    #[test]
+    fn reproducible_for_seed() {
+        let run = |seed| {
+            let cfg = ScenarioConfig {
+                seed,
+                link: LinkConfig::lossy(0.1),
+                receiver_resets: vec![SimTime::from_millis(3)],
+                adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+                ..ScenarioConfig::default()
+            };
+            let o = run_scenario(cfg);
+            (o.monitor.sent, o.monitor.fresh_delivered, o.final_right_edge)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn savefetch_sender_reset_no_fresh_loss_in_order() {
+        let cfg = ScenarioConfig {
+            sender_resets: vec![SimTime::from_millis(4)],
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
+        assert_eq!(out.monitor.fresh_discarded, 0, "condition (i)");
+        assert_eq!(out.monitor.replays_accepted, 0);
+        assert!(out.monitor.seqs_lost_to_leaps <= 2 * 25);
+        assert_eq!(out.sender_resets, 1);
+    }
+
+    #[test]
+    fn savefetch_receiver_reset_bounded_loss_no_replays() {
+        let cfg = ScenarioConfig {
+            receiver_resets: vec![SimTime::from_millis(4)],
+            adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
+        assert_eq!(out.monitor.replays_accepted, 0, "no replay accepted");
+        assert!(out.monitor.replays_rejected > 0, "attack actually ran");
+        assert!(
+            out.monitor.fresh_discarded <= 2 * 25,
+            "condition (ii): {} > 2K",
+            out.monitor.fresh_discarded
+        );
+        assert!(out.dropped_down > 0, "downtime drops traffic");
+    }
+
+    #[test]
+    fn baseline_receiver_reset_accepts_replays() {
+        let cfg = ScenarioConfig {
+            protocol: Protocol::Baseline,
+            receiver_resets: vec![SimTime::from_millis(4)],
+            adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert!(
+            out.monitor.replays_accepted > 100,
+            "the §3 attack succeeds against the baseline: {}",
+            out.monitor.replays_accepted
+        );
+        assert!(!out.monitor.clean());
+    }
+
+    #[test]
+    fn baseline_sender_reset_discards_fresh() {
+        let cfg = ScenarioConfig {
+            protocol: Protocol::Baseline,
+            sender_resets: vec![SimTime::from_millis(4)],
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert!(
+            out.monitor.fresh_discarded > 100,
+            "unbounded fresh loss: {}",
+            out.monitor.fresh_discarded
+        );
+    }
+
+    #[test]
+    fn periodic_replay_noise_never_accepted_by_savefetch() {
+        let cfg = ScenarioConfig {
+            adversary: AdversaryPlan::PeriodicRandom {
+                every: SimDuration::from_micros(100),
+                count: 3,
+            },
+            link: LinkConfig::lossy(0.05),
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert_eq!(out.monitor.replays_accepted, 0);
+        assert!(out.injected > 100);
+        assert!(out.monitor.clean());
+    }
+
+    #[test]
+    fn lossy_link_duplicates_never_double_deliver() {
+        let cfg = ScenarioConfig {
+            link: LinkConfig {
+                drop_prob: 0.1,
+                duplicate_prob: 0.2,
+                ..LinkConfig::perfect()
+            },
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert!(out.monitor.clean());
+        assert_eq!(out.monitor.replays_accepted, 0, "dups never double-deliver");
+    }
+
+    #[test]
+    fn multiple_resets_both_sides_stay_safe() {
+        let cfg = ScenarioConfig {
+            sender_resets: vec![SimTime::from_millis(2), SimTime::from_millis(6)],
+            receiver_resets: vec![SimTime::from_millis(4), SimTime::from_millis(8)],
+            adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+            link: LinkConfig::lossy(0.02),
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert_eq!(out.monitor.replays_accepted, 0);
+        assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
+        assert_eq!(out.sender_resets, 2);
+        assert_eq!(out.receiver_resets, 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Traffic generators.
+//!
+//! §4 argues for measuring the SAVE interval in *messages*, not time,
+//! "because the rate of message generation may change over time". The
+//! ablation experiment drives both save policies with these workloads —
+//! constant-rate, bursty on/off, and Poisson-ish — to reproduce that
+//! argument quantitatively.
+
+use reset_sim::{DetRng, SimDuration};
+
+/// A message arrival process: yields the gap to the next send.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Fixed inter-message gap (the paper's 4 µs per message).
+    ConstantRate {
+        /// Gap between consecutive sends.
+        interval: SimDuration,
+    },
+    /// Alternating on/off phases: sends every `interval` during a burst
+    /// of `burst_len` messages, then stays idle for `idle`.
+    Bursty {
+        /// Gap between sends inside a burst.
+        interval: SimDuration,
+        /// Messages per burst.
+        burst_len: u64,
+        /// Idle gap between bursts.
+        idle: SimDuration,
+        /// Progress within the current burst (internal).
+        sent_in_burst: u64,
+    },
+    /// Exponential-ish gaps with the given mean (geometric approximation
+    /// sampled from the deterministic RNG).
+    Poisson {
+        /// Mean gap.
+        mean: SimDuration,
+    },
+}
+
+impl Workload {
+    /// Constant-rate workload.
+    pub fn constant(interval: SimDuration) -> Workload {
+        Workload::ConstantRate { interval }
+    }
+
+    /// Bursty on/off workload.
+    pub fn bursty(interval: SimDuration, burst_len: u64, idle: SimDuration) -> Workload {
+        Workload::Bursty {
+            interval,
+            burst_len,
+            idle,
+            sent_in_burst: 0,
+        }
+    }
+
+    /// Poisson-ish workload with the given mean gap.
+    pub fn poisson(mean: SimDuration) -> Workload {
+        Workload::Poisson { mean }
+    }
+
+    /// The paper's datapath: one 1000-byte message every 4 µs.
+    pub fn paper_rate() -> Workload {
+        Workload::constant(SimDuration::from_micros(4))
+    }
+
+    /// Gap until the next send.
+    pub fn next_gap(&mut self, rng: &mut DetRng) -> SimDuration {
+        match self {
+            Workload::ConstantRate { interval } => *interval,
+            Workload::Bursty {
+                interval,
+                burst_len,
+                idle,
+                sent_in_burst,
+            } => {
+                *sent_in_burst += 1;
+                if *sent_in_burst >= *burst_len {
+                    *sent_in_burst = 0;
+                    *idle
+                } else {
+                    *interval
+                }
+            }
+            Workload::Poisson { mean } => {
+                // Inverse-CDF exponential sample, clamped to ≥ 1 ns so
+                // simulated time always advances.
+                let u = rng.unit_f64().max(1e-12);
+                let gap = -(u.ln()) * mean.as_nanos() as f64;
+                SimDuration::from_nanos((gap as u64).max(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_is_constant() {
+        let mut w = Workload::constant(SimDuration::from_micros(4));
+        let mut rng = DetRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(w.next_gap(&mut rng), SimDuration::from_micros(4));
+        }
+    }
+
+    #[test]
+    fn paper_rate_matches_paper() {
+        let mut w = Workload::paper_rate();
+        let mut rng = DetRng::new(1);
+        assert_eq!(w.next_gap(&mut rng).as_micros(), 4);
+    }
+
+    #[test]
+    fn bursty_inserts_idle_gaps() {
+        let mut w = Workload::bursty(
+            SimDuration::from_micros(1),
+            3,
+            SimDuration::from_millis(1),
+        );
+        let mut rng = DetRng::new(1);
+        let gaps: Vec<u64> = (0..6).map(|_| w.next_gap(&mut rng).as_micros()).collect();
+        assert_eq!(gaps, vec![1, 1, 1000, 1, 1, 1000]);
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let mut w = Workload::poisson(SimDuration::from_micros(10));
+        let mut rng = DetRng::new(7);
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| w.next_gap(&mut rng).as_nanos()).sum();
+        let mean_ns = total / n;
+        assert!(
+            (8_000..12_000).contains(&mean_ns),
+            "mean {mean_ns} ns, want ~10000"
+        );
+    }
+
+    #[test]
+    fn poisson_gaps_always_positive() {
+        let mut w = Workload::poisson(SimDuration::from_nanos(5));
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(w.next_gap(&mut rng).as_nanos() >= 1);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Dead peer detection — the §6 trigger for keeping SAs alive.
+//!
+//! The paper's prolonged-reset scheme: a host that notices its peer is
+//! unreachable (the paper mentions ICMP unreachable, RFC 792; the IETF
+//! drafts it cites use traffic-based DPD probes) keeps the SA pair alive
+//! for a bounded grace period instead of deleting it. If the peer wakes
+//! up and proves liveness within the grace period, the SAs resume via
+//! SAVE/FETCH; if not, they are torn down — the paper warns the wait
+//! cannot be unbounded "otherwise an adversary will have enough time to
+//! apply cryptographic analysis".
+//!
+//! Timing here is plain `u64` nanoseconds so the type works under the
+//! simulator or a real clock.
+
+/// What the DPD state machine wants the host to do now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpdAction {
+    /// Nothing to do.
+    Idle,
+    /// Send an R-U-THERE probe to the peer.
+    SendProbe,
+    /// The peer is presumed down: keep SAs alive, start the grace timer.
+    PeerPresumedDown,
+    /// The grace period expired: tear the SAs down (IETF behaviour).
+    TearDown,
+}
+
+/// Configuration of the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpdConfig {
+    /// Silence after which we start probing.
+    pub idle_timeout_ns: u64,
+    /// Gap between successive probes.
+    pub probe_interval_ns: u64,
+    /// Probes without answer before declaring the peer down.
+    pub max_probes: u32,
+    /// How long SAs stay alive awaiting the peer's recovery (§6: bounded!).
+    pub grace_period_ns: u64,
+}
+
+impl Default for DpdConfig {
+    fn default() -> Self {
+        DpdConfig {
+            idle_timeout_ns: 10_000_000_000,  // 10 s
+            probe_interval_ns: 2_000_000_000, // 2 s
+            max_probes: 3,
+            grace_period_ns: 60_000_000_000, // 60 s
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DpdPhase {
+    /// Traffic (or probe replies) flowing normally.
+    Alive,
+    /// Probing after silence.
+    Probing { probes_sent: u32, last_probe_ns: u64 },
+    /// Peer presumed down; grace timer running.
+    Grace { since_ns: u64 },
+    /// SAs torn down.
+    Dead,
+}
+
+/// Traffic-based dead peer detection with a §6 grace period.
+///
+/// # Examples
+///
+/// ```
+/// use reset_ipsec::{DpdAction, DpdConfig, DpdDetector};
+///
+/// let cfg = DpdConfig {
+///     idle_timeout_ns: 1_000,
+///     probe_interval_ns: 500,
+///     max_probes: 2,
+///     grace_period_ns: 10_000,
+/// };
+/// let mut dpd = DpdDetector::new(cfg);
+/// dpd.on_traffic(0);
+/// assert_eq!(dpd.poll(500), DpdAction::Idle);      // recent traffic
+/// assert_eq!(dpd.poll(1_500), DpdAction::SendProbe); // silence
+/// ```
+#[derive(Debug, Clone)]
+pub struct DpdDetector {
+    cfg: DpdConfig,
+    last_heard_ns: u64,
+    phase: DpdPhase,
+}
+
+impl DpdDetector {
+    /// A detector that assumes the peer was alive at time 0.
+    pub fn new(cfg: DpdConfig) -> Self {
+        DpdDetector {
+            cfg,
+            last_heard_ns: 0,
+            phase: DpdPhase::Alive,
+        }
+    }
+
+    /// Notes authenticated traffic (or a probe ack) from the peer.
+    /// Anything unauthenticated must NOT reach this method — otherwise an
+    /// adversary could keep a dead SA alive forever.
+    pub fn on_traffic(&mut self, now_ns: u64) {
+        self.last_heard_ns = now_ns;
+        if self.phase != DpdPhase::Dead {
+            self.phase = DpdPhase::Alive;
+        }
+    }
+
+    /// True while the SAs should still exist (alive, probing or grace).
+    pub fn sas_alive(&self) -> bool {
+        self.phase != DpdPhase::Dead
+    }
+
+    /// True once the peer is presumed down but within grace — the window
+    /// in which a §6 recovery notify will be honoured.
+    pub fn in_grace(&self) -> bool {
+        matches!(self.phase, DpdPhase::Grace { .. })
+    }
+
+    /// Advances the detector to `now_ns` and reports the action to take.
+    pub fn poll(&mut self, now_ns: u64) -> DpdAction {
+        match self.phase {
+            DpdPhase::Dead => DpdAction::TearDown,
+            DpdPhase::Alive => {
+                if now_ns.saturating_sub(self.last_heard_ns) >= self.cfg.idle_timeout_ns {
+                    self.phase = DpdPhase::Probing {
+                        probes_sent: 1,
+                        last_probe_ns: now_ns,
+                    };
+                    DpdAction::SendProbe
+                } else {
+                    DpdAction::Idle
+                }
+            }
+            DpdPhase::Probing {
+                probes_sent,
+                last_probe_ns,
+            } => {
+                if now_ns.saturating_sub(last_probe_ns) < self.cfg.probe_interval_ns {
+                    return DpdAction::Idle;
+                }
+                if probes_sent >= self.cfg.max_probes {
+                    self.phase = DpdPhase::Grace { since_ns: now_ns };
+                    DpdAction::PeerPresumedDown
+                } else {
+                    self.phase = DpdPhase::Probing {
+                        probes_sent: probes_sent + 1,
+                        last_probe_ns: now_ns,
+                    };
+                    DpdAction::SendProbe
+                }
+            }
+            DpdPhase::Grace { since_ns } => {
+                if now_ns.saturating_sub(since_ns) >= self.cfg.grace_period_ns {
+                    self.phase = DpdPhase::Dead;
+                    DpdAction::TearDown
+                } else {
+                    DpdAction::Idle
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DpdConfig {
+        DpdConfig {
+            idle_timeout_ns: 1_000,
+            probe_interval_ns: 500,
+            max_probes: 3,
+            grace_period_ns: 10_000,
+        }
+    }
+
+    #[test]
+    fn quiet_then_probe_sequence() {
+        let mut d = DpdDetector::new(cfg());
+        d.on_traffic(100);
+        assert_eq!(d.poll(500), DpdAction::Idle);
+        assert_eq!(d.poll(1_200), DpdAction::SendProbe); // probe 1
+        assert_eq!(d.poll(1_400), DpdAction::Idle); // too soon
+        assert_eq!(d.poll(1_800), DpdAction::SendProbe); // probe 2
+        assert_eq!(d.poll(2_400), DpdAction::SendProbe); // probe 3
+        assert_eq!(d.poll(3_000), DpdAction::PeerPresumedDown);
+        assert!(d.in_grace());
+        assert!(d.sas_alive(), "grace keeps SAs");
+    }
+
+    #[test]
+    fn traffic_during_probing_revives() {
+        let mut d = DpdDetector::new(cfg());
+        d.on_traffic(0);
+        assert_eq!(d.poll(1_100), DpdAction::SendProbe);
+        d.on_traffic(1_200); // probe answered
+        assert_eq!(d.poll(1_700), DpdAction::Idle);
+        assert!(d.sas_alive());
+        assert!(!d.in_grace());
+    }
+
+    #[test]
+    fn grace_expiry_tears_down() {
+        let mut d = DpdDetector::new(cfg());
+        d.on_traffic(0);
+        d.poll(1_100); // probe 1
+        d.poll(1_700); // probe 2
+        d.poll(2_300); // probe 3
+        assert_eq!(d.poll(2_900), DpdAction::PeerPresumedDown);
+        assert_eq!(d.poll(5_000), DpdAction::Idle); // in grace
+        assert_eq!(d.poll(13_000), DpdAction::TearDown);
+        assert!(!d.sas_alive());
+        // Dead is terminal.
+        assert_eq!(d.poll(20_000), DpdAction::TearDown);
+    }
+
+    #[test]
+    fn recovery_during_grace_revives() {
+        let mut d = DpdDetector::new(cfg());
+        d.on_traffic(0);
+        d.poll(1_100);
+        d.poll(1_700);
+        d.poll(2_300);
+        d.poll(2_900); // presumed down, grace starts
+        assert!(d.in_grace());
+        // §6: the reset host wakes up and its secured notify arrives
+        // within the grace period.
+        d.on_traffic(6_000);
+        assert!(d.sas_alive());
+        assert!(!d.in_grace());
+        assert_eq!(d.poll(6_500), DpdAction::Idle);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = DpdConfig::default();
+        assert!(c.grace_period_ns > c.idle_timeout_ns);
+        assert!(c.max_probes >= 1);
+    }
+}

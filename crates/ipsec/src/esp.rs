@@ -1,0 +1,537 @@
+//! The ESP datapath: SAVE/FETCH-protected sequence numbers under real
+//! authentication and (simulated) encryption.
+//!
+//! [`Outbound`] allocates sequence numbers through
+//! [`anti_replay::SfSender`] and seals packets; [`Inbound`] verifies the
+//! ICV **first** (RFC 2406 order: authentication before replay check),
+//! reconstructs the full 64-bit sequence number (ESN), consults the
+//! anti-replay window, then decrypts and delivers. Both endpoints survive
+//! resets through their stable stores and the `2K` leap.
+
+use bytes::Bytes;
+use reset_crypto::xor_keystream;
+use reset_stable::{SlotId, StableError, StableStore};
+use reset_wire::{infer_esn, open, seal};
+
+use anti_replay::{Phase, RxOutcome, SeqNum, SfReceiver, SfSender};
+
+use crate::sa::{CryptoSuite, SecurityAssociation};
+use crate::IpsecError;
+
+/// Sender half of one SA's datapath.
+///
+/// # Examples
+///
+/// ```
+/// use reset_ipsec::{Inbound, Outbound, RxResult, SaKeys, SecurityAssociation};
+/// use reset_stable::MemStable;
+///
+/// let keys = SaKeys::derive(b"shared", b"a->b");
+/// let sa = SecurityAssociation::new(7, keys);
+/// let mut tx = Outbound::new(sa.clone(), MemStable::new(), 25);
+/// let mut rx = Inbound::new(sa, MemStable::new(), 25, 64);
+///
+/// let wire = tx.protect(b"hello")?.expect("endpoint up");
+/// match rx.process(&wire)? {
+///     RxResult::Delivered { payload, seq } => {
+///         assert_eq!(&payload[..], b"hello");
+///         assert_eq!(seq.value(), 1);
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// # Ok::<(), reset_ipsec::IpsecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Outbound<S> {
+    sa: SecurityAssociation,
+    seq: SfSender<S>,
+}
+
+impl<S: StableStore> Outbound<S> {
+    /// An outbound endpoint persisting its counter in `store` every `k`
+    /// packets.
+    pub fn new(sa: SecurityAssociation, store: S, k: u64) -> Self {
+        let slot = SlotId::sender(sa.spi());
+        Outbound {
+            sa,
+            seq: SfSender::new(store, slot, k),
+        }
+    }
+
+    /// The SA this endpoint serves.
+    pub fn sa(&self) -> &SecurityAssociation {
+        &self.sa
+    }
+
+    /// The SAVE/FETCH sender (counters, phase, pending saves).
+    pub fn seq_state(&self) -> &SfSender<S> {
+        &self.seq
+    }
+
+    /// Protects one payload. Returns `None` while the endpoint is down or
+    /// waking (nothing can be sent), `Some(wire)` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Lifetime exhaustion, sequence overflow, or store failures.
+    pub fn protect(&mut self, payload: &[u8]) -> Result<Option<Bytes>, IpsecError> {
+        self.sa.check_lifetime()?;
+        let Some(seq) = self.seq.send_next()? else {
+            return Ok(None);
+        };
+        let mut body = payload.to_vec();
+        if self.sa.suite() == CryptoSuite::HmacSha256WithKeystream {
+            xor_keystream(&self.sa.keys().enc, seq.value(), &mut body);
+        }
+        let wire = seal(
+            self.sa.spi(),
+            seq.value(),
+            &body,
+            &self.sa.keys().auth,
+            self.sa.esn(),
+        )?;
+        self.sa.account(payload.len());
+        Ok(Some(wire))
+    }
+
+    /// Background SAVE completion (simulator-driven).
+    ///
+    /// # Errors
+    ///
+    /// Store failures (retryable).
+    pub fn save_completed(&mut self) -> Result<(), StableError> {
+        self.seq.save_completed().map(|_| ())
+    }
+
+    /// Reset: volatile counter lost.
+    pub fn reset(&mut self) {
+        self.seq.reset();
+    }
+
+    /// Wake up: FETCH + leap `2K` + synchronous SAVE. Returns the resumed
+    /// sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn wake_up(&mut self) -> Result<SeqNum, StableError> {
+        self.seq.wake_up()
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.seq.phase()
+    }
+}
+
+/// What happened to one inbound packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxResult {
+    /// Authenticated, fresh, decrypted: handed to the application.
+    Delivered {
+        /// The decrypted payload.
+        payload: Bytes,
+        /// The full (ESN-reconstructed) sequence number.
+        seq: SeqNum,
+    },
+    /// Authenticated but rejected by the anti-replay window.
+    AntiReplay {
+        /// Stale or duplicate.
+        outcome: RxOutcome,
+        /// The rejected sequence number.
+        seq: SeqNum,
+    },
+    /// Endpoint is waking; the packet is buffered and will be resolved by
+    /// [`Inbound::finish_wakeup`].
+    Buffered,
+    /// Endpoint is down; the packet evaporates.
+    DroppedDown,
+}
+
+impl RxResult {
+    /// True iff the packet reached the application.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, RxResult::Delivered { .. })
+    }
+}
+
+/// Receiver half of one SA's datapath.
+#[derive(Debug, Clone)]
+pub struct Inbound<S> {
+    sa: SecurityAssociation,
+    rx: SfReceiver<S>,
+    /// Wire packets that arrived during a wake-up (the §4 buffer, held at
+    /// the packet level so payloads survive to delivery).
+    pending: Vec<Bytes>,
+    /// Authentication failures seen (forgeries/corruption).
+    auth_failures: u64,
+}
+
+impl<S: StableStore> Inbound<S> {
+    /// An inbound endpoint persisting its right edge in `store` every `k`
+    /// advances, with window size `w`.
+    pub fn new(sa: SecurityAssociation, store: S, k: u64, w: u64) -> Self {
+        let slot = SlotId::receiver(sa.spi());
+        Inbound {
+            sa,
+            rx: SfReceiver::new(store, slot, k, w),
+            pending: Vec::new(),
+            auth_failures: 0,
+        }
+    }
+
+    /// The SA this endpoint serves.
+    pub fn sa(&self) -> &SecurityAssociation {
+        &self.sa
+    }
+
+    /// The SAVE/FETCH receiver (window, phase, stats).
+    pub fn seq_state(&self) -> &SfReceiver<S> {
+        &self.rx
+    }
+
+    /// Authentication failures observed so far.
+    pub fn auth_failures(&self) -> u64 {
+        self.auth_failures
+    }
+
+    /// Processes one wire packet: authenticate → anti-replay → decrypt.
+    ///
+    /// # Errors
+    ///
+    /// * [`IpsecError::UnknownSa`] for a foreign SPI.
+    /// * [`IpsecError::Wire`] for framing/ICV failures (also counted in
+    ///   [`Inbound::auth_failures`]).
+    pub fn process(&mut self, wire: &[u8]) -> Result<RxResult, IpsecError> {
+        match self.rx.phase() {
+            Phase::Down => return Ok(RxResult::DroppedDown),
+            Phase::Waking => {
+                self.pending.push(Bytes::copy_from_slice(wire));
+                return Ok(RxResult::Buffered);
+            }
+            Phase::Running => {}
+        }
+        self.process_running(wire)
+    }
+
+    fn process_running(&mut self, wire: &[u8]) -> Result<RxResult, IpsecError> {
+        // Pre-parse SPI and low sequence bits (unauthenticated so far).
+        if wire.len() < 8 {
+            self.auth_failures += 1;
+            return Err(IpsecError::Wire(reset_wire::WireError::Truncated {
+                needed: 8,
+                got: wire.len(),
+            }));
+        }
+        let spi = u32::from_be_bytes(wire[0..4].try_into().expect("fixed"));
+        if spi != self.sa.spi() {
+            return Err(IpsecError::UnknownSa { spi });
+        }
+        let seq_lo = u32::from_be_bytes(wire[4..8].try_into().expect("fixed"));
+        let (seq64, esn_hi) = if self.sa.esn() {
+            let inferred = infer_esn(seq_lo, self.rx.right_edge().value());
+            (inferred, Some((inferred >> 32) as u32))
+        } else {
+            (seq_lo as u64, None)
+        };
+        // 1. Authenticate (a wrong ESN guess fails here too).
+        let pkt = match open(wire, &self.sa.keys().auth, esn_hi) {
+            Ok(p) => p,
+            Err(e) => {
+                self.auth_failures += 1;
+                return Err(e.into());
+            }
+        };
+        // 2. Anti-replay window.
+        let seq = SeqNum::new(seq64);
+        let outcome = self.rx.receive(seq)?;
+        match outcome {
+            RxOutcome::Delivered => {
+                // 3. Decrypt and deliver.
+                let mut body = pkt.payload.to_vec();
+                if self.sa.suite() == CryptoSuite::HmacSha256WithKeystream {
+                    xor_keystream(&self.sa.keys().enc, seq.value(), &mut body);
+                }
+                self.sa.account(body.len());
+                Ok(RxResult::Delivered {
+                    payload: Bytes::from(body),
+                    seq,
+                })
+            }
+            RxOutcome::DiscardedStale | RxOutcome::DiscardedDuplicate => {
+                Ok(RxResult::AntiReplay { outcome, seq })
+            }
+            RxOutcome::Buffered | RxOutcome::DroppedDown => {
+                unreachable!("phase checked before classification")
+            }
+        }
+    }
+
+    /// Background SAVE completion.
+    ///
+    /// # Errors
+    ///
+    /// Store failures (retryable).
+    pub fn save_completed(&mut self) -> Result<(), StableError> {
+        self.rx.save_completed().map(|_| ())
+    }
+
+    /// Reset: the window and any buffered packets are lost.
+    pub fn reset(&mut self) {
+        self.rx.reset();
+        self.pending.clear();
+    }
+
+    /// First half of wake-up (FETCH + leap + issue synchronous SAVE);
+    /// packets arriving until [`finish_wakeup`](Self::finish_wakeup) are
+    /// buffered.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn begin_wakeup(&mut self) -> Result<SeqNum, StableError> {
+        self.rx.begin_wakeup()
+    }
+
+    /// Second half of wake-up: rebuild the window at the leaped edge and
+    /// classify every buffered packet in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Store failures leave the endpoint `Waking` (retry); wire errors on
+    /// buffered packets are reported per-packet inside the result vector
+    /// as dropped (auth failures are counted).
+    pub fn finish_wakeup(&mut self) -> Result<Vec<RxResult>, StableError> {
+        self.rx.finish_wakeup()?;
+        let pending = std::mem::take(&mut self.pending);
+        let results = pending
+            .into_iter()
+            .map(|wire| match self.process_running(&wire) {
+                Ok(r) => r,
+                Err(_) => RxResult::DroppedDown, // unauthenticated buffered junk
+            })
+            .collect();
+        Ok(results)
+    }
+
+    /// Atomic wake-up; returns classified buffered packets (normally
+    /// empty since nothing arrived in between).
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn wake_up(&mut self) -> Result<Vec<RxResult>, StableError> {
+        self.begin_wakeup()?;
+        self.finish_wakeup()
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.rx.phase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::SaKeys;
+    use reset_stable::MemStable;
+
+    fn endpoints(k: u64, w: u64) -> (Outbound<MemStable>, Inbound<MemStable>) {
+        let keys = SaKeys::derive(b"shared-secret", b"a->b");
+        let sa = SecurityAssociation::new(0x55, keys);
+        (
+            Outbound::new(sa.clone(), MemStable::new(), k),
+            Inbound::new(sa, MemStable::new(), k, w),
+        )
+    }
+
+    #[test]
+    fn end_to_end_traffic() {
+        let (mut tx, mut rx) = endpoints(25, 64);
+        for i in 0..100u64 {
+            let payload = format!("packet {i}");
+            let wire = tx.protect(payload.as_bytes()).unwrap().unwrap();
+            match rx.process(&wire).unwrap() {
+                RxResult::Delivered { payload: got, seq } => {
+                    assert_eq!(got, payload.as_bytes());
+                    assert_eq!(seq.value(), i + 1);
+                }
+                other => panic!("packet {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_is_actually_encrypted() {
+        let (mut tx, _) = endpoints(25, 64);
+        let wire = tx.protect(b"supersecret").unwrap().unwrap();
+        let haystack = wire.to_vec();
+        let needle = b"supersecret";
+        let found = haystack
+            .windows(needle.len())
+            .any(|w| w == needle);
+        assert!(!found, "plaintext leaked onto the wire");
+    }
+
+    #[test]
+    fn auth_only_suite_skips_encryption() {
+        let keys = SaKeys::derive(b"s", b"d");
+        let sa = SecurityAssociation::new(1, keys).with_suite(CryptoSuite::HmacSha256AuthOnly);
+        let mut tx = Outbound::new(sa.clone(), MemStable::new(), 25);
+        let mut rx = Inbound::new(sa, MemStable::new(), 25, 64);
+        let wire = tx.protect(b"visible").unwrap().unwrap();
+        assert!(wire.windows(7).any(|w| w == b"visible"));
+        assert!(rx.process(&wire).unwrap().is_delivered());
+    }
+
+    #[test]
+    fn replayed_packet_rejected_by_window_not_auth() {
+        let (mut tx, mut rx) = endpoints(25, 64);
+        let wire = tx.protect(b"x").unwrap().unwrap();
+        assert!(rx.process(&wire).unwrap().is_delivered());
+        match rx.process(&wire).unwrap() {
+            RxResult::AntiReplay { outcome, seq } => {
+                assert_eq!(outcome, RxOutcome::DiscardedDuplicate);
+                assert_eq!(seq.value(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(rx.auth_failures(), 0, "replay authenticates fine");
+    }
+
+    #[test]
+    fn forged_packet_rejected_by_auth() {
+        let (mut tx, mut rx) = endpoints(25, 64);
+        let wire = tx.protect(b"x").unwrap().unwrap();
+        let mut forged = wire.to_vec();
+        let n = forged.len();
+        forged[n - 1] ^= 0xFF;
+        assert!(rx.process(&forged).is_err());
+        assert_eq!(rx.auth_failures(), 1);
+    }
+
+    #[test]
+    fn foreign_spi_rejected() {
+        let (mut tx, _) = endpoints(25, 64);
+        let keys = SaKeys::derive(b"shared-secret", b"a->b");
+        let other_sa = SecurityAssociation::new(0x99, keys);
+        let mut other_rx = Inbound::new(other_sa, MemStable::new(), 25, 64);
+        let wire = tx.protect(b"x").unwrap().unwrap();
+        assert!(matches!(
+            other_rx.process(&wire),
+            Err(IpsecError::UnknownSa { spi: 0x55 })
+        ));
+    }
+
+    #[test]
+    fn receiver_reset_then_wakeup_blocks_all_replays() {
+        let (mut tx, mut rx) = endpoints(10, 64);
+        let mut recorded = Vec::new();
+        for _ in 0..30 {
+            let wire = tx.protect(b"data").unwrap().unwrap();
+            recorded.push(wire.clone());
+            rx.process(&wire).unwrap();
+        }
+        // Let the receiver's background save land, then crash it.
+        rx.save_completed().unwrap();
+        rx.reset();
+        assert_eq!(rx.process(&recorded[0]).unwrap(), RxResult::DroppedDown);
+        rx.wake_up().unwrap();
+        // Full history replay: nothing delivered.
+        for wire in &recorded {
+            let r = rx.process(wire).unwrap();
+            assert!(!r.is_delivered(), "replay accepted: {r:?}");
+        }
+        // Fresh traffic beyond the leap flows once the sender catches up.
+        let edge = rx.seq_state().right_edge().value();
+        for _ in 0..(2 * 10 + 5) {
+            let wire = tx.protect(b"new").unwrap().unwrap();
+            let _ = rx.process(&wire).unwrap();
+        }
+        assert!(
+            rx.seq_state().right_edge().value() > edge,
+            "traffic resumed past the leap"
+        );
+    }
+
+    #[test]
+    fn sender_reset_resumes_fresh_without_discards() {
+        let (mut tx, mut rx) = endpoints(10, 128);
+        let mut delivered = 0u64;
+        let mut sent = 0u64;
+        for round in 0..100u64 {
+            if round == 50 {
+                tx.save_completed().unwrap();
+                tx.reset();
+                assert!(tx.protect(b"down").unwrap().is_none());
+                tx.wake_up().unwrap();
+            }
+            if let Some(wire) = tx.protect(b"payload").unwrap() {
+                sent += 1;
+                if rx.process(&wire).unwrap().is_delivered() {
+                    delivered += 1;
+                }
+            }
+        }
+        assert_eq!(sent, delivered, "condition (i): no fresh loss");
+    }
+
+    #[test]
+    fn buffered_packets_resolved_after_wakeup() {
+        let (mut tx, mut rx) = endpoints(5, 64);
+        for _ in 0..12 {
+            let wire = tx.protect(b"pre").unwrap().unwrap();
+            rx.process(&wire).unwrap();
+        }
+        rx.save_completed().unwrap();
+        rx.reset();
+        rx.begin_wakeup().unwrap();
+        // Old replay + genuinely fresh packet arrive during the wake-up
+        // SAVE. (Sender counter is ahead of the leaped edge? Ensure fresh:
+        // push sender far forward first.)
+        for _ in 0..30 {
+            tx.protect(b"skip").unwrap();
+        }
+        let fresh = tx.protect(b"fresh").unwrap().unwrap();
+        assert_eq!(rx.process(&fresh).unwrap(), RxResult::Buffered);
+        let results = rx.finish_wakeup().unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_delivered(), "{results:?}");
+    }
+
+    #[test]
+    fn esn_stream_crosses_32bit_boundary() {
+        // Start the sender near the 2^32 boundary by leaping it there:
+        // simulate with a store that already holds a huge counter.
+        use reset_stable::{SlotId, StableStore};
+        let keys = SaKeys::derive(b"s", b"d");
+        let sa = SecurityAssociation::new(3, keys);
+        let mut store = MemStable::new();
+        let start = (1u64 << 32) - 5;
+        store.store(SlotId::sender(3), start).unwrap();
+        let mut tx = Outbound::new(sa.clone(), store, 10);
+        // Wake from "reset" to adopt the stored counter (+2K leap).
+        tx.reset();
+        let resumed = tx.wake_up().unwrap();
+        assert!(resumed.value() > u32::MAX as u64 - 30);
+
+        // The receiver's last durable edge trails the sender's by one
+        // save interval (2K = 20), so its leap lands exactly at `start`
+        // and the sender's resumed counter is strictly beyond it.
+        let mut rx_store = MemStable::new();
+        rx_store
+            .store(SlotId::receiver(3), start - 20)
+            .unwrap();
+        let mut rx = Inbound::new(sa, rx_store, 10, 64);
+        rx.reset();
+        rx.wake_up().unwrap();
+
+        for i in 0..50u64 {
+            let wire = tx.protect(format!("p{i}").as_bytes()).unwrap().unwrap();
+            let r = rx.process(&wire).unwrap();
+            assert!(r.is_delivered(), "packet {i} across boundary: {r:?}");
+        }
+        assert!(rx.seq_state().right_edge().value() > u32::MAX as u64);
+    }
+}

@@ -1,0 +1,241 @@
+//! Small online statistics helpers used by experiments and monitors.
+
+/// Online summary of a stream of `u64` samples (count / min / max / mean).
+///
+/// # Examples
+///
+/// ```
+/// use reset_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [2u64, 4, 6] {
+///     s.add(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.min(), Some(2));
+/// assert_eq!(s.max(), Some(6));
+/// assert!((s.mean() - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl FromIterator<u64> for Summary {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+/// Fixed-bucket histogram over `u64` samples, used for gap and latency
+/// distributions in the experiment reports.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` buckets of `bucket_width` each;
+    /// samples beyond the last bucket land in an overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width == 0` or `buckets == 0`.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0 && buckets > 0, "degenerate histogram");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: u64) {
+        self.summary.add(v);
+        let idx = (v / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `i` (covering `[i*w, (i+1)*w)`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Samples that fell beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The embedded summary statistics.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bucket midpoints.
+    /// Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.summary.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((n as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(i as u64 * self.bucket_width + self.bucket_width / 2);
+            }
+        }
+        self.summary.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let s: Summary = [5u64, 1, 9, 5].into_iter().collect();
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: Summary = [1u64, 2].into_iter().collect();
+        let b: Summary = [10u64].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(10));
+        assert_eq!(a.min(), Some(1));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Summary = [4u64].into_iter().collect();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Some(4));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 3); // [0,10) [10,20) [20,30)
+        for v in [0u64, 5, 10, 29, 30, 1000] {
+            h.add(v);
+        }
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100u64 {
+            h.add(v);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((45..=55).contains(&median), "median={median}");
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert!(h.quantile(1.0).unwrap() >= 99);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_none() {
+        let h = Histogram::new(1, 1);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_width_panics() {
+        let _ = Histogram::new(0, 1);
+    }
+}

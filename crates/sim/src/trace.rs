@@ -1,0 +1,177 @@
+//! Bounded execution trace for debugging simulated runs.
+//!
+//! A [`TraceLog`] records `(time, tag, detail)` rows in a ring buffer so
+//! long experiments keep only the most recent history. Traces are for
+//! humans; assertions belong in the convergence monitors, not here.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One recorded trace row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time at which the event was recorded.
+    pub at: SimTime,
+    /// Short machine-friendly tag (e.g. `"send"`, `"reset"`).
+    pub tag: &'static str,
+    /// Free-form human detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<10} {}", self.at.to_string(), self.tag, self.detail)
+    }
+}
+
+/// Ring-buffered trace log.
+///
+/// # Examples
+///
+/// ```
+/// use reset_sim::{SimTime, TraceLog};
+///
+/// let mut log = TraceLog::with_capacity(2);
+/// log.record(SimTime::from_nanos(1), "send", "msg(1)");
+/// log.record(SimTime::from_nanos(2), "recv", "msg(1)");
+/// log.record(SimTime::from_nanos(3), "send", "msg(2)");
+/// assert_eq!(log.len(), 2); // the first entry was evicted
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// A log retaining at most `capacity` recent entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled log: `record` becomes a no-op. Useful for benches.
+    pub fn disabled() -> Self {
+        TraceLog {
+            entries: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+            enabled: false,
+        }
+    }
+
+    /// Records one row (evicting the oldest if at capacity).
+    pub fn record(&mut self, at: SimTime, tag: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            tag,
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Entries whose tag equals `tag`.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Renders the retained trace as one line per entry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier entries dropped ...\n", self.dropped));
+        }
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut log = TraceLog::with_capacity(10);
+        log.record(SimTime::from_nanos(1), "a", "one");
+        log.record(SimTime::from_nanos(2), "b", "two");
+        let tags: Vec<_> = log.iter().map(|e| e.tag).collect();
+        assert_eq!(tags, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut log = TraceLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(SimTime::from_nanos(i), "t", format!("{i}"));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let details: Vec<_> = log.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["3", "4"]);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(SimTime::ZERO, "x", "ignored");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn with_tag_filters() {
+        let mut log = TraceLog::with_capacity(8);
+        log.record(SimTime::ZERO, "send", "1");
+        log.record(SimTime::ZERO, "recv", "1");
+        log.record(SimTime::ZERO, "send", "2");
+        assert_eq!(log.with_tag("send").count(), 2);
+        assert_eq!(log.with_tag("recv").count(), 1);
+    }
+
+    #[test]
+    fn render_mentions_dropped() {
+        let mut log = TraceLog::with_capacity(1);
+        log.record(SimTime::ZERO, "a", "x");
+        log.record(SimTime::ZERO, "b", "y");
+        let s = log.render();
+        assert!(s.contains("1 earlier entries dropped"));
+        assert!(s.contains('y'));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for persistent-memory operations.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors returned by [`StableStore`](crate::StableStore) operations.
+#[derive(Debug)]
+pub enum StableError {
+    /// The underlying device rejected the operation (injected or real I/O).
+    Io(io::Error),
+    /// A stored record failed its integrity check (torn or corrupted write).
+    Corrupt {
+        /// Which slot held the bad record.
+        slot: crate::SlotId,
+        /// What the integrity check found.
+        reason: &'static str,
+    },
+    /// A fault injector deliberately failed the operation.
+    Injected(&'static str),
+}
+
+impl fmt::Display for StableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StableError::Io(e) => write!(f, "stable store i/o failure: {e}"),
+            StableError::Corrupt { slot, reason } => {
+                write!(f, "corrupt record in slot {slot}: {reason}")
+            }
+            StableError::Injected(what) => write!(f, "injected fault: {what}"),
+        }
+    }
+}
+
+impl Error for StableError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StableError {
+    fn from(e: io::Error) -> Self {
+        StableError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlotId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StableError::Corrupt {
+            slot: SlotId::raw(3),
+            reason: "bad checksum",
+        };
+        let s = e.to_string();
+        assert!(s.contains("corrupt"));
+        assert!(s.contains("bad checksum"));
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        let e = StableError::from(io::Error::other("disk on fire"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StableError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! Fault-injecting wrapper for stress-testing recovery paths.
+//!
+//! Wraps any [`StableStore`] and fails operations according to a script:
+//! fail the next N stores, fail every k-th store, or corrupt reads. The
+//! convergence tests use this to check that a failing SAVE never lets the
+//! protocol accept a replay — it may only delay convergence.
+
+use std::collections::VecDeque;
+
+use crate::{SlotId, StableError, StableStore};
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The next store fails with [`StableError::Injected`].
+    FailStore,
+    /// The next load fails as corrupt.
+    CorruptLoad,
+    /// The next operation succeeds normally.
+    Pass,
+}
+
+/// A [`StableStore`] decorator that injects scripted faults.
+///
+/// # Examples
+///
+/// ```
+/// use reset_stable::{Fault, FaultyStable, MemStable, SlotId, StableStore};
+///
+/// let mut s = FaultyStable::new(MemStable::new());
+/// s.push_fault(Fault::FailStore);
+/// assert!(s.store(SlotId::raw(1), 5).is_err()); // scripted failure
+/// assert!(s.store(SlotId::raw(1), 5).is_ok());  // script exhausted
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyStable<S> {
+    inner: S,
+    store_script: VecDeque<Fault>,
+    load_script: std::cell::RefCell<VecDeque<Fault>>,
+    injected_failures: u64,
+}
+
+impl<S: StableStore> FaultyStable<S> {
+    /// Wraps `inner` with an empty fault script (fully transparent).
+    pub fn new(inner: S) -> Self {
+        FaultyStable {
+            inner,
+            store_script: VecDeque::new(),
+            load_script: std::cell::RefCell::new(VecDeque::new()),
+            injected_failures: 0,
+        }
+    }
+
+    /// Appends a fault to the relevant script.
+    pub fn push_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::FailStore | Fault::Pass => self.store_script.push_back(fault),
+            Fault::CorruptLoad => self.load_script.borrow_mut().push_back(fault),
+        }
+    }
+
+    /// Schedules the next `n` stores to fail.
+    pub fn fail_next_stores(&mut self, n: usize) {
+        for _ in 0..n {
+            self.push_fault(Fault::FailStore);
+        }
+    }
+
+    /// Number of injected failures so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected_failures
+    }
+
+    /// Shared access to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps, returning the underlying store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: StableStore> StableStore for FaultyStable<S> {
+    fn store(&mut self, slot: SlotId, value: u64) -> Result<(), StableError> {
+        match self.store_script.pop_front() {
+            Some(Fault::FailStore) => {
+                self.injected_failures += 1;
+                Err(StableError::Injected("store failed by script"))
+            }
+            _ => self.inner.store(slot, value),
+        }
+    }
+
+    fn load(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
+        match self.load_script.borrow_mut().pop_front() {
+            Some(Fault::CorruptLoad) => Err(StableError::Corrupt {
+                slot,
+                reason: "corrupted by script",
+            }),
+            _ => self.inner.load(slot),
+        }
+    }
+
+    fn erase(&mut self, slot: SlotId) -> Result<(), StableError> {
+        self.inner.erase(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStable;
+
+    #[test]
+    fn transparent_without_script() {
+        let mut s = FaultyStable::new(MemStable::new());
+        s.store(SlotId::raw(1), 9).unwrap();
+        assert_eq!(s.load(SlotId::raw(1)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn scripted_store_failure_preserves_old_value() {
+        let mut s = FaultyStable::new(MemStable::new());
+        s.store(SlotId::raw(1), 10).unwrap();
+        s.push_fault(Fault::FailStore);
+        assert!(s.store(SlotId::raw(1), 20).is_err());
+        assert_eq!(
+            s.load(SlotId::raw(1)).unwrap(),
+            Some(10),
+            "failed store must not clobber"
+        );
+        assert_eq!(s.injected_failures(), 1);
+    }
+
+    #[test]
+    fn pass_entries_let_one_through() {
+        let mut s = FaultyStable::new(MemStable::new());
+        s.push_fault(Fault::Pass);
+        s.push_fault(Fault::FailStore);
+        s.store(SlotId::raw(1), 1).unwrap();
+        assert!(s.store(SlotId::raw(1), 2).is_err());
+    }
+
+    #[test]
+    fn corrupt_load_fires_once() {
+        let mut s = FaultyStable::new(MemStable::new());
+        s.store(SlotId::raw(2), 5).unwrap();
+        s.push_fault(Fault::CorruptLoad);
+        assert!(matches!(
+            s.load(SlotId::raw(2)),
+            Err(StableError::Corrupt { .. })
+        ));
+        assert_eq!(s.load(SlotId::raw(2)).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn fail_next_stores_counts() {
+        let mut s = FaultyStable::new(MemStable::new());
+        s.fail_next_stores(3);
+        for _ in 0..3 {
+            assert!(s.store(SlotId::raw(1), 0).is_err());
+        }
+        assert!(s.store(SlotId::raw(1), 0).is_ok());
+    }
+
+    #[test]
+    fn works_under_background_saver() {
+        use crate::BackgroundSaver;
+        let mut inner = FaultyStable::new(MemStable::new());
+        inner.push_fault(Fault::FailStore);
+        let mut saver = BackgroundSaver::new(inner);
+        saver.issue(SlotId::raw(1), 42);
+        // Completion hits the scripted failure; pending is retained.
+        assert!(saver.complete().is_err());
+        assert!(saver.pending().is_some(), "retry remains possible");
+        // Retry succeeds.
+        assert!(saver.complete().unwrap().is_some());
+        assert_eq!(saver.fetch(SlotId::raw(1)).unwrap(), Some(42));
+    }
+}

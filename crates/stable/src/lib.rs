@@ -1,0 +1,55 @@
+//! # reset-stable — the paper's persistent memory (SAVE / FETCH substrate)
+//!
+//! *Convergence of IPsec in Presence of Resets* rescues an IPsec security
+//! association across resets by periodically **SAVE**-ing the current
+//! sequence number to persistent memory and **FETCH**-ing it on wake-up.
+//! This crate supplies that persistent memory:
+//!
+//! * [`StableStore`] — the trait: durable `u64` counters keyed by
+//!   [`SlotId`] (one per SA direction).
+//! * [`MemStable`] — simulation store; survives resets because the harness
+//!   owns it.
+//! * [`FileStable`] — real write-to-file SAVE with atomic rename and
+//!   checksummed records (the paper suggests exactly "write-to-file and
+//!   read-from-file operations in an operating system").
+//! * [`BackgroundSaver`] — models the in-flight SAVE whose completion
+//!   races with resets; this race is why the paper leaps by `2K`.
+//! * [`SaveLatencyModel`] — how long a SAVE takes
+//!   ([`SaveLatencyModel::paper_disk`] is the paper's 100 µs device).
+//! * [`FaultyStable`] — scripted fault injection for recovery tests.
+//!
+//! # Examples
+//!
+//! The Fig 1 race in five lines — a reset during an in-flight SAVE
+//! recovers the *previous* saved counter:
+//!
+//! ```
+//! use reset_stable::{BackgroundSaver, MemStable, SlotId};
+//!
+//! let slot = SlotId::sender(0x22);
+//! let mut disk = BackgroundSaver::new(MemStable::new());
+//! disk.save_now(slot, 100)?;   // SAVE(100) completed earlier
+//! disk.issue(slot, 125);       // SAVE(125) still in flight...
+//! disk.crash();                // ...when the reset strikes
+//! assert_eq!(disk.fetch(slot)?, Some(100)); // FETCH sees the stale value
+//! # Ok::<(), reset_stable::StableError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod faulty;
+mod file;
+mod mem;
+mod record;
+mod saver;
+mod store;
+
+pub use error::StableError;
+pub use faulty::{Fault, FaultyStable};
+pub use file::{Durability, FileStable};
+pub use mem::MemStable;
+pub use record::{decode_record, encode_record, RECORD_LEN};
+pub use saver::{BackgroundSaver, PendingSave, SaveLatencyModel};
+pub use store::{SlotId, StableStore};

@@ -1,0 +1,137 @@
+//! In-memory stable store with crash semantics by construction.
+//!
+//! In a simulation the "persistent memory" is simply state owned by the
+//! *environment* rather than by the process: when a process is reset, its
+//! volatile protocol state is dropped and rebuilt, while the environment's
+//! [`MemStable`] lives on — exactly the paper's disk.
+
+use std::collections::HashMap;
+
+use crate::{SlotId, StableError, StableStore};
+
+/// HashMap-backed stable store. Survives simulated resets because the
+/// harness (not the protocol process) owns it.
+///
+/// # Examples
+///
+/// ```
+/// use reset_stable::{MemStable, SlotId, StableStore};
+///
+/// let mut disk = MemStable::new();
+/// disk.store(SlotId::sender(1), 500)?;
+/// // ... the process is reset; its volatile state is gone ...
+/// assert_eq!(disk.load(SlotId::sender(1))?, Some(500)); // FETCH
+/// # Ok::<(), reset_stable::StableError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemStable {
+    slots: HashMap<SlotId, u64>,
+    stores: u64,
+    loads: std::cell::Cell<u64>,
+}
+
+impl MemStable {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStable::default()
+    }
+
+    /// Total successful [`StableStore::store`] calls (the experiment
+    /// harness uses this to measure SAVE frequency).
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+
+    /// Total [`StableStore::load`] calls.
+    pub fn load_count(&self) -> u64 {
+        self.loads.get()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over `(slot, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, u64)> + '_ {
+        self.slots.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl StableStore for MemStable {
+    fn store(&mut self, slot: SlotId, value: u64) -> Result<(), StableError> {
+        self.slots.insert(slot, value);
+        self.stores += 1;
+        Ok(())
+    }
+
+    fn load(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
+        self.loads.set(self.loads.get() + 1);
+        Ok(self.slots.get(&slot).copied())
+    }
+
+    fn erase(&mut self, slot: SlotId) -> Result<(), StableError> {
+        self.slots.remove(&slot);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut m = MemStable::new();
+        m.store(SlotId::raw(7), 42).unwrap();
+        assert_eq!(m.load(SlotId::raw(7)).unwrap(), Some(42));
+    }
+
+    #[test]
+    fn load_of_unwritten_slot_is_none() {
+        let m = MemStable::new();
+        assert_eq!(m.load(SlotId::raw(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let mut m = MemStable::new();
+        m.store(SlotId::raw(1), 10).unwrap();
+        m.store(SlotId::raw(1), 20).unwrap();
+        assert_eq!(m.load(SlotId::raw(1)).unwrap(), Some(20));
+    }
+
+    #[test]
+    fn erase_removes_value() {
+        let mut m = MemStable::new();
+        m.store(SlotId::raw(1), 10).unwrap();
+        m.erase(SlotId::raw(1)).unwrap();
+        assert_eq!(m.load(SlotId::raw(1)).unwrap(), None);
+        m.erase(SlotId::raw(1)).unwrap(); // absent erase is a no-op
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut m = MemStable::new();
+        m.store(SlotId::sender(5), 1).unwrap();
+        m.store(SlotId::receiver(5), 2).unwrap();
+        assert_eq!(m.load(SlotId::sender(5)).unwrap(), Some(1));
+        assert_eq!(m.load(SlotId::receiver(5)).unwrap(), Some(2));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn counters_count() {
+        let mut m = MemStable::new();
+        m.store(SlotId::raw(1), 1).unwrap();
+        m.store(SlotId::raw(1), 2).unwrap();
+        let _ = m.load(SlotId::raw(1));
+        assert_eq!(m.store_count(), 2);
+        assert_eq!(m.load_count(), 1);
+    }
+}

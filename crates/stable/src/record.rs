@@ -1,0 +1,132 @@
+//! On-disk record format with torn-write detection.
+//!
+//! A SAVE interrupted by power loss must never yield a *wrong* counter on
+//! FETCH — a silently corrupted value could defeat the paper's leap bound.
+//! Records therefore carry a magic, the slot id, the value, and an FNV-1a
+//! checksum; a record that fails any check is reported as
+//! [`StableError::Corrupt`] rather than returned.
+
+use crate::{SlotId, StableError};
+
+/// Serialized length of one record in bytes.
+pub const RECORD_LEN: usize = 4 + 8 + 8 + 8;
+
+const MAGIC: [u8; 4] = *b"SVF1";
+
+/// 64-bit FNV-1a over `data`.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes `(slot, value)` as a checksummed record.
+pub fn encode_record(slot: SlotId, value: u64) -> [u8; RECORD_LEN] {
+    let mut out = [0u8; RECORD_LEN];
+    out[..4].copy_from_slice(&MAGIC);
+    out[4..12].copy_from_slice(&slot.as_u64().to_be_bytes());
+    out[12..20].copy_from_slice(&value.to_be_bytes());
+    let sum = fnv1a(&out[..20]);
+    out[20..28].copy_from_slice(&sum.to_be_bytes());
+    out
+}
+
+/// Decodes and verifies a record, returning its value.
+///
+/// # Errors
+///
+/// Returns [`StableError::Corrupt`] when the buffer is short, the magic is
+/// wrong, the slot doesn't match, or the checksum fails.
+pub fn decode_record(slot: SlotId, buf: &[u8]) -> Result<u64, StableError> {
+    if buf.len() < RECORD_LEN {
+        return Err(StableError::Corrupt {
+            slot,
+            reason: "record truncated",
+        });
+    }
+    let buf = &buf[..RECORD_LEN];
+    if buf[..4] != MAGIC {
+        return Err(StableError::Corrupt {
+            slot,
+            reason: "bad magic",
+        });
+    }
+    let stored_slot = u64::from_be_bytes(buf[4..12].try_into().expect("fixed slice"));
+    if stored_slot != slot.as_u64() {
+        return Err(StableError::Corrupt {
+            slot,
+            reason: "slot mismatch",
+        });
+    }
+    let value = u64::from_be_bytes(buf[12..20].try_into().expect("fixed slice"));
+    let sum = u64::from_be_bytes(buf[20..28].try_into().expect("fixed slice"));
+    if sum != fnv1a(&buf[..20]) {
+        return Err(StableError::Corrupt {
+            slot,
+            reason: "bad checksum",
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let slot = SlotId::receiver(0xABCD);
+        for v in [0u64, 1, u32::MAX as u64, u64::MAX] {
+            let rec = encode_record(slot, v);
+            assert_eq!(decode_record(slot, &rec).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let rec = encode_record(SlotId::raw(1), 5);
+        let err = decode_record(SlotId::raw(1), &rec[..10]).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut rec = encode_record(SlotId::raw(1), 5);
+        rec[0] ^= 0xFF;
+        assert!(decode_record(SlotId::raw(1), &rec).is_err());
+    }
+
+    #[test]
+    fn slot_mismatch_rejected() {
+        let rec = encode_record(SlotId::raw(1), 5);
+        let err = decode_record(SlotId::raw(2), &rec).unwrap_err();
+        assert!(err.to_string().contains("slot mismatch"));
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let slot = SlotId::raw(9);
+        let rec = encode_record(slot, 123_456_789);
+        for byte in 0..RECORD_LEN {
+            for bit in 0..8 {
+                let mut bad = rec;
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_record(slot, &bad).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a reference: empty input hashes to the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // "a" reference vector.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

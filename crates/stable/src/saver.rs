@@ -1,0 +1,330 @@
+//! Background SAVE semantics — the race at the heart of the paper.
+//!
+//! Section 4: *"the execution of SAVE takes some time, during which the
+//! computer can still send (or receive) messages"*. A SAVE issued at
+//! counter value `c` only becomes durable when the write completes; a
+//! reset in between recovers the **previous** saved value. That staleness
+//! is what forces the `2K` leap (Figs 1 and 2).
+//!
+//! [`BackgroundSaver`] models this honestly: [`issue`] records a pending
+//! write (volatile!), [`complete`] commits it to the wrapped
+//! [`StableStore`], and [`crash`] — a reset — discards whatever was in
+//! flight. The completion *instant* is chosen by the driver (simulator or
+//! real clock) using a [`SaveLatencyModel`].
+//!
+//! [`issue`]: BackgroundSaver::issue
+//! [`complete`]: BackgroundSaver::complete
+//! [`crash`]: BackgroundSaver::crash
+
+use crate::{SlotId, StableError, StableStore};
+
+/// A SAVE that has been issued but has not yet reached persistent memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSave {
+    /// Destination slot.
+    pub slot: SlotId,
+    /// Value that will become durable on completion.
+    pub value: u64,
+}
+
+/// Latency model for one SAVE, in nanoseconds.
+///
+/// The paper's running example: a write-to-file takes 100 µs on a
+/// Pentium III 730 MHz running Linux 2.4.18, while sending a 1000-byte
+/// message takes 4 µs — hence a save interval of at least 25 messages.
+/// `SaveLatencyModel::paper_disk()` encodes exactly that device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveLatencyModel {
+    /// Minimum duration of a SAVE.
+    pub base_ns: u64,
+    /// Maximum extra duration (uniform jitter; the paper notes the time
+    /// "can be different according to the current load of CPU").
+    pub jitter_ns: u64,
+}
+
+impl SaveLatencyModel {
+    /// A SAVE that completes instantaneously (APN-style untimed runs).
+    pub const fn instant() -> Self {
+        SaveLatencyModel {
+            base_ns: 0,
+            jitter_ns: 0,
+        }
+    }
+
+    /// Fixed-duration SAVE.
+    pub const fn fixed_ns(ns: u64) -> Self {
+        SaveLatencyModel {
+            base_ns: ns,
+            jitter_ns: 0,
+        }
+    }
+
+    /// The paper's disk: 100 µs per write-to-file.
+    pub const fn paper_disk() -> Self {
+        SaveLatencyModel {
+            base_ns: 100_000,
+            jitter_ns: 0,
+        }
+    }
+
+    /// Duration of one SAVE given a raw 64-bit random draw.
+    pub fn sample_ns(&self, raw: u64) -> u64 {
+        if self.jitter_ns == 0 {
+            self.base_ns
+        } else {
+            self.base_ns + raw % (self.jitter_ns + 1)
+        }
+    }
+
+    /// Worst-case duration (base + full jitter) — the "reasonable upper
+    /// bound of the execution time of SAVE" the paper uses to pick `K`.
+    pub const fn worst_case_ns(&self) -> u64 {
+        self.base_ns + self.jitter_ns
+    }
+}
+
+/// Wraps a [`StableStore`] with in-flight SAVE semantics.
+///
+/// # Examples
+///
+/// ```
+/// use reset_stable::{BackgroundSaver, MemStable, SlotId};
+///
+/// let slot = SlotId::sender(1);
+/// let mut saver = BackgroundSaver::new(MemStable::new());
+/// saver.issue(slot, 100);          // SAVE(100) begins...
+/// saver.crash();                    // ...reset strikes first
+/// assert_eq!(saver.fetch(slot)?, None); // nothing was ever durable
+///
+/// saver.issue(slot, 200);
+/// saver.complete()?;                // SAVE finished
+/// saver.crash();
+/// assert_eq!(saver.fetch(slot)?, Some(200));
+/// # Ok::<(), reset_stable::StableError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackgroundSaver<S> {
+    store: S,
+    pending: Option<PendingSave>,
+    issued: u64,
+    completed: u64,
+    superseded: u64,
+}
+
+impl<S: StableStore> BackgroundSaver<S> {
+    /// Wraps `store` with no SAVE in flight.
+    pub fn new(store: S) -> Self {
+        BackgroundSaver {
+            store,
+            pending: None,
+            issued: 0,
+            completed: 0,
+            superseded: 0,
+        }
+    }
+
+    /// Begins a background SAVE of `value` into `slot`. If a SAVE was
+    /// already in flight it is superseded (the disk queue collapses to the
+    /// newest value) and `true` is returned.
+    pub fn issue(&mut self, slot: SlotId, value: u64) -> bool {
+        self.issued += 1;
+        let had_pending = self.pending.is_some();
+        if had_pending {
+            self.superseded += 1;
+        }
+        self.pending = Some(PendingSave { slot, value });
+        had_pending
+    }
+
+    /// Completes the in-flight SAVE, making it durable. Returns the
+    /// committed record, or `None` if nothing was pending (e.g. the save
+    /// was wiped by a crash before its completion event fired).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying store error; the pending save is kept so
+    /// the caller may retry.
+    pub fn complete(&mut self) -> Result<Option<PendingSave>, StableError> {
+        let Some(p) = self.pending else {
+            return Ok(None);
+        };
+        self.store.store(p.slot, p.value)?;
+        self.pending = None;
+        self.completed += 1;
+        Ok(Some(p))
+    }
+
+    /// A reset: the in-flight SAVE (volatile) is lost; durable state is
+    /// untouched.
+    pub fn crash(&mut self) {
+        self.pending = None;
+    }
+
+    /// Synchronous SAVE — used on wake-up, where the paper requires the
+    /// process to *wait* for `SAVE(fetched + 2K)` before resuming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying store error.
+    pub fn save_now(&mut self, slot: SlotId, value: u64) -> Result<(), StableError> {
+        self.store.store(slot, value)?;
+        self.issued += 1;
+        self.completed += 1;
+        Ok(())
+    }
+
+    /// FETCH: the last durable value of `slot` (pending saves invisible).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying store error (e.g. a corrupt record).
+    pub fn fetch(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
+        self.store.load(slot)
+    }
+
+    /// The SAVE currently in flight, if any.
+    pub fn pending(&self) -> Option<PendingSave> {
+        self.pending
+    }
+
+    /// Total SAVEs issued (background + synchronous).
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Total SAVEs that reached persistent memory.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Background SAVEs that were superseded before completing.
+    pub fn superseded(&self) -> u64 {
+        self.superseded
+    }
+
+    /// Shared access to the wrapped store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the wrapped store (for SA teardown / tests).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Unwraps, returning the underlying store.
+    pub fn into_inner(self) -> S {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStable;
+
+    const SLOT: SlotId = SlotId::raw(1);
+
+    #[test]
+    fn pending_save_is_invisible_until_complete() {
+        let mut s = BackgroundSaver::new(MemStable::new());
+        s.issue(SLOT, 10);
+        assert_eq!(s.fetch(SLOT).unwrap(), None, "not durable yet");
+        s.complete().unwrap();
+        assert_eq!(s.fetch(SLOT).unwrap(), Some(10));
+    }
+
+    #[test]
+    fn crash_before_complete_recovers_previous_value() {
+        // Exactly the Fig 1 "reset during SAVE" case: SAVE(s) in flight,
+        // crash, FETCH returns s - K (the previously saved value).
+        let mut s = BackgroundSaver::new(MemStable::new());
+        s.issue(SLOT, 100);
+        s.complete().unwrap(); // SAVE(100) durable
+        s.issue(SLOT, 125); // SAVE(125) in flight...
+        s.crash(); // ...reset
+        assert_eq!(s.fetch(SLOT).unwrap(), Some(100));
+        assert_eq!(s.pending(), None);
+    }
+
+    #[test]
+    fn crash_after_complete_recovers_latest() {
+        // Fig 1 "reset after SAVE finished" case.
+        let mut s = BackgroundSaver::new(MemStable::new());
+        s.issue(SLOT, 100);
+        s.complete().unwrap();
+        s.issue(SLOT, 125);
+        s.complete().unwrap();
+        s.crash();
+        assert_eq!(s.fetch(SLOT).unwrap(), Some(125));
+    }
+
+    #[test]
+    fn issue_supersedes_previous_pending() {
+        let mut s = BackgroundSaver::new(MemStable::new());
+        assert!(!s.issue(SLOT, 1));
+        assert!(s.issue(SLOT, 2), "second issue supersedes");
+        s.complete().unwrap();
+        assert_eq!(s.fetch(SLOT).unwrap(), Some(2), "newest value wins");
+        assert_eq!(s.superseded(), 1);
+    }
+
+    #[test]
+    fn complete_with_nothing_pending_is_none() {
+        let mut s: BackgroundSaver<MemStable> = BackgroundSaver::new(MemStable::new());
+        assert_eq!(s.complete().unwrap(), None);
+    }
+
+    #[test]
+    fn save_now_is_immediately_durable() {
+        let mut s = BackgroundSaver::new(MemStable::new());
+        s.save_now(SLOT, 77).unwrap();
+        assert_eq!(s.fetch(SLOT).unwrap(), Some(77));
+    }
+
+    #[test]
+    fn counters_track_lifecycle() {
+        let mut s = BackgroundSaver::new(MemStable::new());
+        s.issue(SLOT, 1);
+        s.complete().unwrap();
+        s.issue(SLOT, 2);
+        s.crash();
+        s.save_now(SLOT, 3).unwrap();
+        assert_eq!(s.issued(), 3);
+        assert_eq!(s.completed(), 2);
+    }
+
+    #[test]
+    fn latency_model_samples() {
+        let m = SaveLatencyModel::fixed_ns(500);
+        assert_eq!(m.sample_ns(12345), 500);
+        assert_eq!(m.worst_case_ns(), 500);
+
+        let j = SaveLatencyModel {
+            base_ns: 100,
+            jitter_ns: 50,
+        };
+        for raw in 0..200u64 {
+            let d = j.sample_ns(raw.wrapping_mul(0x9E37_79B9)) ;
+            assert!((100..=150).contains(&d));
+        }
+        assert_eq!(j.worst_case_ns(), 150);
+    }
+
+    #[test]
+    fn paper_disk_matches_paper_numbers() {
+        let m = SaveLatencyModel::paper_disk();
+        assert_eq!(m.worst_case_ns(), 100_000); // 100 us
+        // 100 us save / 4 us per message = 25 messages per save: the
+        // paper's minimum save interval.
+        assert_eq!(m.worst_case_ns() / 4_000, 25);
+    }
+
+    #[test]
+    fn into_inner_returns_store() {
+        let mut s = BackgroundSaver::new(MemStable::new());
+        s.save_now(SLOT, 5).unwrap();
+        let store = s.into_inner();
+        assert_eq!(store.load(SLOT).unwrap(), Some(5));
+    }
+}

@@ -1,0 +1,170 @@
+//! The `StableStore` abstraction: the paper's persistent memory.
+//!
+//! The paper assumes "the content of the persistent memory of a computer
+//! will not be corrupted or erased by a reset of that computer". A
+//! [`StableStore`] is exactly that contract: values written with
+//! [`StableStore::store`] survive process resets; everything else (the
+//! protocol's volatile variables) is reconstructed from scratch on wake-up
+//! via [`StableStore::load`] — the paper's FETCH.
+
+use std::fmt;
+
+use crate::StableError;
+
+/// Identifies one persisted counter.
+///
+/// The paper needs one slot per process; the IPsec substrate needs one per
+/// (SA, direction), so slots are an SPI plus a direction tag packed into a
+/// single id.
+///
+/// # Examples
+///
+/// ```
+/// use reset_stable::SlotId;
+///
+/// let tx = SlotId::sender(0x1234);
+/// let rx = SlotId::receiver(0x1234);
+/// assert_ne!(tx, rx);
+/// assert_eq!(tx.spi(), 0x1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(u64);
+
+impl SlotId {
+    const DIR_BIT: u64 = 1 << 63;
+
+    /// Slot for a sender-side counter of the SA identified by `spi`.
+    pub const fn sender(spi: u32) -> SlotId {
+        SlotId(spi as u64)
+    }
+
+    /// Slot for a receiver-side counter of the SA identified by `spi`.
+    pub const fn receiver(spi: u32) -> SlotId {
+        SlotId(spi as u64 | Self::DIR_BIT)
+    }
+
+    /// An arbitrary raw slot (tests, single-process experiments).
+    pub const fn raw(id: u64) -> SlotId {
+        SlotId(id)
+    }
+
+    /// The SPI component.
+    pub const fn spi(self) -> u32 {
+        (self.0 & !Self::DIR_BIT) as u32
+    }
+
+    /// True iff this is a receiver-side slot.
+    pub const fn is_receiver(self) -> bool {
+        self.0 & Self::DIR_BIT != 0
+    }
+
+    /// The packed 64-bit representation.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_receiver() {
+            write!(f, "rx:{:#x}", self.spi())
+        } else {
+            write!(f, "tx:{:#x}", self.spi())
+        }
+    }
+}
+
+/// Persistent memory holding one `u64` counter per slot.
+///
+/// Implementations must guarantee that a successful [`store`] is visible to
+/// every later [`load`] of the same slot, *including after a process
+/// reset*. This is the paper's SAVE (store) / FETCH (load) pair.
+///
+/// The *duration* of a SAVE — the window during which the old value is
+/// still what a crash would recover — is modelled separately by
+/// [`BackgroundSaver`](crate::BackgroundSaver), keeping implementations of
+/// this trait simple and synchronous.
+///
+/// [`store`]: StableStore::store
+/// [`load`]: StableStore::load
+pub trait StableStore {
+    /// Durably records `value` in `slot`, replacing any previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableError`] if the device fails or a fault was injected;
+    /// in that case the previous value of the slot must be unchanged.
+    fn store(&mut self, slot: SlotId, value: u64) -> Result<(), StableError>;
+
+    /// Reads the last durably stored value of `slot`, or `None` if the slot
+    /// has never been written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableError::Corrupt`] if the stored record fails its
+    /// integrity check.
+    fn load(&self, slot: SlotId) -> Result<Option<u64>, StableError>;
+
+    /// Removes a slot (used when an SA is torn down). Removing an absent
+    /// slot is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StableError`] if the device fails.
+    fn erase(&mut self, slot: SlotId) -> Result<(), StableError>;
+}
+
+impl<S: StableStore + ?Sized> StableStore for &mut S {
+    fn store(&mut self, slot: SlotId, value: u64) -> Result<(), StableError> {
+        (**self).store(slot, value)
+    }
+    fn load(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
+        (**self).load(slot)
+    }
+    fn erase(&mut self, slot: SlotId) -> Result<(), StableError> {
+        (**self).erase(slot)
+    }
+}
+
+impl<S: StableStore + ?Sized> StableStore for Box<S> {
+    fn store(&mut self, slot: SlotId, value: u64) -> Result<(), StableError> {
+        (**self).store(slot, value)
+    }
+    fn load(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
+        (**self).load(slot)
+    }
+    fn erase(&mut self, slot: SlotId) -> Result<(), StableError> {
+        (**self).erase(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_receiver_slots_are_distinct() {
+        for spi in [0u32, 1, 0xdead_beef, u32::MAX] {
+            let s = SlotId::sender(spi);
+            let r = SlotId::receiver(spi);
+            assert_ne!(s, r);
+            assert_eq!(s.spi(), spi);
+            assert_eq!(r.spi(), spi);
+            assert!(!s.is_receiver());
+            assert!(r.is_receiver());
+        }
+    }
+
+    #[test]
+    fn display_shows_direction() {
+        assert_eq!(SlotId::sender(0x10).to_string(), "tx:0x10");
+        assert_eq!(SlotId::receiver(0x10).to_string(), "rx:0x10");
+    }
+
+    #[test]
+    fn trait_object_usable_through_box() {
+        let mut store: Box<dyn StableStore> = Box::new(crate::MemStable::new());
+        store.store(SlotId::raw(1), 99).unwrap();
+        assert_eq!(store.load(SlotId::raw(1)).unwrap(), Some(99));
+    }
+}

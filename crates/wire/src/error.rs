@@ -1,0 +1,71 @@
+//! Error type for packet encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from sealing or opening ESP-style packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Declared payload length exceeds the remaining buffer.
+    BadLength {
+        /// Declared payload length.
+        declared: usize,
+        /// Bytes actually available for payload + ICV.
+        available: usize,
+    },
+    /// The integrity check value did not verify: the packet is forged or
+    /// was corrupted in flight. Per RFC 2406 it must be dropped *before*
+    /// the anti-replay window is consulted.
+    IcvMismatch,
+    /// The 32-bit sequence number space is exhausted and extended sequence
+    /// numbers are not enabled; RFC 2406 requires SA re-establishment.
+    SeqOverflow,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "packet truncated: need {needed} bytes, got {got}")
+            }
+            WireError::BadLength {
+                declared,
+                available,
+            } => write!(
+                f,
+                "bad payload length: declared {declared}, only {available} available"
+            ),
+            WireError::IcvMismatch => write!(f, "integrity check value mismatch"),
+            WireError::SeqOverflow => write!(f, "32-bit sequence number space exhausted"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(WireError::Truncated { needed: 24, got: 3 }
+            .to_string()
+            .contains("24"));
+        assert!(WireError::IcvMismatch.to_string().contains("integrity"));
+        assert!(WireError::SeqOverflow.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

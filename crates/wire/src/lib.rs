@@ -1,0 +1,44 @@
+//! # reset-wire — ESP-style packet formats
+//!
+//! The messages `msg(s)` of the paper become authenticated packets here:
+//! an SPI identifying the security association, the sequence number the
+//! anti-replay window reasons about, a payload, and an HMAC ICV. The ICV
+//! is what limits the adversary to *replaying* recorded packets — the
+//! exact threat model of the paper — since forged or modified packets
+//! fail authentication before the window is ever consulted.
+//!
+//! * [`seal`] / [`open`] — encode + authenticate / verify + decode.
+//! * [`EspPacket`] — the parsed result.
+//! * [`infer_esn`] / [`EsnTracker`] — RFC 4304 extended sequence numbers,
+//!   approximating the paper's unbounded counters on a 32-bit wire field.
+//!
+//! # Examples
+//!
+//! ```
+//! use reset_wire::{open, seal, WireError};
+//!
+//! let key = b"sa-key";
+//! let wire = seal(0xABCD, 1, b"first packet", key, false)?;
+//!
+//! // The adversary can replay these bytes verbatim...
+//! let replayed = open(&wire, key, None)?;
+//! assert_eq!(replayed.seq_lo, 1); // ...and they verify again:
+//! // only the anti-replay window (crates/core) detects the replay.
+//!
+//! // But the adversary cannot alter them:
+//! let mut forged = wire.to_vec();
+//! forged[4] ^= 0xFF; // bump the sequence number
+//! assert_eq!(open(&forged, key, None), Err(WireError::IcvMismatch));
+//! # Ok::<(), WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod esn;
+mod esp;
+
+pub use error::WireError;
+pub use esn::{infer_esn, EsnTracker};
+pub use esp::{open, seal, EspPacket, HEADER_LEN, ICV_LEN};

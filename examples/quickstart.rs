@@ -1,0 +1,84 @@
+//! Quickstart: an SA pair surviving a receiver reset via SAVE/FETCH.
+//!
+//! ```text
+//! cargo run -p reset-harness --example quickstart
+//! ```
+//!
+//! The scenario of the paper in ~60 lines: sender `p` streams packets to
+//! receiver `q` through a real ESP datapath (HMAC ICV, keystream
+//! encryption, anti-replay window). `q` is reset mid-stream; thanks to
+//! the periodic SAVE and the FETCH + `2K` leap at wake-up, replayed
+//! traffic is rejected and fresh traffic resumes after a bounded gap.
+
+use reset_ipsec::{Inbound, Outbound, RxResult, SaKeys, SecurityAssociation};
+use reset_stable::MemStable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. One security association; in production these keys come from
+    //    IKE (see the vpn_gateway example).
+    let keys = SaKeys::derive(b"demo-master-secret", b"p->q");
+    let sa = SecurityAssociation::new(0x1001, keys);
+    let k = 25; // the paper's calibrated save interval
+    let mut p = Outbound::new(sa.clone(), MemStable::new(), k);
+    let mut q = Inbound::new(sa, MemStable::new(), k, 64);
+
+    // 2. Steady traffic; the adversary records everything.
+    let mut recorded = Vec::new();
+    for i in 0..100u32 {
+        let wire = p.protect(format!("packet {i}").as_bytes())?.expect("up");
+        recorded.push(wire.clone());
+        assert!(q.process(&wire)?.is_delivered());
+    }
+    // Let the background SAVE reach the disk.
+    q.save_completed()?;
+    println!(
+        "sent and delivered 100 packets; receiver edge = {}",
+        q.seq_state().right_edge()
+    );
+
+    // 3. The receiver is reset: volatile window gone.
+    q.reset();
+    println!("receiver reset! (window and counters forgotten)");
+
+    // 4. Wake up: FETCH the saved edge, leap by 2K, SAVE synchronously.
+    q.wake_up()?;
+    println!(
+        "receiver woke up; leaped right edge = {}",
+        q.seq_state().right_edge()
+    );
+
+    // 5. The adversary replays the entire recorded history. Nothing is
+    //    accepted.
+    let mut rejected = 0;
+    for wire in &recorded {
+        match q.process(wire)? {
+            RxResult::AntiReplay { .. } => rejected += 1,
+            other => panic!("replay got through: {other:?}"),
+        }
+    }
+    println!(
+        "adversary replayed {} packets: all {} rejected",
+        recorded.len(),
+        rejected
+    );
+
+    // 6. Fresh traffic resumes; at most 2K packets are sacrificed while
+    //    the sender's counter catches up with the leaped edge.
+    let mut sacrificed = 0;
+    loop {
+        let wire = p.protect(b"post-reset data")?.expect("up");
+        match q.process(&wire)? {
+            RxResult::Delivered { seq, .. } => {
+                println!(
+                    "traffic resumed at {seq} after sacrificing {sacrificed} packets (bound: {})",
+                    2 * k
+                );
+                break;
+            }
+            _ => sacrificed += 1,
+        }
+        assert!(sacrificed <= 2 * k, "condition (ii) violated");
+    }
+    println!("convergence achieved: no replay accepted, loss bounded by 2K");
+    Ok(())
+}
