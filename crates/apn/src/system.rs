@@ -346,10 +346,7 @@ mod tests {
     #[test]
     fn random_schedule_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut sys = System::new(
-                ring().procs.clone(),
-                Schedule::Random(DetRng::new(seed)),
-            );
+            let mut sys = System::new(ring().procs.clone(), Schedule::Random(DetRng::new(seed)));
             sys.run(50);
             (sys.proc(0).value, sys.proc(1).value)
         };

@@ -62,8 +62,7 @@ fn bench_ike_handshake_toy(c: &mut Criterion) {
     // Toy group isolates the protocol machinery from bignum cost.
     c.bench_function("recovery/ike_handshake_toy64", |b| {
         b.iter(|| {
-            run_handshake(toy_group(), b"psk", b"secret-i", b"secret-r", 1, 2)
-                .expect("handshake")
+            run_handshake(toy_group(), b"psk", b"secret-i", b"secret-r", 1, 2).expect("handshake")
         })
     });
 }

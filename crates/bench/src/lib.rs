@@ -5,6 +5,7 @@
 //!
 //! | bench | claim |
 //! |---|---|
+//! | `datapath` | the fast-path rebuild: precomputed ICV keys ≥1.5×, zero-copy open, batched SADB drain (`BENCH_datapath.json`) |
 //! | `window_datapath` | the §2 window check is cheap at any size `w` |
 //! | `save_overhead` | SAVE every K messages amortizes toward the no-save baseline |
 //! | `recovery` | FETCH + leap + SAVE ≪ one ISAKMP re-handshake (t5) |

@@ -204,10 +204,7 @@ mod tests {
                 delivered += 1;
             }
         }
-        assert!(
-            (7_000..8_000).contains(&delivered),
-            "delivered={delivered}"
-        );
+        assert!((7_000..8_000).contains(&delivered), "delivered={delivered}");
     }
 
     #[test]

@@ -25,7 +25,10 @@
 /// assert_eq!(max_reorder_degree(&[1, 2, 3, 0]), 3);
 /// ```
 pub fn max_reorder_degree(receive_order: &[u64]) -> u64 {
-    reorder_degrees(receive_order).into_iter().max().unwrap_or(0)
+    reorder_degrees(receive_order)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Per-arrival reorder degrees, aligned with `receive_order`.

@@ -133,7 +133,13 @@ impl ApnProcess for PaperProc {
         }
     }
 
-    fn fire_receive(&mut self, _action: usize, _from: ProcId, msg: SeqNum, _out: &mut Outbox<SeqNum>) {
+    fn fire_receive(
+        &mut self,
+        _action: usize,
+        _from: ProcId,
+        msg: SeqNum,
+        _out: &mut Outbox<SeqNum>,
+    ) {
         match self {
             PaperProc::OrigQ(q) => {
                 let _ = q.receive(msg);
@@ -206,7 +212,12 @@ pub fn savefetch_system(kp: u64, kq: u64, w: u64, schedule: Schedule) -> System<
     System::new(
         vec![
             PaperProc::SfP(SfSender::new(MemStable::new(), SlotId::sender(1), kp)),
-            PaperProc::SfQ(SfReceiver::new(MemStable::new(), SlotId::receiver(1), kq, w)),
+            PaperProc::SfQ(SfReceiver::new(
+                MemStable::new(),
+                SlotId::receiver(1),
+                kq,
+                w,
+            )),
         ],
         schedule,
     )
@@ -222,7 +233,11 @@ mod tests {
         let mut sys = original_system(32, Schedule::RoundRobin);
         sys.run(200);
         let q = sys.proc(Q).as_orig_receiver().unwrap();
-        assert!(q.total_delivered() >= 90, "delivered {}", q.total_delivered());
+        assert!(
+            q.total_delivered() >= 90,
+            "delivered {}",
+            q.total_delivered()
+        );
         assert_eq!(q.total_discarded(), 0, "clean channel, no discards");
     }
 

@@ -167,8 +167,12 @@ impl Monitor {
                 // A discarded original whose instance never got delivered
                 // through any other copy is a lost fresh message. Count
                 // each instance at most once.
-                let delivered = id.map(|i| self.delivered_instances.contains(&i)).unwrap_or(false);
-                let already = id.map(|i| !self.discarded_instances.insert(i)).unwrap_or(false);
+                let delivered = id
+                    .map(|i| self.delivered_instances.contains(&i))
+                    .unwrap_or(false);
+                let already = id
+                    .map(|i| !self.discarded_instances.insert(i))
+                    .unwrap_or(false);
                 if !delivered && !already {
                     self.report.fresh_discarded += 1;
                 }
@@ -191,10 +195,9 @@ impl Monitor {
         let lost = resumed.gap_from(old_next);
         self.report.seqs_lost_to_leaps += lost;
         if lost > 2 * k {
-            self.report.violations.push(Violation::LeapTooLarge {
-                lost,
-                bound: 2 * k,
-            });
+            self.report
+                .violations
+                .push(Violation::LeapTooLarge { lost, bound: 2 * k });
         }
     }
 
@@ -331,11 +334,13 @@ mod tests {
         let mut m = Monitor::new();
         m.on_send(MsgId(0), n(1));
         m.on_sender_wakeup(n(2), n(100), 10);
-        assert!(m
-            .report()
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::LeapTooLarge { lost: 98, bound: 20 })));
+        assert!(m.report().violations.iter().any(|v| matches!(
+            v,
+            Violation::LeapTooLarge {
+                lost: 98,
+                bound: 20
+            }
+        )));
     }
 
     #[test]

@@ -669,7 +669,7 @@ mod tests {
         }
         p.reset();
         let first = p.wake_up().unwrap(); // 0 + 20 = 20, durably saved
-        // Immediately reset again — before any new background save.
+                                          // Immediately reset again — before any new background save.
         p.reset();
         let second = p.wake_up().unwrap();
         // FETCH finds 20 (saved synchronously at previous wake-up).
@@ -742,10 +742,7 @@ mod tests {
         let mut q = receiver(5, 32);
         q.receive(SeqNum::new(1)).unwrap();
         q.reset();
-        assert_eq!(
-            q.receive(SeqNum::new(2)).unwrap(),
-            RxOutcome::DroppedDown
-        );
+        assert_eq!(q.receive(SeqNum::new(2)).unwrap(), RxOutcome::DroppedDown);
         q.begin_wakeup().unwrap();
         assert_eq!(q.receive(SeqNum::new(3)).unwrap(), RxOutcome::Buffered);
         let outcomes = q.finish_wakeup().unwrap();
@@ -799,7 +796,7 @@ mod tests {
         }
         q.reset();
         let leaped = q.wake_up().unwrap(); // 10 + 20 = 30
-        // Sender continues from 16; fresh 16..=30 are discarded, 31+ flow.
+                                           // Sender continues from 16; fresh 16..=30 are discarded, 31+ flow.
         let mut discarded_fresh = 0;
         for s in 16..=40u64 {
             match q.receive(SeqNum::new(s)).unwrap() {
@@ -823,8 +820,8 @@ mod tests {
         }
         q.reset();
         q.begin_wakeup().unwrap(); // leap target = 5 + 10 = 15
-        // While the wake-up SAVE runs: a replay (3) and a fresh-but-
-        // sacrificed (13) and a genuinely new (16) arrive.
+                                   // While the wake-up SAVE runs: a replay (3) and a fresh-but-
+                                   // sacrificed (13) and a genuinely new (16) arrive.
         q.receive(SeqNum::new(3)).unwrap();
         q.receive(SeqNum::new(13)).unwrap();
         q.receive(SeqNum::new(16)).unwrap();

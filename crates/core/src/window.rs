@@ -83,10 +83,24 @@ impl AntiReplayWindow {
         assert!(w > 0, "window size must be positive");
         let words = (w as usize).div_ceil(64);
         let fill = if all_seen { u64::MAX } else { 0 };
-        AntiReplayWindow {
+        let mut win = AntiReplayWindow {
             bits: vec![fill; words],
             w,
             right: right.value(),
+        };
+        win.mask_tail_word();
+        win
+    }
+
+    /// Clears the bits of the last word beyond `w`: they correspond to no
+    /// sequence number and must never advertise capacity the window does
+    /// not have (they would also poison `==` between windows that took
+    /// different paths to the same logical state).
+    fn mask_tail_word(&mut self) {
+        let tail_bits = self.w % 64;
+        if tail_bits != 0 {
+            let last = self.bits.len() - 1;
+            self.bits[last] &= (1u64 << tail_bits) - 1;
         }
     }
 
@@ -139,18 +153,25 @@ impl AntiReplayWindow {
     /// the right edge. Only call after [`AntiReplayWindow::check`]
     /// returned [`Verdict::Fresh`] (in IPsec terms: after the ICV
     /// verified).
+    ///
+    /// The slide clears the newly entered range at **word** granularity:
+    /// whole `u64` words are zeroed with `fill`-style stores and only the
+    /// two edge words are masked, so a slide of `d` costs `O(d / 64)`
+    /// instead of `d` read-modify-write cycles.
     pub fn accept(&mut self, seq: SeqNum) {
         let s = seq.value();
         if s > self.right {
             let d = s - self.right;
-            if d >= self.w {
-                // The whole old window is out of range: clear everything.
-                self.bits.fill(0);
-            } else {
-                // Clear the bits of the sequence numbers newly entering
-                // the window (right+1 ..= s); they have not been seen.
-                for x in (self.right + 1)..=s {
-                    self.set_bit(x, false);
+            // The entering range is right+1 ..= s, but bit `s` is set
+            // unconditionally below, so only right+1 .. s (d − 1 bits)
+            // needs clearing — which makes the dominant in-order case
+            // (d = 1) slide with no clearing at all.
+            if d > 1 {
+                if d >= self.w {
+                    // The whole old window is out of range.
+                    self.bits.fill(0);
+                } else {
+                    self.clear_circular((self.right + 1) % self.w, d - 1);
                 }
             }
             self.right = s;
@@ -158,20 +179,71 @@ impl AntiReplayWindow {
         self.set_bit(s, true);
     }
 
-    /// [`check`](Self::check) + [`accept`](Self::accept) when fresh, in
-    /// one call. Returns the verdict.
-    pub fn check_and_accept(&mut self, seq: SeqNum) -> Verdict {
-        let v = self.check(seq);
-        if v == Verdict::Fresh {
-            self.accept(seq);
+    /// Clears `count` consecutive bits of the circular bitmap starting at
+    /// index `start` (wrapping at `w`). `count` is at most `w − 1`.
+    fn clear_circular(&mut self, start: u64, count: u64) {
+        let until_wrap = (self.w - start).min(count);
+        self.clear_span(start, until_wrap);
+        if count > until_wrap {
+            self.clear_span(0, count - until_wrap);
         }
-        v
+    }
+
+    /// Clears the flat bit range `[start, start + len)`, `start + len ≤ w`.
+    fn clear_span(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = start + len; // exclusive
+        let start_word = (start / 64) as usize;
+        let start_bit = start % 64;
+        let end_word = (end / 64) as usize;
+        let end_bit = end % 64;
+        let low_mask = (1u64 << start_bit) - 1; // bits below the range
+        if start_word == end_word {
+            // Single word: keep bits below start_bit and at/above end_bit.
+            let keep = low_mask | !((1u64 << end_bit) - 1);
+            self.bits[start_word] &= keep;
+        } else {
+            self.bits[start_word] &= low_mask;
+            for word in &mut self.bits[start_word + 1..end_word] {
+                *word = 0;
+            }
+            if end_bit != 0 {
+                self.bits[end_word] &= !((1u64 << end_bit) - 1);
+            }
+        }
+    }
+
+    /// [`check`](Self::check) + [`accept`](Self::accept) when fresh, in
+    /// one call — fused so the in-window path computes the bit index once
+    /// and tests-and-sets it in a single pass.
+    pub fn check_and_accept(&mut self, seq: SeqNum) -> Verdict {
+        let s = seq.value();
+        if s > self.right {
+            // Case 3: fresh beyond the edge; slide.
+            self.accept(seq);
+            return Verdict::Fresh;
+        }
+        if s as u128 + self.w as u128 <= self.right as u128 {
+            return Verdict::Stale;
+        }
+        let idx = (s % self.w) as usize;
+        let mask = 1u64 << (idx % 64);
+        let word = &mut self.bits[idx / 64];
+        if *word & mask != 0 {
+            Verdict::Duplicate
+        } else {
+            *word |= mask;
+            Verdict::Fresh
+        }
     }
 
     /// Marks the whole window "already received" without moving the right
     /// edge — §4's wake-up behaviour.
     pub fn mark_all_seen(&mut self) {
         self.bits.fill(u64::MAX);
+        self.mask_tail_word();
     }
 
     /// The §3 *naive* restart after a reset without SAVE/FETCH: right
@@ -362,6 +434,114 @@ mod tests {
         let mut w = AntiReplayWindow::new(16);
         w.accept(n(9));
         assert_eq!(w.to_string(), "window[w=16, r=9]");
+    }
+
+    #[test]
+    fn tail_word_masked_for_non_multiple_of_64_sizes() {
+        // Regression: `with_right_edge(.., all_seen = true)` used to fill
+        // whole words, setting bits beyond `w` in the partial last word —
+        // phantom capacity the window doesn't have, and an `Eq` poison
+        // between windows that reached the same logical state on
+        // different paths.
+        for w in [1u64, 63, 65, 70, 127, 129, 200] {
+            let win = AntiReplayWindow::with_right_edge(w, n(1000), true);
+            let tail_bits = w % 64;
+            if tail_bits != 0 {
+                let last = *win.bits.last().unwrap();
+                assert_eq!(
+                    last >> tail_bits,
+                    0,
+                    "w={w}: bits beyond the window are set"
+                );
+            }
+            // Behaviour: everything in-window is Duplicate, the edges
+            // classify exactly.
+            assert_eq!(win.check(n(1000)), Verdict::Duplicate, "w={w}");
+            assert_eq!(win.check(n(1001)), Verdict::Fresh, "w={w}");
+            assert_eq!(win.check(n(1000 - w)), Verdict::Stale, "w={w}");
+            if w > 1 {
+                assert_eq!(win.check(n(1001 - w)), Verdict::Duplicate, "w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_window_equals_organically_slid_window() {
+        // A window resumed all-seen then slid clear across its width must
+        // equal one that took a different path to the same logical state.
+        for w in [63u64, 65, 70, 128] {
+            let mut a = AntiReplayWindow::with_right_edge(w, n(10), true);
+            let mut b = AntiReplayWindow::with_right_edge(w, n(500), false);
+            // Slide both far enough that every old bit is cleared, then
+            // accept the same single number.
+            a.accept(n(5_000));
+            b.accept(n(5_000));
+            assert_eq!(a, b, "w={w}");
+        }
+    }
+
+    #[test]
+    fn mark_all_seen_masks_tail() {
+        let mut w = AntiReplayWindow::with_right_edge(70, n(100), false);
+        w.mark_all_seen();
+        assert_eq!(w.bits.last().unwrap() >> (70 % 64), 0);
+        assert_eq!(w, AntiReplayWindow::with_right_edge(70, n(100), true));
+    }
+
+    #[test]
+    fn word_level_slide_matches_bitwise_reference() {
+        // Drive the word-granular slide against a bit-at-a-time model
+        // across every slide distance and alignment that matters.
+        for w in [5u64, 64, 65, 127, 128, 130, 256] {
+            let mut win = AntiReplayWindow::new(w);
+            let mut model: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            // The paper's initial state pre-marks the whole window seen;
+            // sequence number 0 is the only nonnegative member.
+            model.insert(0);
+            let mut right = 0u64;
+            let mut s = 0u64;
+            // Visit slides of every distance 1..2w plus in-window accepts.
+            let mut dist = 1u64;
+            while s < 6 * w {
+                s += dist;
+                dist = dist % (2 * w) + 1;
+                win.accept(n(s));
+                right = right.max(s);
+                model.insert(s);
+                model.retain(|&x| x + w > right);
+                // Compare classification across the whole live range.
+                for probe in right.saturating_sub(w + 2)..=right + 1 {
+                    let want = if probe > right {
+                        Verdict::Fresh
+                    } else if probe + w <= right {
+                        Verdict::Stale
+                    } else if model.contains(&probe) {
+                        Verdict::Duplicate
+                    } else {
+                        Verdict::Fresh
+                    };
+                    assert_eq!(win.check(n(probe)), want, "w={w} s={s} probe={probe}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_check_and_accept_matches_two_step() {
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        let mut fused = AntiReplayWindow::new(70);
+        let mut two_step = AntiReplayWindow::new(70);
+        for _ in 0..5_000 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = 1 + (rng_state >> 33) % 400;
+            let v1 = fused.check_and_accept(n(s));
+            let v2 = two_step.check(n(s));
+            if v2 == Verdict::Fresh {
+                two_step.accept(n(s));
+            }
+            assert_eq!(v1, v2, "seq {s}");
+            assert_eq!(fused, two_step, "state diverged at seq {s}");
+        }
     }
 
     #[test]

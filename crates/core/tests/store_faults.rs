@@ -15,7 +15,12 @@ fn sender(k: u64) -> SfSender<FaultyStable<MemStable>> {
 }
 
 fn receiver(k: u64, w: u64) -> SfReceiver<FaultyStable<MemStable>> {
-    SfReceiver::new(FaultyStable::new(MemStable::new()), SlotId::receiver(1), k, w)
+    SfReceiver::new(
+        FaultyStable::new(MemStable::new()),
+        SlotId::receiver(1),
+        k,
+        w,
+    )
 }
 
 /// Helper: script the next store write to fail.

@@ -8,6 +8,10 @@
 //!   RFC 4231 vectors; the ESP integrity check (ICV) that makes replay the
 //!   *only* attack available to the adversary, exactly as the paper
 //!   assumes.
+//! * [`HmacKey`] — the precomputed per-SA key schedule behind the fast
+//!   ICV path: the ipad/opad states are absorbed once at SA install, so
+//!   each packet's MAC skips the key schedule (3 compressions instead of
+//!   5 for a 64-byte payload).
 //! * [`ct_eq`] — constant-time tag comparison.
 //! * [`prf_plus`] / [`xor_keystream`] — key derivation and a stand-in
 //!   confidentiality transform for the simulated ESP.
@@ -45,6 +49,6 @@ mod sha256;
 pub use bignum::BigUint;
 pub use ct::ct_eq;
 pub use dh::{oakley_group1, oakley_group2, toy_group, DhGroup, DhKeyPair};
-pub use hmac::{hmac_sha256, hmac_sha256_96, HmacSha256};
-pub use prf::{prf_plus, xor_keystream};
+pub use hmac::{hmac_sha256, hmac_sha256_96, HmacKey, HmacSha256};
+pub use prf::{prf_plus, xor_keystream, xor_keystream_with};
 pub use sha256::{sha256, to_hex, Sha256, BLOCK_LEN, DIGEST_LEN};

@@ -2,7 +2,7 @@
 //! ISAKMP/IKE SKEYID derivation) and a keystream generator used as the
 //! ESP confidentiality transform in the simulation.
 
-use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::hmac::{HmacKey, HmacSha256};
 
 /// Expands `(key, seed)` into `out_len` pseudorandom bytes:
 /// `T1 = HMAC(key, seed || 0x01)`, `Tn = HMAC(key, T(n-1) || seed || n)`.
@@ -60,13 +60,21 @@ pub fn prf_plus(key: &[u8], seed: &[u8], out_len: usize) -> Vec<u8> {
 /// assert_eq!(&buf, b"attack at dawn");
 /// ```
 pub fn xor_keystream(key: &[u8], nonce: u64, data: &mut [u8]) {
+    xor_keystream_with(&HmacKey::new(key), nonce, data);
+}
+
+/// [`xor_keystream`] with a precomputed [`HmacKey`]: the datapath form.
+/// The naive form reruns the HMAC key schedule for every 32-byte
+/// keystream block; an SA holds the schedule once and pays only the
+/// message compressions per block. The generated keystream is identical.
+pub fn xor_keystream_with(key: &HmacKey, nonce: u64, data: &mut [u8]) {
     let mut block_index = 0u64;
     let mut offset = 0usize;
     while offset < data.len() {
         let mut msg = [0u8; 16];
         msg[..8].copy_from_slice(&nonce.to_be_bytes());
         msg[8..].copy_from_slice(&block_index.to_be_bytes());
-        let ks = hmac_sha256(key, &msg);
+        let ks = key.mac(&msg);
         let take = (data.len() - offset).min(ks.len());
         for i in 0..take {
             data[offset + i] ^= ks[i];
@@ -132,6 +140,18 @@ mod tests {
         let mut empty: Vec<u8> = Vec::new();
         xor_keystream(b"key", 0, &mut empty);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn keyed_keystream_matches_naive() {
+        let hk = HmacKey::new(b"stream-key");
+        for len in [0usize, 1, 31, 32, 33, 64, 200] {
+            let mut a: Vec<u8> = (0..len as u8).collect();
+            let mut b = a.clone();
+            xor_keystream(b"stream-key", 99, &mut a);
+            xor_keystream_with(&hk, 99, &mut b);
+            assert_eq!(a, b, "len {len}");
+        }
     }
 
     #[test]

@@ -56,6 +56,20 @@ pub struct Sha256 {
     total_len: u64,
 }
 
+/// Equality over the *logical* hash state: chain value, absorbed length
+/// and the live prefix of the block buffer. Bytes of `buf` beyond
+/// `buf_len` are stale leftovers that depend on `update` chunking
+/// history and must not participate.
+impl PartialEq for Sha256 {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state
+            && self.total_len == other.total_len
+            && self.buf[..self.buf_len] == other.buf[..other.buf_len]
+    }
+}
+
+impl Eq for Sha256 {}
+
 impl Default for Sha256 {
     fn default() -> Self {
         Sha256::new()
@@ -90,9 +104,7 @@ impl Sha256 {
         }
         while data.len() >= BLOCK_LEN {
             let (block, rest) = data.split_at(BLOCK_LEN);
-            let mut b = [0u8; BLOCK_LEN];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            self.compress(block.try_into().expect("fixed"));
             data = rest;
         }
         if !data.is_empty() {
@@ -104,31 +116,25 @@ impl Sha256 {
     /// Finishes, producing the 32-byte digest.
     pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80 then zeros then the 64-bit length.
-        self.update_padding(0x80);
-        while self.buf_len != 56 {
-            self.update_padding(0x00);
-        }
-        let len_bytes = bit_len.to_be_bytes();
-        for &b in &len_bytes {
-            self.update_padding(b);
-        }
+        // Padding: 0x80, zeros to 56 mod 64, then the 64-bit length —
+        // assembled in one tail buffer and absorbed in a single update
+        // (at most two compressions), not byte by byte.
+        let mut tail = [0u8; 2 * BLOCK_LEN];
+        tail[0] = 0x80;
+        let zeros = if self.buf_len < 56 {
+            55 - self.buf_len
+        } else {
+            BLOCK_LEN + 55 - self.buf_len
+        };
+        let tail_len = 1 + zeros + 8;
+        tail[1 + zeros..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&tail[..tail_len]);
         debug_assert_eq!(self.buf_len, 0);
         let mut out = [0u8; DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
         out
-    }
-
-    fn update_padding(&mut self, byte: u8) {
-        self.buf[self.buf_len] = byte;
-        self.buf_len += 1;
-        if self.buf_len == BLOCK_LEN {
-            let block = self.buf;
-            self.compress(&block);
-            self.buf_len = 0;
-        }
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
@@ -258,6 +264,22 @@ mod tests {
             }
             assert_eq!(h.finalize(), d1, "len {n}");
         }
+    }
+
+    #[test]
+    fn equality_ignores_stale_buffer_bytes() {
+        // Same absorbed data through different chunkings leaves different
+        // stale bytes beyond buf_len; the states are logically identical
+        // and must compare equal.
+        let data: Vec<u8> = (0..67u8).collect();
+        let mut a = Sha256::new();
+        a.update(&data[..1]);
+        a.update(&data[1..64]);
+        a.update(&data[64..]);
+        let mut b = Sha256::new();
+        b.update(&data);
+        assert_eq!(a, b);
+        assert_eq!(a.finalize(), b.finalize());
     }
 
     #[test]

@@ -78,7 +78,12 @@ pub fn k_sweep(ks: &[u64], seeds: u64) -> Vec<KSweepRow> {
 pub fn k_sweep_table(ks: &[u64], seeds: u64) -> Table {
     let mut t = Table::new(
         "ablation A: save interval K — overhead vs exposure",
-        &["K", "saves_per_1k_msgs", "max_lost_seqs", "bound_per_reset(2K)"],
+        &[
+            "K",
+            "saves_per_1k_msgs",
+            "max_lost_seqs",
+            "bound_per_reset(2K)",
+        ],
     );
     for row in k_sweep(ks, seeds) {
         assert!(row.max_lost <= row.bound_per_reset, "{row:?}");
@@ -188,13 +193,24 @@ pub fn policy_table(n: u64, k: u64, seed: u64) -> Table {
         ),
         (
             "bursty (200 on / 10ms off)",
-            Workload::bursty(SimDuration::from_micros(4), 200, SimDuration::from_millis(10)),
+            Workload::bursty(
+                SimDuration::from_micros(4),
+                200,
+                SimDuration::from_millis(10),
+            ),
         ),
         (
             "idle-heavy (20 on / 100ms off)",
-            Workload::bursty(SimDuration::from_micros(4), 20, SimDuration::from_millis(100)),
+            Workload::bursty(
+                SimDuration::from_micros(4),
+                20,
+                SimDuration::from_millis(100),
+            ),
         ),
-        ("poisson mean 40us", Workload::poisson(SimDuration::from_micros(40))),
+        (
+            "poisson mean 40us",
+            Workload::poisson(SimDuration::from_micros(40)),
+        ),
     ];
     let mut t = Table::new(
         format!("ablation B: count- vs time-triggered SAVE (K = {k}, {n} msgs)"),
@@ -239,10 +255,7 @@ pub fn window_impl_table(k: u64) -> Table {
     use anti_replay::{BlockWindow, ReplayWindow, SeqNum, SfReceiver};
     use reset_stable::{MemStable, SlotId};
 
-    fn drive<W: ReplayWindow>(
-        mut q: SfReceiver<MemStable, W>,
-        k: u64,
-    ) -> (u64, u64) {
+    fn drive<W: ReplayWindow>(mut q: SfReceiver<MemStable, W>, k: u64) -> (u64, u64) {
         // fig2-style worst case: SAVE(2k) completed, reset immediately.
         for s in 1..=2 * k {
             q.receive(SeqNum::new(s)).expect("mem store");
@@ -288,7 +301,12 @@ pub fn window_impl_table(k: u64) -> Table {
 
     let mut t = Table::new(
         format!("ablation C: window implementation under SAVE/FETCH (K = {k})"),
-        &["window impl", "replays_accepted", "fresh_sacrificed", "bound"],
+        &[
+            "window impl",
+            "replays_accepted",
+            "fresh_sacrificed",
+            "bound",
+        ],
     );
     assert_eq!(ref_acc, 0);
     assert_eq!(blk_acc, 0, "block window must be no less safe");
@@ -330,7 +348,11 @@ mod tests {
     #[test]
     fn count_policy_never_wasteful() {
         let (count, _) = run_policies(
-            Workload::bursty(SimDuration::from_micros(4), 10, SimDuration::from_millis(50)),
+            Workload::bursty(
+                SimDuration::from_micros(4),
+                10,
+                SimDuration::from_millis(50),
+            ),
             2_000,
             25,
             1,
@@ -342,7 +364,11 @@ mod tests {
     #[test]
     fn time_policy_wasteful_on_idle_workloads() {
         let (count, time) = run_policies(
-            Workload::bursty(SimDuration::from_micros(4), 20, SimDuration::from_millis(100)),
+            Workload::bursty(
+                SimDuration::from_micros(4),
+                20,
+                SimDuration::from_millis(100),
+            ),
             2_000,
             25,
             1,
@@ -359,8 +385,12 @@ mod tests {
 
     #[test]
     fn constant_rate_policies_equivalent_exposure() {
-        let (count, time) =
-            run_policies(Workload::constant(SimDuration::from_micros(4)), 2_000, 25, 1);
+        let (count, time) = run_policies(
+            Workload::constant(SimDuration::from_micros(4)),
+            2_000,
+            25,
+            1,
+        );
         // At constant rate the two policies behave almost identically.
         assert!(count.max_exposure <= 25);
         assert!(time.max_exposure <= 26);

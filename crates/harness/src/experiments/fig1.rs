@@ -127,7 +127,11 @@ pub fn table(k: u64) -> Table {
         let fresh = pt.resumed > pt.last_used;
         assert!(pt.gap <= gap_bound, "gap {} > bound {gap_bound}", pt.gap);
         assert!(pt.lost <= 2 * k, "lost {} > 2K", pt.lost);
-        assert!(fresh, "resumed {} not fresh vs {}", pt.resumed, pt.last_used);
+        assert!(
+            fresh,
+            "resumed {} not fresh vs {}",
+            pt.resumed, pt.last_used
+        );
         t.row_owned(vec![
             case.to_string(),
             pt.offset.to_string(),

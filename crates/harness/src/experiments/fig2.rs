@@ -60,11 +60,7 @@ pub fn run_one(k: u64, t: u64, completed: bool) -> Fig2Point {
     // The §3 adversary: replay the entire pre-reset history in order.
     let mut replays_accepted = 0;
     for s in 1..=last_received {
-        if q
-            .receive(SeqNum::new(s))
-            .expect("mem store")
-            .is_delivered()
-        {
+        if q.receive(SeqNum::new(s)).expect("mem store").is_delivered() {
             replays_accepted += 1;
         }
     }

@@ -33,7 +33,11 @@ fn cfg_base(seed: u64, protocol: Protocol, total_msgs: u64) -> ScenarioConfig {
 pub fn table_a(xs: &[u64], seed: u64) -> Table {
     let mut t = Table::new(
         "t3a: receiver reset, whole-history replay — accepted replays vs x",
-        &["x (pre-reset msgs)", "baseline accepted", "savefetch accepted"],
+        &[
+            "x (pre-reset msgs)",
+            "baseline accepted",
+            "savefetch accepted",
+        ],
     );
     for &x in xs {
         let reset_at = SimTime::from_micros(x * MSG_US);
@@ -62,7 +66,11 @@ pub fn table_a(xs: &[u64], seed: u64) -> Table {
 pub fn table_b(ys: &[u64], seed: u64) -> Table {
     let mut t = Table::new(
         "t3b: sender reset — discarded fresh messages vs y",
-        &["y (post-reset msgs)", "baseline discarded", "savefetch discarded"],
+        &[
+            "y (post-reset msgs)",
+            "baseline discarded",
+            "savefetch discarded",
+        ],
     );
     for &y in ys {
         // Pre-reset traffic: y messages too, so the window edge is high.
@@ -92,7 +100,11 @@ pub fn table_b(ys: &[u64], seed: u64) -> Table {
 pub fn table_c(zs: &[u64], seed: u64) -> Table {
     let mut t = Table::new(
         "t3c: both reset + replay of msg(z) — blackholed fresh messages",
-        &["z (highest recorded)", "baseline blackholed", "savefetch blackholed"],
+        &[
+            "z (highest recorded)",
+            "baseline blackholed",
+            "savefetch blackholed",
+        ],
     );
     for &z in zs {
         let reset_at = SimTime::from_micros(z * MSG_US);

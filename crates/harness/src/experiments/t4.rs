@@ -70,7 +70,11 @@ pub fn table() -> Table {
             name.to_string(),
             format!("{}us", t_save / 1_000),
             k.to_string(),
-            if is_paper { "K=25 ✓".to_string() } else { "-".to_string() },
+            if is_paper {
+                "K=25 ✓".to_string()
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     // Measured on this host.

@@ -191,7 +191,9 @@ pub fn table(w: u64, n: u64, seed: u64) -> Table {
         ]);
     }
     t.note("entitled = arrived with first-arrival reorder degree < w; all must be delivered");
-    t.note("severe jitter shows the [2] caveat: reorder >= w may discard good messages (stale_rej)");
+    t.note(
+        "severe jitter shows the [2] caveat: reorder >= w may discard good messages (stale_rej)",
+    );
     t
 }
 

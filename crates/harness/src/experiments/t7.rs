@@ -69,9 +69,15 @@ pub fn run(k: u64) -> T7Outcome {
     let mut now = 0u64;
     for i in 0..40u64 {
         now = i * 10_000;
-        let w = a.send_data(format!("a{i}").as_bytes()).expect("up").expect("wire");
+        let w = a
+            .send_data(format!("a{i}").as_bytes())
+            .expect("up")
+            .expect("wire");
         b.handle_wire(&w, now).expect("deliver");
-        let w = b.send_data(format!("b{i}").as_bytes()).expect("up").expect("wire");
+        let w = b
+            .send_data(format!("b{i}").as_bytes())
+            .expect("up")
+            .expect("wire");
         recorded_b2a.push(w.clone());
         a.handle_wire(&w, now).expect("deliver");
     }

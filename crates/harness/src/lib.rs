@@ -41,7 +41,5 @@ mod scenario;
 mod workload;
 
 pub use report::Table;
-pub use scenario::{
-    run_scenario, AdversaryPlan, Protocol, ScenarioConfig, ScenarioOutcome,
-};
+pub use scenario::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig, ScenarioOutcome};
 pub use workload::Workload;

@@ -51,7 +51,8 @@ impl Table {
             "row arity mismatch in table '{}'",
             self.title
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -89,7 +90,10 @@ impl Table {
 
     /// Cell accessor (row, col) for assertions in tests.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(|s| s.as_str())
     }
 
     /// Renders the table with box-drawing alignment.

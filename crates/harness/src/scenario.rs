@@ -250,7 +250,8 @@ impl ScenarioRunner {
             self.sim.schedule_at(t, Ev::Reset(Side::Q));
         }
         if let AdversaryPlan::PeriodicRandom { every, .. } = self.cfg.adversary {
-            self.sim.schedule_at(SimTime::ZERO + every, Ev::AdversaryTick);
+            self.sim
+                .schedule_at(SimTime::ZERO + every, Ev::AdversaryTick);
         }
         let deadline = SimTime::ZERO + self.cfg.duration;
         // Pump events; the handler needs &mut self alongside &mut sim, so
@@ -349,10 +350,7 @@ impl ScenarioRunner {
             Side::Q => (q.pending_save().is_some(), self.q_save_outstanding),
         };
         if pending && !outstanding {
-            let d = self
-                .cfg
-                .save_latency
-                .sample_ns(self.latency_rng.next_u64());
+            let d = self.cfg.save_latency.sample_ns(self.latency_rng.next_u64());
             self.sim
                 .schedule_at(now + SimDuration::from_nanos(d), Ev::SaveDone(side));
             match side {
@@ -409,7 +407,8 @@ impl ScenarioRunner {
                     self.p_resets += 1;
                     // The baseline "resumes" at 1 — the monitor records the
                     // stale resume as a violation, which t3 reports.
-                    self.monitor.on_sender_wakeup(old_next, SeqNum::FIRST, self.cfg.kp);
+                    self.monitor
+                        .on_sender_wakeup(old_next, SeqNum::FIRST, self.cfg.kp);
                     if self.cfg.adversary == AdversaryPlan::ReplayLatestOnRestart {
                         self.pending_latest_replay = true;
                         self.try_latest_replay();
@@ -457,30 +456,23 @@ impl ScenarioRunner {
         let Proto::Sf { p, q } = &mut self.proto else {
             return;
         };
-        let d = self
-            .cfg
-            .save_latency
-            .sample_ns(self.latency_rng.next_u64());
+        let d = self.cfg.save_latency.sample_ns(self.latency_rng.next_u64());
         match side {
             Side::P => {
                 if p.phase() != Phase::Down {
                     return; // stale wake after overlapping resets
                 }
                 p.begin_wakeup().expect("mem store");
-                self.sim.schedule_at(
-                    now + SimDuration::from_nanos(d),
-                    Ev::FinishWake(Side::P),
-                );
+                self.sim
+                    .schedule_at(now + SimDuration::from_nanos(d), Ev::FinishWake(Side::P));
             }
             Side::Q => {
                 if q.phase() != Phase::Down {
                     return;
                 }
                 q.begin_wakeup().expect("mem store");
-                self.sim.schedule_at(
-                    now + SimDuration::from_nanos(d),
-                    Ev::FinishWake(Side::Q),
-                );
+                self.sim
+                    .schedule_at(now + SimDuration::from_nanos(d), Ev::FinishWake(Side::Q));
             }
         }
     }
@@ -579,7 +571,11 @@ mod tests {
                 ..ScenarioConfig::default()
             };
             let o = run_scenario(cfg);
-            (o.monitor.sent, o.monitor.fresh_delivered, o.final_right_edge)
+            (
+                o.monitor.sent,
+                o.monitor.fresh_delivered,
+                o.final_right_edge,
+            )
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

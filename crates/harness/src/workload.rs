@@ -113,11 +113,7 @@ mod tests {
 
     #[test]
     fn bursty_inserts_idle_gaps() {
-        let mut w = Workload::bursty(
-            SimDuration::from_micros(1),
-            3,
-            SimDuration::from_millis(1),
-        );
+        let mut w = Workload::bursty(SimDuration::from_micros(1), 3, SimDuration::from_millis(1));
         let mut rng = DetRng::new(1);
         let gaps: Vec<u64> = (0..6).map(|_| w.next_gap(&mut rng).as_micros()).collect();
         assert_eq!(gaps, vec![1, 1, 1000, 1, 1, 1000]);

@@ -54,7 +54,10 @@ enum DpdPhase {
     /// Traffic (or probe replies) flowing normally.
     Alive,
     /// Probing after silence.
-    Probing { probes_sent: u32, last_probe_ns: u64 },
+    Probing {
+        probes_sent: u32,
+        last_probe_ns: u64,
+    },
     /// Peer presumed down; grace timer running.
     Grace { since_ns: u64 },
     /// SAs torn down.

@@ -83,7 +83,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(IpsecError::UnknownSa { spi: 0xff }.to_string().contains("0xff"));
+        assert!(IpsecError::UnknownSa { spi: 0xff }
+            .to_string()
+            .contains("0xff"));
         assert!(IpsecError::HandshakeAuthFailed.to_string().contains("auth"));
     }
 

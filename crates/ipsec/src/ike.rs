@@ -358,16 +358,15 @@ mod tests {
     #[test]
     fn different_secrets_different_keys() {
         let a = pair();
-        let b = run_handshake(toy_group(), b"psk", b"other-secret", b"dh-secret-r", 10, 20)
-            .unwrap();
+        let b =
+            run_handshake(toy_group(), b"psk", b"other-secret", b"dh-secret-r", 10, 20).unwrap();
         assert_ne!(a.sa_i2r.keys(), b.sa_i2r.keys());
     }
 
     #[test]
     fn psk_mismatch_fails_auth() {
-        let err =
-            run_handshake_mismatched_psk(toy_group(), b"psk-a", b"psk-b", b"si", b"sr")
-                .unwrap_err();
+        let err = run_handshake_mismatched_psk(toy_group(), b"psk-a", b"psk-b", b"si", b"sr")
+            .unwrap_err();
         assert!(matches!(err, IpsecError::HandshakeAuthFailed));
     }
 

@@ -54,7 +54,7 @@ mod sadb;
 
 pub use dpd::{DpdAction, DpdConfig, DpdDetector};
 pub use error::IpsecError;
-pub use esp::{Inbound, Outbound, RxResult};
+pub use esp::{Inbound, Outbound, RxReject, RxResult};
 pub use ike::{
     run_handshake, run_handshake_mismatched_psk, CostModel, EstablishedPair, HandshakeCost,
     IkeMessage,

@@ -204,7 +204,7 @@ impl<S: StableStore> IpsecPeer<S> {
                     _ => PeerEvent::Data(payload), // untagged legacy data
                 })
             }
-            RxResult::AntiReplay { .. } => Ok(PeerEvent::Rejected),
+            RxResult::AntiReplay { .. } | RxResult::Rejected(_) => Ok(PeerEvent::Rejected),
             RxResult::Buffered | RxResult::DroppedDown => Ok(PeerEvent::NotProcessed),
         }
     }
@@ -301,7 +301,10 @@ mod tests {
         // fresh messages — A's counter sits inside B's leaped window —
         // then flows again: exactly §5 condition (ii).
         let w = b.send_data(b"back online").unwrap().unwrap();
-        assert!(matches!(a.handle_wire(&w, 3_000).unwrap(), PeerEvent::Data(_)));
+        assert!(matches!(
+            a.handle_wire(&w, 3_000).unwrap(),
+            PeerEvent::Data(_)
+        ));
         let mut sacrificed = 0u64;
         loop {
             let w = a.send_data(b"welcome back").unwrap().unwrap();

@@ -6,7 +6,7 @@
 //! SA's lifetime — so persisting the two counters is enough to rescue the
 //! whole SA across a reset, avoiding a full renegotiation.
 
-use reset_crypto::prf_plus;
+use reset_crypto::{prf_plus, HmacKey};
 
 use crate::IpsecError;
 
@@ -96,6 +96,12 @@ pub struct SaUsage {
 pub struct SecurityAssociation {
     spi: u32,
     keys: SaKeys,
+    /// Precomputed HMAC key schedule for `keys.auth` — built once at SA
+    /// install so the per-packet ICV path never reruns the key schedule.
+    auth_hmac: HmacKey,
+    /// Precomputed schedule for `keys.enc`, feeding the keystream
+    /// transform without a per-block key schedule.
+    enc_hmac: HmacKey,
     suite: CryptoSuite,
     lifetime: SaLifetime,
     usage: SaUsage,
@@ -108,9 +114,13 @@ pub struct SecurityAssociation {
 impl SecurityAssociation {
     /// An SA with default suite, unlimited lifetime and ESN enabled.
     pub fn new(spi: u32, keys: SaKeys) -> Self {
+        let auth_hmac = HmacKey::new(&keys.auth);
+        let enc_hmac = HmacKey::new(&keys.enc);
         SecurityAssociation {
             spi,
             keys,
+            auth_hmac,
+            enc_hmac,
             suite: CryptoSuite::default(),
             lifetime: SaLifetime::UNLIMITED,
             usage: SaUsage::default(),
@@ -144,6 +154,19 @@ impl SecurityAssociation {
     /// The negotiated keys.
     pub fn keys(&self) -> &SaKeys {
         &self.keys
+    }
+
+    /// The precomputed HMAC schedule for the authentication key — what
+    /// the ESP datapath hands to [`reset_wire::seal_with`] and
+    /// [`reset_wire::open_zc`] so per-packet ICVs skip the key schedule.
+    pub fn hmac_key(&self) -> &HmacKey {
+        &self.auth_hmac
+    }
+
+    /// The precomputed HMAC schedule for the encryption key — feeds
+    /// [`reset_crypto::xor_keystream_with`] on the datapath.
+    pub fn enc_key(&self) -> &HmacKey {
+        &self.enc_hmac
     }
 
     /// The negotiated suite.

@@ -4,10 +4,7 @@
 //! [`DetRng`] seeded at scenario construction, so that any run can be
 //! reproduced exactly from its seed. The generator is xoshiro256++
 //! seeded through SplitMix64, implemented locally so the stream is stable
-//! regardless of external crate versions. [`DetRng`] also implements
-//! [`rand::RngCore`] for interoperability with `rand`-based workloads.
-
-use rand::RngCore;
+//! regardless of external crate versions.
 
 /// Deterministic PRNG (xoshiro256++ seeded via SplitMix64).
 ///
@@ -49,10 +46,7 @@ impl DetRng {
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -141,27 +135,18 @@ impl DetRng {
         assert!(!xs.is_empty(), "pick from empty slice");
         &xs[self.below(xs.len() as u64) as usize]
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (DetRng::next_u64(self) >> 32) as u32
+    /// Next raw 32-bit output (the high half of one 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
-        DetRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
-            let v = DetRng::next_u64(self).to_le_bytes();
+            let v = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -42,10 +42,7 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, id) pops
         // first. Equal times fall back to insertion order via the id.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -243,7 +240,9 @@ mod tests {
         sim.schedule_at(SimTime::from_nanos(30), Ev::C);
         sim.schedule_at(SimTime::from_nanos(10), Ev::A);
         sim.schedule_at(SimTime::from_nanos(20), Ev::B);
-        let order: Vec<_> = std::iter::from_fn(|| sim.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| sim.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, vec![Ev::A, Ev::B, Ev::C]);
     }
 
@@ -253,7 +252,9 @@ mod tests {
         sim.schedule_at(SimTime::from_nanos(5), Ev::A);
         sim.schedule_at(SimTime::from_nanos(5), Ev::B);
         sim.schedule_at(SimTime::from_nanos(5), Ev::C);
-        let order: Vec<_> = std::iter::from_fn(|| sim.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| sim.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, vec![Ev::A, Ev::B, Ev::C]);
     }
 

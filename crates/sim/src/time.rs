@@ -253,7 +253,11 @@ mod tests {
 
     #[test]
     fn checked_add_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_nanos(1)).is_some());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_nanos(1))
+            .is_some());
     }
 }

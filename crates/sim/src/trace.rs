@@ -22,7 +22,13 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<10} {}", self.at.to_string(), self.tag, self.detail)
+        write!(
+            f,
+            "[{:>12}] {:<10} {}",
+            self.at.to_string(),
+            self.tag,
+            self.detail
+        )
     }
 }
 
@@ -113,7 +119,10 @@ impl TraceLog {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier entries dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier entries dropped ...\n",
+                self.dropped
+            ));
         }
         for e in &self.entries {
             out.push_str(&e.to_string());

@@ -1,15 +1,22 @@
-//! Property-based tests of the simulation kernel: the determinism and
+//! Property-style tests of the simulation kernel: the determinism and
 //! ordering guarantees every experiment in this repository rests on.
-
-use proptest::prelude::*;
+//!
+//! The offline build has no proptest, so cases are generated from the
+//! crate's own seeded [`DetRng`] — many random instances per property,
+//! fully reproducible from the literal seeds below.
 
 use reset_sim::{DetRng, SimTime, Simulator};
 
-proptest! {
-    /// Events always come out in non-decreasing time order, with FIFO
-    /// tie-breaks for equal timestamps.
-    #[test]
-    fn events_delivered_in_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// Events always come out in non-decreasing time order, with FIFO
+/// tie-breaks for equal timestamps.
+#[test]
+fn events_delivered_in_order() {
+    let mut gen = DetRng::new(0x5EED_0001);
+    for case in 0..CASES {
+        let n = 1 + gen.below(200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| gen.below(10_000)).collect();
         let mut sim = Simulator::new(0);
         for (i, &t) in times.iter().enumerate() {
             sim.schedule_at(SimTime::from_nanos(t), i);
@@ -18,12 +25,12 @@ proptest! {
         let mut seen_at_time: Vec<usize> = Vec::new();
         let mut prev_t = None;
         while let Some((t, idx)) = sim.next_event() {
-            prop_assert!(t >= last_time, "time went backwards");
+            assert!(t >= last_time, "case {case}: time went backwards");
             if prev_t == Some(t) {
                 // FIFO among equal timestamps: scheduling index increases.
-                prop_assert!(
+                assert!(
                     seen_at_time.last().is_none_or(|&p| p < idx),
-                    "FIFO violated at {t}"
+                    "case {case}: FIFO violated at {t}"
                 );
             } else {
                 seen_at_time.clear();
@@ -32,15 +39,18 @@ proptest! {
             prev_t = Some(t);
             last_time = t;
         }
-        prop_assert_eq!(sim.processed(), times.len() as u64);
+        assert_eq!(sim.processed(), times.len() as u64);
     }
+}
 
-    /// Cancellation removes exactly the cancelled events.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancellation removes exactly the cancelled events.
+#[test]
+fn cancellation_is_exact() {
+    let mut gen = DetRng::new(0x5EED_0002);
+    for case in 0..CASES {
+        let n = 1 + gen.below(100) as usize;
+        let times: Vec<u64> = (0..n).map(|_| gen.below(1_000)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| gen.chance(0.5)).collect();
         let mut sim = Simulator::new(0);
         let ids: Vec<_> = times
             .iter()
@@ -49,8 +59,8 @@ proptest! {
             .collect();
         let mut expected: Vec<usize> = Vec::new();
         for (i, id) in &ids {
-            if cancel_mask.get(*i).copied().unwrap_or(false) {
-                prop_assert!(sim.cancel(*id));
+            if cancel_mask[*i] {
+                assert!(sim.cancel(*id), "case {case}: cancel failed");
             } else {
                 expected.push(*i);
             }
@@ -61,41 +71,52 @@ proptest! {
         }
         delivered.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(delivered, expected);
+        assert_eq!(delivered, expected, "case {case}");
     }
+}
 
-    /// The same seed yields bit-identical random streams; different seeds
-    /// diverge quickly.
-    #[test]
-    fn rng_determinism(seed in any::<u64>()) {
+/// The same seed yields bit-identical random streams; different seeds
+/// diverge quickly.
+#[test]
+fn rng_determinism() {
+    let mut gen = DetRng::new(0x5EED_0003);
+    for _ in 0..CASES {
+        let seed = gen.next_u64();
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
         let mut c = DetRng::new(seed.wrapping_add(1));
         let matches = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
-        prop_assert!(matches < 8, "distinct seeds should diverge");
+        assert!(matches < 8, "distinct seeds should diverge");
     }
+}
 
-    /// Bounded generation is unbiased enough to hit every residue and
-    /// never exceeds the bound.
-    #[test]
-    fn below_stays_in_bounds(seed in any::<u64>(), bound in 1u64..1_000) {
+/// Bounded generation never exceeds the bound.
+#[test]
+fn below_stays_in_bounds() {
+    let mut gen = DetRng::new(0x5EED_0004);
+    for _ in 0..CASES {
+        let seed = gen.next_u64();
+        let bound = 1 + gen.below(999);
         let mut rng = DetRng::new(seed);
         for _ in 0..500 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
+}
 
-    /// Forked streams never mirror their parent.
-    #[test]
-    fn forked_streams_independent(seed in any::<u64>()) {
-        let mut parent = DetRng::new(seed);
+/// Forked streams never mirror their parent.
+#[test]
+fn forked_streams_independent() {
+    let mut gen = DetRng::new(0x5EED_0005);
+    for _ in 0..CASES {
+        let mut parent = DetRng::new(gen.next_u64());
         let mut child = parent.fork();
         let matches = (0..64)
             .filter(|_| parent.next_u64() == child.next_u64())
             .count();
-        prop_assert!(matches < 8);
+        assert!(matches < 8);
     }
 }

@@ -305,7 +305,7 @@ mod tests {
             jitter_ns: 50,
         };
         for raw in 0..200u64 {
-            let d = j.sample_ns(raw.wrapping_mul(0x9E37_79B9)) ;
+            let d = j.sample_ns(raw.wrapping_mul(0x9E37_79B9));
             assert!((100..=150).contains(&d));
         }
         assert_eq!(j.worst_case_ns(), 150);
@@ -315,8 +315,8 @@ mod tests {
     fn paper_disk_matches_paper_numbers() {
         let m = SaveLatencyModel::paper_disk();
         assert_eq!(m.worst_case_ns(), 100_000); // 100 us
-        // 100 us save / 4 us per message = 25 messages per save: the
-        // paper's minimum save interval.
+                                                // 100 us save / 4 us per message = 25 messages per save: the
+                                                // paper's minimum save interval.
         assert_eq!(m.worst_case_ns() / 4_000, 25);
     }
 

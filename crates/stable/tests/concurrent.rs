@@ -1,9 +1,11 @@
 //! Concurrency stress: a single saver thread owns the store while
 //! datapath threads stream counter updates at it — the deployment shape
 //! a real IPsec stack would use (the paper's background SAVE must not
-//! block the datapath).
+//! block the datapath). Built on std channels and scoped threads; the
+//! offline build has no crossbeam.
 
-use crossbeam::channel;
+use std::sync::mpsc;
+
 use reset_stable::{BackgroundSaver, MemStable, SlotId, StableStore};
 
 #[derive(Debug)]
@@ -16,7 +18,7 @@ enum Op {
 
 #[test]
 fn saver_thread_serializes_concurrent_sa_updates() {
-    let (tx, rx) = channel::unbounded::<Op>();
+    let (tx, rx) = mpsc::channel::<Op>();
     let n_sas = 8u32;
     let updates_per_sa = 500u64;
 
@@ -44,10 +46,10 @@ fn saver_thread_serializes_concurrent_sa_updates() {
         }
     });
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for sa in 0..n_sas {
             let tx = tx.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let slot = SlotId::sender(sa);
                 for v in 1..=updates_per_sa {
                     tx.send(Op::Issue { slot, value: v }).expect("send");
@@ -61,8 +63,7 @@ fn saver_thread_serializes_concurrent_sa_updates() {
                 tx.send(Op::Done).expect("send");
             });
         }
-    })
-    .expect("no thread panicked");
+    });
 
     let store = saver_thread.join().expect("saver thread clean");
     // Every slot holds SOME durable value ≤ its final counter, and at
@@ -87,18 +88,17 @@ fn file_store_parallel_writers_distinct_slots() {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..6u32 {
             let dir = dir.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut store = FileStable::open(&dir, Durability::ProcessCrash).expect("open");
                 for v in 1..=100u64 {
                     store.store(SlotId::receiver(t), v).expect("store");
                 }
             });
         }
-    })
-    .expect("no panics");
+    });
     let store = reset_stable::FileStable::open(&dir, Durability::ProcessCrash).expect("open");
     for t in 0..6u32 {
         assert_eq!(store.load(SlotId::receiver(t)).expect("load"), Some(100));

@@ -13,9 +13,18 @@
 //! the sequence number travel on the wire; with extended sequence numbers
 //! (ESN) the high 32 bits are implicit and are included in the ICV
 //! computation, which lets the receiver detect a wrong high-half guess.
+//!
+//! Two tiers of API exist:
+//!
+//! * [`seal`] / [`open`] — convenience forms taking a raw key slice;
+//!   they rerun the HMAC key schedule per call.
+//! * [`seal_with`] / [`seal_into`] / [`open_with`] / [`open_zc`] — the
+//!   datapath forms: they take a precomputed [`HmacKey`] (built once per
+//!   SA), `seal_into` reuses a caller-owned buffer, and `open_zc`
+//!   returns the payload as a zero-copy slice of the input `Bytes`.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use reset_crypto::{ct_eq, hmac_sha256_96, HmacSha256};
+use reset_crypto::{ct_eq, HmacKey};
 
 use crate::WireError;
 
@@ -67,18 +76,74 @@ pub fn seal(
     auth_key: &[u8],
     esn: bool,
 ) -> Result<Bytes, WireError> {
+    seal_with(spi, seq, payload, &HmacKey::new(auth_key), esn)
+}
+
+/// [`seal`] with a precomputed [`HmacKey`]: the per-SA fast path that
+/// never re-derives the key schedule.
+pub fn seal_with(
+    spi: u32,
+    seq: u64,
+    payload: &[u8],
+    auth_key: &HmacKey,
+    esn: bool,
+) -> Result<Bytes, WireError> {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len() + ICV_LEN);
+    seal_into(&mut buf, spi, seq, payload, auth_key, esn)?;
+    Ok(buf.freeze())
+}
+
+/// Seals into a caller-owned buffer, appending header, payload and ICV.
+///
+/// The buffer is cleared first; its allocation is reused, so a sender
+/// draining a queue through one scratch `BytesMut` seals packets without
+/// per-packet allocation.
+///
+/// # Errors
+///
+/// Returns [`WireError::SeqOverflow`] if `seq` exceeds `u32::MAX` while
+/// `esn` is false.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::BytesMut;
+/// use reset_crypto::HmacKey;
+/// use reset_wire::{open_with, seal_into};
+///
+/// let key = HmacKey::new(b"auth-key");
+/// let mut scratch = BytesMut::with_capacity(1500);
+/// for seq in 1..=3u64 {
+///     seal_into(&mut scratch, 7, seq, b"payload", &key, false)?;
+///     assert!(open_with(&scratch, &key, None).is_ok());
+/// }
+/// # Ok::<(), reset_wire::WireError>(())
+/// ```
+pub fn seal_into(
+    buf: &mut BytesMut,
+    spi: u32,
+    seq: u64,
+    payload: &[u8],
+    auth_key: &HmacKey,
+    esn: bool,
+) -> Result<(), WireError> {
     if !esn && seq > u32::MAX as u64 {
         return Err(WireError::SeqOverflow);
     }
     let seq_lo = seq as u32;
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len() + ICV_LEN);
+    buf.clear();
+    buf.reserve(HEADER_LEN + payload.len() + ICV_LEN);
     buf.put_u32(spi);
     buf.put_u32(seq_lo);
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
-    let icv = compute_icv(auth_key, &buf, if esn { Some((seq >> 32) as u32) } else { None });
+    let icv = compute_icv(
+        auth_key,
+        buf,
+        if esn { Some((seq >> 32) as u32) } else { None },
+    );
     buf.put_slice(&icv);
-    Ok(buf.freeze())
+    Ok(())
 }
 
 /// Opens wire bytes, verifying the ICV.
@@ -88,6 +153,9 @@ pub fn seal(
 /// [`crate::EsnTracker`]) and a wrong guess fails authentication, exactly
 /// as RFC 4304 specifies.
 ///
+/// The returned payload copies out of `wire`; the receive datapath uses
+/// [`open_zc`], which slices the input without copying.
+///
 /// # Errors
 ///
 /// * [`WireError::Truncated`] / [`WireError::BadLength`] on malformed
@@ -95,6 +163,71 @@ pub fn seal(
 /// * [`WireError::IcvMismatch`] when authentication fails; the caller must
 ///   drop the packet without touching the anti-replay window.
 pub fn open(wire: &[u8], auth_key: &[u8], esn_hi: Option<u32>) -> Result<EspPacket, WireError> {
+    open_with(wire, &HmacKey::new(auth_key), esn_hi)
+}
+
+/// [`open`] with a precomputed [`HmacKey`].
+pub fn open_with(
+    wire: &[u8],
+    auth_key: &HmacKey,
+    esn_hi: Option<u32>,
+) -> Result<EspPacket, WireError> {
+    let (spi, seq_lo, declared) = verify_frame(wire, auth_key, esn_hi)?;
+    Ok(EspPacket {
+        spi,
+        seq_lo,
+        payload: Bytes::copy_from_slice(&wire[HEADER_LEN..HEADER_LEN + declared]),
+    })
+}
+
+/// Zero-copy [`open`]: verifies in place and returns the payload as a
+/// slice of the input buffer — no bytes are copied or allocated.
+///
+/// # Errors
+///
+/// Same as [`open`].
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::HmacKey;
+/// use reset_wire::{open_zc, seal_with};
+///
+/// let key = HmacKey::new(b"auth-key");
+/// let wire = seal_with(9, 1, b"zero copy", &key, false)?;
+/// let pkt = open_zc(&wire, &key, None)?;
+/// assert_eq!(&pkt.payload[..], b"zero copy");
+/// # Ok::<(), reset_wire::WireError>(())
+/// ```
+pub fn open_zc(
+    wire: &Bytes,
+    auth_key: &HmacKey,
+    esn_hi: Option<u32>,
+) -> Result<EspPacket, WireError> {
+    let (spi, seq_lo, declared) = verify_frame(wire, auth_key, esn_hi)?;
+    Ok(EspPacket {
+        spi,
+        seq_lo,
+        payload: wire.slice(HEADER_LEN..HEADER_LEN + declared),
+    })
+}
+
+/// Framing + authentication without materializing the payload: returns
+/// `(spi, seq_lo, payload_len)` once the ICV has verified; the payload
+/// occupies `wire[HEADER_LEN..HEADER_LEN + payload_len]`.
+///
+/// This is the receive datapath's entry point when the caller wants to
+/// move verified bytes straight into its own buffer (e.g. a decryption
+/// arena) without an intermediate allocation.
+///
+/// # Errors
+///
+/// Same as [`open`].
+pub fn verify_frame(
+    wire: &[u8],
+    auth_key: &HmacKey,
+    esn_hi: Option<u32>,
+) -> Result<(u32, u32, usize), WireError> {
     if wire.len() < HEADER_LEN + ICV_LEN {
         return Err(WireError::Truncated {
             needed: HEADER_LEN + ICV_LEN,
@@ -116,28 +249,21 @@ pub fn open(wire: &[u8], auth_key: &[u8], esn_hi: Option<u32>) -> Result<EspPack
     if !ct_eq(icv, &expect) {
         return Err(WireError::IcvMismatch);
     }
-    Ok(EspPacket {
-        spi,
-        seq_lo,
-        payload: Bytes::copy_from_slice(&wire[HEADER_LEN..HEADER_LEN + declared]),
-    })
+    Ok((spi, seq_lo, declared))
 }
 
-fn compute_icv(auth_key: &[u8], authed: &[u8], esn_hi: Option<u32>) -> [u8; ICV_LEN] {
-    match esn_hi {
-        None => hmac_sha256_96(auth_key, authed),
-        Some(hi) => {
-            // RFC 4304: the implicit high-order bits participate in the
-            // ICV as if appended to the packet.
-            let mut h = HmacSha256::new(auth_key);
-            h.update(authed);
-            h.update(&hi.to_be_bytes());
-            let full = h.finalize();
-            let mut out = [0u8; ICV_LEN];
-            out.copy_from_slice(&full[..ICV_LEN]);
-            out
-        }
+fn compute_icv(auth_key: &HmacKey, authed: &[u8], esn_hi: Option<u32>) -> [u8; ICV_LEN] {
+    let mut h = auth_key.begin();
+    h.update(authed);
+    if let Some(hi) = esn_hi {
+        // RFC 4304: the implicit high-order bits participate in the
+        // ICV as if appended to the packet.
+        h.update(&hi.to_be_bytes());
     }
+    let full = h.finalize();
+    let mut out = [0u8; ICV_LEN];
+    out.copy_from_slice(&full[..ICV_LEN]);
+    out
 }
 
 #[cfg(test)]
@@ -240,5 +366,61 @@ mod tests {
         let first = open(&wire, KEY, None).unwrap();
         let replayed = open(&wire, KEY, None).unwrap();
         assert_eq!(first, replayed);
+    }
+
+    #[test]
+    fn keyed_paths_agree_with_raw_key_paths() {
+        let hk = HmacKey::new(KEY);
+        for esn in [false, true] {
+            let seq = if esn { (3u64 << 32) | 9 } else { 9 };
+            let hi = if esn { Some(3) } else { None };
+            let a = seal(21, seq, b"agree", KEY, esn).unwrap();
+            let b = seal_with(21, seq, b"agree", &hk, esn).unwrap();
+            assert_eq!(a, b, "identical wire bytes (esn={esn})");
+            assert_eq!(open(&a, KEY, hi).unwrap(), open_with(&b, &hk, hi).unwrap());
+            assert_eq!(open_zc(&b, &hk, hi).unwrap(), open(&a, KEY, hi).unwrap());
+        }
+    }
+
+    #[test]
+    fn seal_into_reuses_buffer_across_packets() {
+        let hk = HmacKey::new(KEY);
+        let mut buf = BytesMut::with_capacity(256);
+        let mut cap = None;
+        for seq in 1..=10u64 {
+            seal_into(&mut buf, 5, seq, b"same-size payload", &hk, false).unwrap();
+            let pkt = open_with(&buf, &hk, None).unwrap();
+            assert_eq!(pkt.seq_lo, seq as u32);
+            match cap {
+                None => cap = Some(buf.capacity()),
+                Some(c) => assert_eq!(buf.capacity(), c, "no regrowth while reused"),
+            }
+        }
+    }
+
+    #[test]
+    fn open_zc_payload_shares_input_storage() {
+        let hk = HmacKey::new(KEY);
+        let wire = seal_with(5, 8, b"shared storage", &hk, false).unwrap();
+        let pkt = open_zc(&wire, &hk, None).unwrap();
+        // Same allocation: the payload's first byte lives inside `wire`.
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        assert!(wire_range.contains(&(pkt.payload.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn open_zc_rejects_what_open_rejects() {
+        let hk = HmacKey::new(KEY);
+        let wire = seal_with(5, 8, b"victim", &hk, false).unwrap();
+        for i in 0..wire.len() {
+            let mut bad = wire.to_vec();
+            bad[i] ^= 0x80;
+            let bad = Bytes::from(bad);
+            assert_eq!(
+                open_zc(&bad, &hk, None).is_err(),
+                open(&bad, KEY, None).is_err()
+            );
+            assert!(open_zc(&bad, &hk, None).is_err());
+        }
     }
 }

@@ -8,6 +8,9 @@
 //! fail authentication before the window is ever consulted.
 //!
 //! * [`seal`] / [`open`] — encode + authenticate / verify + decode.
+//! * [`seal_with`] / [`seal_into`] / [`open_with`] / [`open_zc`] — the
+//!   datapath tier: precomputed [`reset_crypto::HmacKey`], caller-owned
+//!   buffers, and zero-copy payload slices.
 //! * [`EspPacket`] — the parsed result.
 //! * [`infer_esn`] / [`EsnTracker`] — RFC 4304 extended sequence numbers,
 //!   approximating the paper's unbounded counters on a 32-bit wire field.
@@ -41,4 +44,7 @@ mod esp;
 
 pub use error::WireError;
 pub use esn::{infer_esn, EsnTracker};
-pub use esp::{open, seal, EspPacket, HEADER_LEN, ICV_LEN};
+pub use esp::{
+    open, open_with, open_zc, seal, seal_into, seal_with, verify_frame, EspPacket, HEADER_LEN,
+    ICV_LEN,
+};

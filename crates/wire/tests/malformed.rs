@@ -1,0 +1,110 @@
+//! Malformed-frame hardening: `open` must reject — never panic on —
+//! every truncation, every PAYLEN lie, and every ICV corruption, and the
+//! ICV comparison must go through the constant-time `ct_eq` (pinned here
+//! by behaviour: verification outcome depends only on whether the tag
+//! matches, not on which byte differs).
+
+use bytes::Bytes;
+use reset_crypto::HmacKey;
+use reset_wire::{open, open_with, open_zc, seal, WireError, HEADER_LEN, ICV_LEN};
+
+const KEY: &[u8] = b"malformed-test-key";
+
+/// Every input shorter than a full empty frame — including length 0 —
+/// errors cleanly, through all three open variants.
+#[test]
+fn every_short_length_rejected_without_panic() {
+    let hk = HmacKey::new(KEY);
+    let wire = seal(1, 1, b"", KEY, false).unwrap();
+    assert_eq!(wire.len(), HEADER_LEN + ICV_LEN);
+    for len in 0..HEADER_LEN + ICV_LEN {
+        let truncated = &wire[..len];
+        assert!(
+            matches!(open(truncated, KEY, None), Err(WireError::Truncated { .. })),
+            "len {len}"
+        );
+        assert!(open_with(truncated, &hk, None).is_err(), "len {len}");
+        let owned = Bytes::copy_from_slice(truncated);
+        assert!(open_zc(&owned, &hk, None).is_err(), "len {len}");
+    }
+}
+
+/// Arbitrary garbage of every short length — not just truncated valid
+/// frames — is rejected without panicking.
+#[test]
+fn garbage_of_every_short_length_rejected() {
+    for len in 0..HEADER_LEN + ICV_LEN {
+        let garbage: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(0xA7)).collect();
+        assert!(open(&garbage, KEY, None).is_err(), "len {len}");
+    }
+}
+
+/// A PAYLEN that disagrees with the actual buffer — shorter or longer,
+/// including values near `u32::MAX` that would overflow a naive
+/// computation — is rejected as `BadLength` before any ICV work.
+#[test]
+fn every_paylen_lie_rejected() {
+    let payload = [0x5Au8; 32];
+    let wire = seal(9, 77, &payload, KEY, false).unwrap();
+    let actual = payload.len() as u32;
+    let lies = [
+        0u32,
+        1,
+        actual - 1,
+        actual + 1,
+        2 * actual,
+        u32::MAX - 1,
+        u32::MAX,
+    ];
+    for lie in lies {
+        if lie == actual {
+            continue;
+        }
+        let mut bad = wire.to_vec();
+        bad[8..12].copy_from_slice(&lie.to_be_bytes());
+        assert!(
+            matches!(open(&bad, KEY, None), Err(WireError::BadLength { .. })),
+            "declared {lie}"
+        );
+    }
+}
+
+/// Flipping any single byte of the ICV fails authentication with exactly
+/// the same observable outcome regardless of position — the behavioural
+/// contract of the `ct_eq` constant-time comparison.
+#[test]
+fn every_icv_byte_flip_fails_identically() {
+    let wire = seal(3, 5, b"protected payload", KEY, false).unwrap();
+    let icv_start = wire.len() - ICV_LEN;
+    for i in 0..ICV_LEN {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut bad = wire.to_vec();
+            bad[icv_start + i] ^= flip;
+            assert_eq!(
+                open(&bad, KEY, None),
+                Err(WireError::IcvMismatch),
+                "icv byte {i} flip {flip:#04x}"
+            );
+        }
+    }
+    // And the untouched frame still verifies (the flips above were the
+    // only difference).
+    assert!(open(&wire, KEY, None).is_ok());
+}
+
+/// The zero-copy and copying paths agree on every malformed input above.
+#[test]
+fn zero_copy_open_rejects_exactly_like_open() {
+    let hk = HmacKey::new(KEY);
+    let wire = seal(3, 5, b"agree on rejects", KEY, false).unwrap();
+    for i in 0..wire.len() {
+        let mut bad = wire.to_vec();
+        bad[i] ^= 0x40;
+        let bad = Bytes::from(bad);
+        assert_eq!(
+            open(&bad, KEY, None).err(),
+            open_zc(&bad, &hk, None).err(),
+            "byte {i}"
+        );
+    }
+}

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. t_save: median of 500 real write-to-file SAVEs.
     let t_save_ns = t4::measure_file_save_ns(500);
-    println!("t_save (median of 500 file writes): {:.1} us", t_save_ns as f64 / 1e3);
+    println!(
+        "t_save (median of 500 file writes): {:.1} us",
+        t_save_ns as f64 / 1e3
+    );
 
     // 2. t_msg: time to produce one protected 1000-byte packet (seal +
     //    keystream + counter bookkeeping), the analogue of the paper's
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let _ = tx.protect(&payload)?;
     }
     let t_msg_ns = (t0.elapsed().as_nanos() as u64 / n as u64).max(1);
-    println!("t_msg  (avg over {n} ESP seals of 1000B): {:.2} us", t_msg_ns as f64 / 1e3);
+    println!(
+        "t_msg  (avg over {n} ESP seals of 1000B): {:.2} us",
+        t_msg_ns as f64 / 1e3
+    );
 
     // 3. The paper's rule.
     let k = t4::k_min(t_save_ns, t_msg_ns);
@@ -49,9 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. What that K costs and risks.
     println!("\nwith K = {k}:");
-    println!("  SAVE overhead: one write per {k} packets ({:.2}% of datapath time)",
-        100.0 * t_save_ns as f64 / (k as f64 * t_msg_ns as f64));
-    println!("  worst-case waste after a sender reset: 2K = {} sequence numbers", 2 * k);
-    println!("  worst-case fresh loss after a receiver reset: 2K = {} messages", 2 * k);
+    println!(
+        "  SAVE overhead: one write per {k} packets ({:.2}% of datapath time)",
+        100.0 * t_save_ns as f64 / (k as f64 * t_msg_ns as f64)
+    );
+    println!(
+        "  worst-case waste after a sender reset: 2K = {} sequence numbers",
+        2 * k
+    );
+    println!(
+        "  worst-case fresh loss after a receiver reset: 2K = {} messages",
+        2 * k
+    );
     Ok(())
 }

@@ -30,14 +30,23 @@ fn main() {
     println!("baseline (no SAVE/FETCH):");
     println!("  messages sent:        {}", base.monitor.sent);
     println!("  replays injected:     {}", base.injected);
-    println!("  REPLAYS ACCEPTED:     {}   <-- unbounded, grows with traffic", base.monitor.replays_accepted);
-    println!("  violations recorded:  {}\n", base.monitor.violations.len());
+    println!(
+        "  REPLAYS ACCEPTED:     {}   <-- unbounded, grows with traffic",
+        base.monitor.replays_accepted
+    );
+    println!(
+        "  violations recorded:  {}\n",
+        base.monitor.violations.len()
+    );
 
     let sf = attack(Protocol::SaveFetch);
     println!("SAVE/FETCH (K = 25):");
     println!("  messages sent:        {}", sf.monitor.sent);
     println!("  replays injected:     {}", sf.injected);
-    println!("  replays accepted:     {}   <-- the paper's guarantee", sf.monitor.replays_accepted);
+    println!(
+        "  replays accepted:     {}   <-- the paper's guarantee",
+        sf.monitor.replays_accepted
+    );
     println!("  replays rejected:     {}", sf.monitor.replays_rejected);
     println!(
         "  fresh sacrificed:     {}   (bound 2K = 50)",

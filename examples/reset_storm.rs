@@ -12,8 +12,8 @@
 //! after every event that no replay is accepted and all losses stay
 //! bounded.
 
-use reset_harness::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig};
 use reset_channel::LinkConfig;
+use reset_harness::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig};
 use reset_sim::{SimDuration, SimTime};
 
 fn main() {
@@ -58,12 +58,23 @@ fn main() {
     println!("delivered:               {}", out.monitor.fresh_delivered);
     println!("sender resets:           {}", out.sender_resets);
     println!("receiver resets:         {}", out.receiver_resets);
-    println!("link drops / dups:       {} / {}", out.link.dropped, out.link.duplicated);
+    println!(
+        "link drops / dups:       {} / {}",
+        out.link.dropped, out.link.duplicated
+    );
     println!("adversary injections:    {}", out.injected);
     println!("replays rejected:        {}", out.monitor.replays_rejected);
     println!("replays ACCEPTED:        {}", out.monitor.replays_accepted);
-    println!("fresh discarded:         {} (resets x 2K = {})", out.monitor.fresh_discarded, out.receiver_resets * 2 * k);
-    println!("seqs lost to leaps:      {} (resets x 2K = {})", out.monitor.seqs_lost_to_leaps, out.sender_resets * 2 * k);
+    println!(
+        "fresh discarded:         {} (resets x 2K = {})",
+        out.monitor.fresh_discarded,
+        out.receiver_resets * 2 * k
+    );
+    println!(
+        "seqs lost to leaps:      {} (resets x 2K = {})",
+        out.monitor.seqs_lost_to_leaps,
+        out.sender_resets * 2 * k
+    );
     println!("dropped while down:      {}", out.dropped_down);
     println!("violations:              {:?}", out.monitor.violations);
 

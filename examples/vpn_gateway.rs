@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let wire = sadb.protect(spi, b"tunnel payload")?.expect("up");
             sadb.process(&wire)?;
         }
-        sadb.outbound_mut(spi).expect("installed").save_completed()?;
+        sadb.outbound_mut(spi)
+            .expect("installed")
+            .save_completed()?;
         sadb.inbound_mut(spi).expect("installed").save_completed()?;
     }
     println!("pushed 60 packets through each SA");
@@ -82,13 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. The paper-era estimate (Pentium III + WAN) for context.
     if let Some(cost) = total_cost {
         let est = cost.estimate_ns(&CostModel::paper_era()) as f64 / 1e6;
-        println!(
-            "paper-era estimate: {est:.1} ms per handshake vs 0.2 ms per SAVE/FETCH recovery"
-        );
+        println!("paper-era estimate: {est:.1} ms per handshake vs 0.2 ms per SAVE/FETCH recovery");
     }
 
     let speedup = rehandshake_elapsed.as_nanos() as f64 / recover_elapsed.as_nanos().max(1) as f64;
-    println!("\nresult: SAVE/FETCH recovery is {speedup:.0}x faster than renegotiating {n_sas} SAs");
+    println!(
+        "\nresult: SAVE/FETCH recovery is {speedup:.0}x faster than renegotiating {n_sas} SAs"
+    );
     assert!(speedup > 2.0, "recovery must win decisively");
 
     // 6. And the recovered SAs still work.

@@ -115,7 +115,10 @@ fn exhaustive_exploration_finds_the_attack_on_the_baseline() {
     // The trace must involve a reset and a duplication (the attack's
     // ingredients).
     let rendered = trace.join(" -> ");
-    assert!(rendered.contains("ResetQ") || rendered.contains("ResetP"), "{rendered}");
+    assert!(
+        rendered.contains("ResetQ") || rendered.contains("ResetP"),
+        "{rendered}"
+    );
     assert!(rendered.contains("DupFront"), "{rendered}");
 }
 
@@ -193,14 +196,12 @@ fn weak_fairness_keeps_background_saves_completing() {
     let mut sys = savefetch_system(5, 5, 16, Schedule::RoundRobin);
     sys.run(2_000);
     let p = sys.proc(P).as_sf_sender().expect("sender");
-    let durable = p
-        .store()
-        .iter()
-        .next()
-        .map(|(_, v)| v)
-        .unwrap_or(0);
+    let durable = p.store().iter().next().map(|(_, v)| v).unwrap_or(0);
     let live = p.next_seq().value();
-    assert!(live - durable <= 2 * 5, "durable {durable} trails live {live} too far");
+    assert!(
+        live - durable <= 2 * 5,
+        "durable {durable} trails live {live} too far"
+    );
 }
 
 #[test]

@@ -4,8 +4,8 @@
 //! abstract sequence numbers: forgery, truncation, bit flips, cross-SA
 //! splicing, reflection, and massed replay during every protocol phase.
 
-use reset_ipsec::{IpsecError, PeerEvent, RxResult, SaKeys, SecurityAssociation};
 use reset_ipsec::{Inbound, Outbound};
+use reset_ipsec::{IpsecError, PeerEvent, RxResult, SaKeys, SecurityAssociation};
 use reset_stable::MemStable;
 use system_tests::{drive_traffic, peer_pair};
 
@@ -31,7 +31,10 @@ fn massed_replay_at_every_phase() {
 
     // Phase 1: replay against a live receiver.
     for w in &recorded {
-        assert!(!rx.process(w).unwrap().is_delivered(), "live replay accepted");
+        assert!(
+            !rx.process(w).unwrap().is_delivered(),
+            "live replay accepted"
+        );
     }
     // Phase 2: replay against a down receiver (drops, then still safe).
     rx.reset();
@@ -51,7 +54,10 @@ fn massed_replay_at_every_phase() {
     );
     // Phase 4: replay after full recovery.
     for w in &recorded {
-        assert!(!rx.process(w).unwrap().is_delivered(), "post-recovery replay");
+        assert!(
+            !rx.process(w).unwrap().is_delivered(),
+            "post-recovery replay"
+        );
     }
 }
 
@@ -69,14 +75,21 @@ fn forgery_and_tampering_rejected_before_window() {
         bad[i] ^= 0x80;
         assert!(rx.process(&bad).is_err(), "tamper at byte {i} accepted");
     }
-    assert_eq!(rx.seq_state().right_edge(), edge_before, "window touched by forgeries");
+    assert_eq!(
+        rx.seq_state().right_edge(),
+        edge_before,
+        "window touched by forgeries"
+    );
     // SPI-byte flips fail as UnknownSa before any crypto runs; the other
     // 27 positions all fail authentication.
     assert_eq!(rx.auth_failures(), w.len() as u64 - 4);
 
     // Truncations.
     for cut in [0usize, 1, 7, 11, w.len() - 1] {
-        assert!(rx.process(&w[..cut]).is_err(), "truncation to {cut} accepted");
+        assert!(
+            rx.process(&w[..cut]).is_err(),
+            "truncation to {cut} accepted"
+        );
     }
 }
 
@@ -176,5 +189,9 @@ fn adversary_cannot_extend_sa_lifetime_with_replays() {
     for _ in 0..50 {
         let _ = rx.process(&w).unwrap();
     }
-    assert_eq!(rx.sa().usage().packets, used_before, "replays charged the SA");
+    assert_eq!(
+        rx.sa().usage().packets,
+        used_before,
+        "replays charged the SA"
+    );
 }

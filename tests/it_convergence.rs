@@ -22,7 +22,11 @@ fn condition_i_and_ii_over_seed_sweep() {
             ..ScenarioConfig::default()
         };
         let out = run_scenario(cfg);
-        assert!(out.monitor.clean(), "seed {seed}: {:?}", out.monitor.violations);
+        assert!(
+            out.monitor.clean(),
+            "seed {seed}: {:?}",
+            out.monitor.violations
+        );
         assert_eq!(out.monitor.replays_accepted, 0, "seed {seed}");
         assert!(
             out.monitor.fresh_discarded <= 2 * 25,
@@ -78,7 +82,11 @@ fn bounds_hold_under_irregular_workloads() {
             ..ScenarioConfig::default()
         };
         let out = run_scenario(cfg);
-        assert!(out.monitor.clean(), "workload {i}: {:?}", out.monitor.violations);
+        assert!(
+            out.monitor.clean(),
+            "workload {i}: {:?}",
+            out.monitor.violations
+        );
         assert_eq!(out.monitor.replays_accepted, 0, "workload {i}");
         assert!(out.monitor.fresh_discarded <= 2 * 25, "workload {i}");
     }
@@ -187,7 +195,11 @@ fn kitchen_sink_long_run() {
     let out = run_scenario(cfg);
     assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
     assert_eq!(out.monitor.replays_accepted, 0);
-    assert!(out.monitor.sent > 8_000, "long run really ran: {}", out.monitor.sent);
+    assert!(
+        out.monitor.sent > 8_000,
+        "long run really ran: {}",
+        out.monitor.sent
+    );
     assert!(out.monitor.fresh_delivered > 6_000);
     assert_eq!(out.sender_resets, 3);
     assert_eq!(out.receiver_resets, 3);

@@ -3,7 +3,7 @@
 
 use reset_crypto::{oakley_group2, toy_group};
 use reset_ipsec::{
-    run_handshake, CryptoSuite, Inbound, Outbound, RxResult, Sadb, SaKeys, SecurityAssociation,
+    run_handshake, CryptoSuite, Inbound, Outbound, RxResult, SaKeys, Sadb, SecurityAssociation,
 };
 use reset_stable::{Durability, FileStable, MemStable};
 
@@ -11,12 +11,22 @@ use reset_stable::{Durability, FileStable, MemStable};
 fn ike_established_keys_drive_the_datapath() {
     // Keys negotiated by the handshake must actually interoperate on the
     // wire (initiator seals, responder opens).
-    let pair = run_handshake(toy_group(), b"psk", b"init-secret", b"resp-secret", 0x10, 0x20)
-        .expect("handshake");
+    let pair = run_handshake(
+        toy_group(),
+        b"psk",
+        b"init-secret",
+        b"resp-secret",
+        0x10,
+        0x20,
+    )
+    .expect("handshake");
     let mut tx = Outbound::new(pair.sa_i2r.clone(), MemStable::new(), 25);
     let mut rx = Inbound::new(pair.sa_i2r, MemStable::new(), 25, 64);
     for i in 0..20u32 {
-        let w = tx.protect(format!("ike-keyed {i}").as_bytes()).unwrap().unwrap();
+        let w = tx
+            .protect(format!("ike-keyed {i}").as_bytes())
+            .unwrap()
+            .unwrap();
         match rx.process(&w).unwrap() {
             RxResult::Delivered { payload, .. } => {
                 assert_eq!(payload, format!("ike-keyed {i}").as_bytes());
@@ -88,7 +98,10 @@ fn file_backed_stores_survive_process_style_reset() {
         let mut rx = Inbound::new(sa.clone(), store_rx, 10, 64);
         let mut rec = Vec::new();
         for i in 0..35u32 {
-            let w = tx.protect(format!("persisted {i}").as_bytes()).unwrap().unwrap();
+            let w = tx
+                .protect(format!("persisted {i}").as_bytes())
+                .unwrap()
+                .unwrap();
             rec.push(w.clone());
             assert!(rx.process(&w).unwrap().is_delivered());
         }
@@ -112,7 +125,10 @@ fn file_backed_stores_survive_process_style_reset() {
 
     // All pre-crash traffic is replay now.
     for w in &recorded {
-        assert!(!rx.process(w).unwrap().is_delivered(), "replay across restart");
+        assert!(
+            !rx.process(w).unwrap().is_delivered(),
+            "replay across restart"
+        );
     }
     // Fresh traffic converges within 2K + 2K.
     let mut tries = 0;

@@ -1,53 +1,65 @@
-//! Property-based tests of the core invariants (proptest).
+//! Property-style tests of the core invariants.
 //!
 //! Random adversaries are stronger than hand-written ones: these
 //! properties throw arbitrary streams, fault schedules and corruptions at
 //! the window, the SAVE/FETCH processes, the wire codec and the bignum,
-//! and check the paper's invariants on every generated case.
+//! and check the paper's invariants on every generated case. Cases are
+//! generated from the repository's own seeded [`DetRng`] (the offline
+//! build has no proptest), so every run is bit-for-bit reproducible from
+//! the literal seeds below.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-use anti_replay::{AntiReplayWindow, SeqNum, SfReceiver, SfSender};
+use anti_replay::{AntiReplayWindow, BlockWindow, SeqNum, SfReceiver, SfSender};
+use reset_sim::DetRng;
 use reset_stable::{MemStable, SlotId};
+
+const CASES: u64 = 48;
+
+fn bytes(gen: &mut DetRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| gen.next_u64() as u8).collect()
+}
 
 // ---------------------------------------------------------------------
 // Anti-replay window
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Discrimination holds for ANY stream: no sequence number is ever
-    /// delivered (Fresh) twice, regardless of order or duplication.
-    #[test]
-    fn window_never_delivers_twice(
-        w in 1u64..200,
-        stream in prop::collection::vec(1u64..500, 1..400),
-    ) {
+/// Discrimination holds for ANY stream: no sequence number is ever
+/// delivered (Fresh) twice, regardless of order or duplication.
+#[test]
+fn window_never_delivers_twice() {
+    let mut gen = DetRng::new(0x17_0001);
+    for case in 0..CASES {
+        let w = 1 + gen.below(199);
+        let n = 1 + gen.below(399) as usize;
         let mut win = AntiReplayWindow::new(w);
         let mut delivered = HashSet::new();
-        for s in stream {
+        for _ in 0..n {
+            let s = 1 + gen.below(499);
             if win.check_and_accept(SeqNum::new(s)).is_deliverable() {
-                prop_assert!(delivered.insert(s), "seq {s} delivered twice");
+                assert!(delivered.insert(s), "case {case}: seq {s} delivered twice");
             }
         }
     }
+}
 
-    /// w-Delivery: a stream whose reorder degree stays below w delivers
-    /// every distinct message exactly once.
-    #[test]
-    fn window_delivers_all_with_bounded_reorder(
-        w in 4u64..128,
-        n in 1u64..300,
-        seed in any::<u64>(),
-    ) {
+/// w-Delivery: a stream whose reorder degree stays below w delivers
+/// every distinct message exactly once.
+#[test]
+fn window_delivers_all_with_bounded_reorder() {
+    let mut gen = DetRng::new(0x17_0002);
+    for case in 0..CASES {
+        let w = 4 + gen.below(124);
+        let n = 1 + gen.below(299);
         // Shuffle within chunks of w/2: displacement < w guaranteed.
-        let mut rng = reset_sim::DetRng::new(seed);
         let mut seqs: Vec<u64> = (1..=n).collect();
         for chunk in seqs.chunks_mut((w as usize / 2).max(1)) {
-            rng.shuffle(chunk);
+            gen.shuffle(chunk);
         }
         let degrees = reset_channel::reorder_degrees(&seqs);
-        prop_assume!(degrees.iter().all(|&d| d < w));
+        if !degrees.iter().all(|&d| d < w) {
+            continue; // premise violated by this draw; skip like prop_assume
+        }
         let mut win = AntiReplayWindow::new(w);
         let mut delivered = 0;
         for &s in &seqs {
@@ -55,17 +67,20 @@ proptest! {
                 delivered += 1;
             }
         }
-        prop_assert_eq!(delivered, n);
+        assert_eq!(delivered, n, "case {case} (w={w})");
     }
+}
 
-    /// check() never mutates: any interleaving of checks between accepts
-    /// leaves the same final state as the accepts alone.
-    #[test]
-    fn window_check_is_pure(
-        w in 1u64..64,
-        accepts in prop::collection::vec(1u64..200, 0..60),
-        probes in prop::collection::vec(1u64..200, 0..60),
-    ) {
+/// check() never mutates: any interleaving of checks between accepts
+/// leaves the same final state as the accepts alone.
+#[test]
+fn window_check_is_pure() {
+    let mut gen = DetRng::new(0x17_0003);
+    for case in 0..CASES {
+        let w = 1 + gen.below(63);
+        let n = gen.below(60) as usize;
+        let accepts: Vec<u64> = (0..n).map(|_| 1 + gen.below(199)).collect();
+        let probes: Vec<u64> = (0..n).map(|_| 1 + gen.below(199)).collect();
         let mut a = AntiReplayWindow::new(w);
         let mut b = AntiReplayWindow::new(w);
         for (i, &s) in accepts.iter().enumerate() {
@@ -79,46 +94,138 @@ proptest! {
                 b.accept(SeqNum::new(s));
             }
         }
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
+
+/// The three-way oracle test guarding the word-level slide rewrite:
+/// [`AntiReplayWindow`], [`BlockWindow`] and a naive HashSet-of-seen
+/// model make identical deliver/reject decisions over 100k packets with
+/// reorder, duplication and large jumps.
+#[test]
+fn window_implementations_match_hashset_oracle_100k() {
+    // Oracle: remembers every in-window delivery exactly; rejects left
+    // of the window, duplicates inside it.
+    struct Oracle {
+        w: u64,
+        right: u64,
+        seen: HashSet<u64>,
+    }
+    impl Oracle {
+        fn deliver(&mut self, s: u64) -> bool {
+            let fresh = if s > self.right {
+                true
+            } else if s as u128 + self.w as u128 <= self.right as u128 {
+                false
+            } else {
+                !self.seen.contains(&s)
+            };
+            if fresh {
+                self.seen.insert(s);
+                self.right = self.right.max(s);
+                // Stale entries are never consulted (the staleness test
+                // runs first), so prune only occasionally for memory.
+                if self.seen.len() as u64 >= 2 * self.w {
+                    let left = (self.right + 1).saturating_sub(self.w);
+                    self.seen.retain(|&x| x >= left);
+                }
+            }
+            fresh
+        }
+    }
+
+    let w = 4096u64; // multiple of 64: BlockWindow's effective size == w
+    let mut blk = BlockWindow::new(w);
+    assert_eq!(blk.effective_size(), w);
+    let mut reference = AntiReplayWindow::new(w);
+    let mut oracle = Oracle {
+        w,
+        right: 0,
+        seen: HashSet::new(),
+    };
+
+    let mut gen = DetRng::new(0x17_0004);
+    let mut next = 1u64;
+    let mut history: Vec<u64> = Vec::new();
+    let mut packets = 0u64;
+    while packets < 100_000 {
+        // One burst per loop: in-order run, shuffled run, replay burst,
+        // or a large jump past the whole window.
+        match gen.below(8) {
+            0..=2 => {
+                // In-order run.
+                for _ in 0..gen.range_inclusive(1, 64) {
+                    history.push(next);
+                    next += 1;
+                }
+            }
+            3..=4 => {
+                // Reordered run: shuffle a chunk of fresh numbers.
+                let len = gen.range_inclusive(2, 512) as usize;
+                let mut chunk: Vec<u64> = (next..next + len as u64).collect();
+                next += len as u64;
+                gen.shuffle(&mut chunk);
+                history.extend_from_slice(&chunk);
+            }
+            5..=6 => {
+                // Replay burst: duplicates of recent or ancient traffic.
+                for _ in 0..gen.range_inclusive(1, 128) {
+                    if history.is_empty() {
+                        break;
+                    }
+                    let idx = gen.below(history.len() as u64) as usize;
+                    let replayed = history[idx];
+                    history.push(replayed);
+                }
+            }
+            _ => {
+                // Large jump: leap far beyond the window, then continue.
+                next += w + gen.below(3 * w);
+                history.push(next);
+                next += 1;
+            }
+        }
+        while packets < 100_000 {
+            let Some(&s) = history.get(packets as usize) else {
+                break;
+            };
+            let seq = SeqNum::new(s);
+            let d_ref = reference.check_and_accept(seq).is_deliverable();
+            let d_blk = blk.check_and_accept(seq).is_deliverable();
+            let d_oracle = oracle.deliver(s);
+            assert_eq!(
+                d_ref, d_oracle,
+                "packet {packets}: reference vs oracle on seq {s}"
+            );
+            assert_eq!(
+                d_blk, d_oracle,
+                "packet {packets}: block vs oracle on seq {s}"
+            );
+            packets += 1;
+        }
+    }
+    assert!(oracle.right > w, "stream actually exercised sliding");
 }
 
 // ---------------------------------------------------------------------
 // SAVE/FETCH processes under random fault schedules
 // ---------------------------------------------------------------------
 
-/// Operations a random schedule may perform on the sender, constrained
-/// to the paper's premise (a SAVE completes within K subsequent sends).
-#[derive(Debug, Clone)]
-enum SenderOp {
-    Send,
-    Complete,
-    ResetAndWake,
-}
-
-fn sender_ops() -> impl Strategy<Value = Vec<SenderOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            6 => Just(SenderOp::Send),
-            2 => Just(SenderOp::Complete),
-            1 => Just(SenderOp::ResetAndWake),
-        ],
-        1..200,
-    )
-}
-
-proptest! {
-    /// Freshness + bounded waste for arbitrary schedules respecting the
-    /// premise: every wake-up resumes strictly above all used sequence
-    /// numbers and skips at most 2K.
-    #[test]
-    fn sender_wakeups_always_fresh(k in 2u64..40, ops in sender_ops()) {
+/// Freshness + bounded waste for arbitrary schedules respecting the
+/// premise (a SAVE completes within K subsequent sends): every wake-up
+/// resumes strictly above all used sequence numbers and skips at most 2K.
+#[test]
+fn sender_wakeups_always_fresh() {
+    let mut gen = DetRng::new(0x17_0005);
+    for _ in 0..CASES {
+        let k = 2 + gen.below(38);
+        let n_ops = 1 + gen.below(199);
         let mut p = SfSender::new(MemStable::new(), SlotId::sender(1), k);
         let mut max_used = 0u64;
         let mut sends_since_issue = 0u64;
-        for op in ops {
-            match op {
-                SenderOp::Send => {
+        for _ in 0..n_ops {
+            match gen.below(9) {
+                0..=5 => {
                     // Enforce the premise: a pending SAVE must complete
                     // within K sends of being issued.
                     if p.pending_save().is_some() && sends_since_issue >= k - 1 {
@@ -129,20 +236,24 @@ proptest! {
                     if let Some(s) = p.send_next().expect("mem store") {
                         max_used = max_used.max(s.value());
                         if p.pending_save().is_some() {
-                            sends_since_issue = if had_pending { sends_since_issue + 1 } else { 0 };
+                            sends_since_issue = if had_pending {
+                                sends_since_issue + 1
+                            } else {
+                                0
+                            };
                         }
                     }
                 }
-                SenderOp::Complete => {
+                6..=7 => {
                     p.save_completed().expect("mem store");
                     sends_since_issue = 0;
                 }
-                SenderOp::ResetAndWake => {
+                _ => {
                     let old_next = p.next_seq();
                     let was_running = p.phase() == anti_replay::Phase::Running;
                     p.reset();
                     let resumed = p.wake_up().expect("mem store");
-                    prop_assert!(
+                    assert!(
                         resumed.value() > max_used,
                         "resumed {} <= max_used {}",
                         resumed.value(),
@@ -150,28 +261,30 @@ proptest! {
                     );
                     if was_running {
                         let lost = resumed.value().saturating_sub(old_next.value());
-                        prop_assert!(lost <= 2 * k, "lost {lost} > 2K");
+                        assert!(lost <= 2 * k, "lost {lost} > 2K");
                     }
                     sends_since_issue = 0;
                 }
             }
         }
     }
+}
 
-    /// The receiver under random in-order traffic + resets never accepts
-    /// a replay of anything previously delivered.
-    #[test]
-    fn receiver_never_reaccepts_after_wakeup(
-        k in 2u64..30,
-        resets in prop::collection::vec(1u64..500, 0..4),
-        total in 50u64..500,
-    ) {
+/// The receiver under random in-order traffic + resets never accepts
+/// a replay of anything previously delivered.
+#[test]
+fn receiver_never_reaccepts_after_wakeup() {
+    let mut gen = DetRng::new(0x17_0006);
+    for _ in 0..CASES {
+        let k = 2 + gen.below(28);
+        let total = 50 + gen.below(450);
+        let n_resets = gen.below(4) as usize;
+        let mut reset_points: Vec<u64> = (0..n_resets).map(|_| 1 + gen.below(499)).collect();
+        reset_points.sort_unstable();
+        reset_points.dedup();
         let w = 4 * k + 32;
         let mut q = SfReceiver::new(MemStable::new(), SlotId::receiver(1), k, w);
         let mut delivered: Vec<u64> = Vec::new();
-        let mut reset_points: Vec<u64> = resets;
-        reset_points.sort_unstable();
-        reset_points.dedup();
         let mut next_reset = 0usize;
         let mut since_issue = 0u64;
         for s in 1..=total {
@@ -191,7 +304,7 @@ proptest! {
                 // The §3 attack at the worst moment: replay everything.
                 for &old in &delivered {
                     let out = q.receive(SeqNum::new(old)).expect("mem store");
-                    prop_assert!(!out.is_delivered(), "replayed {old} accepted after wakeup");
+                    assert!(!out.is_delivered(), "replayed {old} accepted after wakeup");
                 }
             }
             if q.receive(SeqNum::new(s)).expect("mem store").is_delivered() {
@@ -205,19 +318,19 @@ proptest! {
 // Differential testing: reference window vs RFC 6479 block window
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// The two window implementations, run side by side behind identical
-    /// SAVE/FETCH receivers over the same random stream + reset schedule,
-    /// are equally SAFE: neither ever delivers a sequence number the
-    /// other knows to be a replay of an already-delivered number.
-    #[test]
-    fn window_implementations_differentially_safe(
-        k in 2u64..20,
-        stream in prop::collection::vec(1u64..300, 10..250),
-        reset_at in prop::collection::vec(5usize..240, 0..3),
-    ) {
-        use anti_replay::BlockWindow;
-        use reset_stable::MemStable;
+/// The two window implementations, run side by side behind identical
+/// SAVE/FETCH receivers over the same random stream + reset schedule,
+/// are equally SAFE: neither ever delivers a sequence number twice.
+#[test]
+fn window_implementations_differentially_safe() {
+    let mut gen = DetRng::new(0x17_0007);
+    for _ in 0..CASES {
+        let k = 2 + gen.below(18);
+        let n = 10 + gen.below(240) as usize;
+        let stream: Vec<u64> = (0..n).map(|_| 1 + gen.below(299)).collect();
+        let resets: HashSet<usize> = (0..gen.below(3))
+            .map(|_| 5 + gen.below(235) as usize)
+            .collect();
         let w_bits = 4 * k + 32;
         let mut ref_rx = SfReceiver::new(MemStable::new(), SlotId::receiver(1), k, w_bits);
         let mut blk_rx = SfReceiver::with_window(
@@ -228,39 +341,31 @@ proptest! {
         );
         let mut delivered_ref = HashSet::new();
         let mut delivered_blk = HashSet::new();
-        let resets: HashSet<usize> = reset_at.into_iter().collect();
         for (i, &s) in stream.iter().enumerate() {
             if resets.contains(&i) {
-                for rx_reset in [true, false] {
-                    if rx_reset {
-                        ref_rx.save_completed().expect("mem store");
-                        ref_rx.reset();
-                        ref_rx.wake_up().expect("mem store");
-                    } else {
-                        blk_rx.save_completed().expect("mem store");
-                        blk_rx.reset();
-                        blk_rx.wake_up().expect("mem store");
-                    }
-                }
+                ref_rx.save_completed().expect("mem store");
+                ref_rx.reset();
+                ref_rx.wake_up().expect("mem store");
+                blk_rx.save_completed().expect("mem store");
+                blk_rx.reset();
+                blk_rx.wake_up().expect("mem store");
             }
             ref_rx.save_completed().expect("mem store");
             blk_rx.save_completed().expect("mem store");
             let seq = SeqNum::new(s);
             if ref_rx.receive(seq).expect("mem store").is_delivered() {
-                prop_assert!(delivered_ref.insert(s), "reference re-delivered {s}");
+                assert!(delivered_ref.insert(s), "reference re-delivered {s}");
             }
             if blk_rx.receive(seq).expect("mem store").is_delivered() {
-                prop_assert!(delivered_blk.insert(s), "block re-delivered {s}");
+                assert!(delivered_blk.insert(s), "block re-delivered {s}");
             }
         }
         // The block window's effective size is the requested size rounded
         // UP to whole blocks, so on a clean (reset-free) run it delivers a
-        // superset of what the smaller reference window delivers — and the
-        // per-implementation no-re-delivery assertions above are the
-        // safety core for both.
+        // superset of what the smaller reference window delivers.
         if resets.is_empty() {
             for s in &delivered_ref {
-                prop_assert!(
+                assert!(
                     delivered_blk.contains(s),
                     "reference delivered {s} that the (larger) block window refused"
                 );
@@ -273,103 +378,119 @@ proptest! {
 // Wire codec + crypto
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// seal/open round-trips arbitrary payloads and parameters.
-    #[test]
-    fn wire_round_trip(
-        spi in any::<u32>(),
-        seq in 1u64..u32::MAX as u64,
-        payload in prop::collection::vec(any::<u8>(), 0..512),
-        key in prop::collection::vec(any::<u8>(), 1..64),
-    ) {
+/// seal/open round-trips arbitrary payloads and parameters.
+#[test]
+fn wire_round_trip() {
+    let mut gen = DetRng::new(0x17_0008);
+    for _ in 0..CASES {
+        let spi = gen.next_u64() as u32;
+        let seq = 1 + gen.below(u32::MAX as u64 - 1);
+        let payload_len = gen.below(512) as usize;
+        let payload = bytes(&mut gen, payload_len);
+        let key_len = 1 + gen.below(63) as usize;
+        let key = bytes(&mut gen, key_len);
         let wire = reset_wire::seal(spi, seq, &payload, &key, false).expect("seal");
         let pkt = reset_wire::open(&wire, &key, None).expect("open");
-        prop_assert_eq!(pkt.spi, spi);
-        prop_assert_eq!(pkt.seq_lo, seq as u32);
-        prop_assert_eq!(&pkt.payload[..], &payload[..]);
+        assert_eq!(pkt.spi, spi);
+        assert_eq!(pkt.seq_lo, seq as u32);
+        assert_eq!(&pkt.payload[..], &payload[..]);
     }
+}
 
-    /// Any single-bit corruption is rejected.
-    #[test]
-    fn wire_rejects_any_bit_flip(
-        payload in prop::collection::vec(any::<u8>(), 0..128),
-        bit in any::<u16>(),
-    ) {
+/// Any single-bit corruption is rejected.
+#[test]
+fn wire_rejects_any_bit_flip() {
+    let mut gen = DetRng::new(0x17_0009);
+    for _ in 0..CASES {
+        let payload_len = gen.below(128) as usize;
+        let payload = bytes(&mut gen, payload_len);
         let wire = reset_wire::seal(7, 42, &payload, b"key", false).expect("seal");
         let mut bad = wire.to_vec();
-        let pos = (bit as usize) % (bad.len() * 8);
+        let pos = gen.below((bad.len() * 8) as u64) as usize;
         bad[pos / 8] ^= 1 << (pos % 8);
-        prop_assert!(reset_wire::open(&bad, b"key", None).is_err());
+        assert!(reset_wire::open(&bad, b"key", None).is_err());
     }
+}
 
-    /// ESN inference reconstructs any in-window 64-bit sequence number
-    /// from its low 32 bits.
-    #[test]
-    fn esn_inference_round_trips(
-        edge in 0u64..(1u64 << 40),
-        delta in -2000i64..2000,
-    ) {
+/// ESN inference reconstructs any in-window 64-bit sequence number
+/// from its low 32 bits.
+#[test]
+fn esn_inference_round_trips() {
+    let mut gen = DetRng::new(0x17_000A);
+    for _ in 0..CASES * 8 {
+        let edge = gen.below(1u64 << 40);
+        let delta = gen.below(4000) as i64 - 2000;
         let seq = edge.saturating_add_signed(delta);
         let inferred = reset_wire::infer_esn(seq as u32, edge);
-        prop_assert_eq!(inferred, seq);
+        assert_eq!(inferred, seq, "edge {edge} delta {delta}");
     }
+}
 
-    /// Stable-store records survive round trips and reject corruption.
-    #[test]
-    fn record_round_trip_and_corruption(
-        slot in any::<u64>(),
-        value in any::<u64>(),
-        flip in any::<u16>(),
-    ) {
-        use reset_stable::{decode_record, encode_record, RECORD_LEN};
-        let slot = SlotId::raw(slot);
+/// Stable-store records survive round trips and reject corruption.
+#[test]
+fn record_round_trip_and_corruption() {
+    use reset_stable::{decode_record, encode_record, RECORD_LEN};
+    let mut gen = DetRng::new(0x17_000B);
+    for _ in 0..CASES * 4 {
+        let slot = SlotId::raw(gen.next_u64());
+        let value = gen.next_u64();
         let rec = encode_record(slot, value);
-        prop_assert_eq!(decode_record(slot, &rec).expect("decode"), value);
+        assert_eq!(decode_record(slot, &rec).expect("decode"), value);
         let mut bad = rec;
-        let pos = (flip as usize) % (RECORD_LEN * 8);
+        let pos = gen.below((RECORD_LEN * 8) as u64) as usize;
         bad[pos / 8] ^= 1 << (pos % 8);
-        prop_assert!(decode_record(slot, &bad).is_err());
+        assert!(decode_record(slot, &bad).is_err());
     }
+}
 
-    /// prf_plus output length is exact and prefix-stable.
-    #[test]
-    fn prf_plus_properties(
-        key in prop::collection::vec(any::<u8>(), 0..64),
-        seed in prop::collection::vec(any::<u8>(), 0..64),
-        len_a in 0usize..200,
-        len_b in 0usize..200,
-    ) {
+/// prf_plus output length is exact and prefix-stable.
+#[test]
+fn prf_plus_properties() {
+    let mut gen = DetRng::new(0x17_000C);
+    for _ in 0..CASES {
+        let key_len = gen.below(64) as usize;
+        let key = bytes(&mut gen, key_len);
+        let seed_len = gen.below(64) as usize;
+        let seed = bytes(&mut gen, seed_len);
+        let len_a = gen.below(200) as usize;
+        let len_b = gen.below(200) as usize;
         let a = reset_crypto::prf_plus(&key, &seed, len_a);
         let b = reset_crypto::prf_plus(&key, &seed, len_b);
-        prop_assert_eq!(a.len(), len_a);
+        assert_eq!(a.len(), len_a);
         let shared = len_a.min(len_b);
-        prop_assert_eq!(&a[..shared], &b[..shared]);
+        assert_eq!(&a[..shared], &b[..shared]);
     }
+}
 
-    /// BigUint modular arithmetic agrees with u128 reference math.
-    #[test]
-    fn bignum_matches_u128(
-        a in 1u64..u64::MAX,
-        b in 1u64..u64::MAX,
-        m in 2u64..(1u64 << 32),
-    ) {
-        use reset_crypto::BigUint;
+/// BigUint modular arithmetic agrees with u128 reference math.
+#[test]
+fn bignum_matches_u128() {
+    use reset_crypto::BigUint;
+    let mut gen = DetRng::new(0x17_000D);
+    for _ in 0..CASES * 4 {
+        let a = 1 + gen.next_u64() % (u64::MAX - 1);
+        let b = 1 + gen.next_u64() % (u64::MAX - 1);
+        let m = 2 + gen.below((1u64 << 32) - 2);
         let big = BigUint::from_u64(a).mod_mul(&BigUint::from_u64(b), &BigUint::from_u64(m));
         let expect = ((a as u128 * b as u128) % m as u128) as u64;
-        prop_assert_eq!(big, BigUint::from_u64(expect));
+        assert_eq!(big, BigUint::from_u64(expect), "{a} * {b} mod {m}");
     }
+}
 
-    /// Keystream en/decryption is an involution and never the identity on
-    /// non-empty input (w.h.p.).
-    #[test]
-    fn keystream_involution(
-        key in prop::collection::vec(any::<u8>(), 1..32),
-        nonce in any::<u64>(),
-        mut data in prop::collection::vec(any::<u8>(), 1..256),
-    ) {
+/// Keystream en/decryption is an involution.
+#[test]
+fn keystream_involution() {
+    let mut gen = DetRng::new(0x17_000E);
+    for _ in 0..CASES {
+        let key_len = 1 + gen.below(31) as usize;
+        let key = bytes(&mut gen, key_len);
+        let nonce = gen.next_u64();
+        let data_len = 1 + gen.below(255) as usize;
+        let mut data = bytes(&mut gen, data_len);
         let orig = data.clone();
         reset_crypto::xor_keystream(&key, nonce, &mut data);
+        assert_ne!(data, orig, "keystream must actually transform");
         reset_crypto::xor_keystream(&key, nonce, &mut data);
-        prop_assert_eq!(data, orig);
+        assert_eq!(data, orig);
     }
 }

@@ -1,9 +1,7 @@
 //! Integration: §6 prolonged-reset recovery across the whole stack —
 //! DPD, grace periods, secured notifies, and gateway-scale recovery.
 
-use reset_ipsec::{
-    DpdAction, DpdConfig, IpsecPeer, PeerEvent, Sadb, SaKeys, SecurityAssociation,
-};
+use reset_ipsec::{DpdAction, DpdConfig, IpsecPeer, PeerEvent, SaKeys, Sadb, SecurityAssociation};
 use reset_stable::MemStable;
 use system_tests::{drive_traffic, peer_pair};
 

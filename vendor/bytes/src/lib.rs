@@ -1,0 +1,434 @@
+//! Minimal, offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! provides the subset of the `bytes` 1.x API the workspace uses:
+//! cheaply cloneable, sliceable [`Bytes`], a growable [`BytesMut`]
+//! builder with [`BufMut`]-style put methods, and `freeze`. One
+//! extension beyond the upstream surface exists for the gateway receive
+//! path: [`BytesMut::recycle`], which reclaims a uniquely owned buffer
+//! so a hot loop can run allocation-free after warm-up.
+//!
+//! Semantics match upstream where the APIs overlap: `Bytes` is an
+//! immutable view `(buffer, offset, len)` behind an `Arc`, so `clone`
+//! and `slice` are O(1) and never copy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, sliceable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A buffer over static data (copied once; upstream borrows, but the
+    /// difference is unobservable through this API).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Copies `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            len: data.len(),
+            data: Arc::new(data.to_vec()),
+            off: 0,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// O(1) sub-slice sharing the same backing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            len: v.len(),
+            data: Arc::new(v),
+            off: 0,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Sink half of the buffer API: big-endian put methods.
+///
+/// Only [`BytesMut`] implements it here; generic code bounds on
+/// `BufMut` exactly as with upstream `bytes`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`] without copying.
+#[derive(Default)]
+pub struct BytesMut {
+    // Uniquely owned while the BytesMut exists; shared only on freeze.
+    data: Arc<Vec<u8>>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Arc::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Reclaims the buffer backing `b` when `b` is its unique owner —
+    /// keeping both the byte allocation *and* the `Arc` alive, so the
+    /// reclaim path performs zero heap operations — and guarantees at
+    /// least `capacity` spare bytes. When `b` is still shared, allocates
+    /// `capacity` fresh. The returned buffer is empty either way.
+    ///
+    /// This is the shim's one extension over upstream `bytes`: a receive
+    /// loop keeps one `Bytes` handle to its previous output and recycles
+    /// it here, so a consumer that drops payloads between packets gets an
+    /// allocation-free steady state.
+    pub fn recycle(b: Bytes, capacity: usize) -> BytesMut {
+        let mut data = b.data;
+        match Arc::get_mut(&mut data) {
+            Some(v) => {
+                v.clear();
+                v.reserve(capacity);
+                BytesMut { data }
+            }
+            None => BytesMut::with_capacity(capacity),
+        }
+    }
+
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.data).expect("BytesMut is uniquely owned")
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Clears contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.vec_mut().clear();
+    }
+
+    /// Reserves space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec_mut().reserve(additional);
+    }
+
+    /// Appends a slice (mirrors `Vec::extend_from_slice`).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec_mut().extend_from_slice(src);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        let len = self.data.len();
+        Bytes {
+            data: self.data,
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        self.vec_mut().as_mut_slice()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.freeze_ref(), f)
+    }
+}
+
+impl BytesMut {
+    fn freeze_ref(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let s = b.slice(6..);
+        assert_eq!(&s[..], b"world");
+        assert_eq!(Arc::strong_count(&b.data), 2);
+    }
+
+    #[test]
+    fn bytes_mut_round_trip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u32(0xDEADBEEF);
+        m.put_slice(b"xy");
+        let b = m.freeze();
+        assert_eq!(&b[..4], &0xDEADBEEFu32.to_be_bytes());
+        assert_eq!(&b[4..], b"xy");
+    }
+
+    #[test]
+    fn recycle_reuses_unique_buffer_and_arc() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"first packet payload");
+        let frozen = m.freeze();
+        let cap = frozen.data.capacity();
+        let ptr = frozen.data.as_ptr();
+        let arc_ptr = Arc::as_ptr(&frozen.data);
+        // Unique owner: both the byte allocation and the Arc itself are
+        // reclaimed — the reclaim path is heap-operation-free.
+        let recycled = BytesMut::recycle(frozen, 8);
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.data.capacity(), cap);
+        assert_eq!(recycled.data.as_ptr(), ptr);
+        assert_eq!(Arc::as_ptr(&recycled.data), arc_ptr);
+    }
+
+    #[test]
+    fn recycle_guarantees_requested_capacity() {
+        // Regression: reserve was relative to the old capacity, so a
+        // small reclaimed buffer could come back under `capacity` and
+        // reallocate mid-use.
+        let mut m = BytesMut::with_capacity(16);
+        m.put_slice(b"tiny");
+        let recycled = BytesMut::recycle(m.freeze(), 640);
+        assert!(recycled.capacity() >= 640, "got {}", recycled.capacity());
+    }
+
+    #[test]
+    fn recycle_falls_back_when_shared() {
+        let b = Bytes::copy_from_slice(b"shared");
+        let keep = b.clone();
+        let fresh = BytesMut::recycle(b, 32);
+        assert!(fresh.capacity() >= 32);
+        assert_eq!(&keep[..], b"shared");
+    }
+
+    #[test]
+    fn equality_across_types() {
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(b, *b"abc");
+        assert_eq!(b, b"abc");
+        assert_eq!(b, b"abc".to_vec());
+        assert_eq!(b, Bytes::from(b"abc".to_vec()));
+        assert!(b.to_vec() == vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::copy_from_slice(b"a\x00b");
+        assert_eq!(format!("{b:?}"), "b\"a\\x00b\"");
+    }
+}

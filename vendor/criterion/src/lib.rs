@@ -1,0 +1,426 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! implements the subset of the `criterion` 0.5 API the workspace's
+//! benches use: [`Criterion`], [`BenchmarkId`], [`Throughput`],
+//! benchmark groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Statistics are deliberately simple — warm-up, then the mean
+//! over `sample_size` samples — which is enough for the repository's
+//! before/after comparisons on a quiet machine.
+//!
+//! CLI behaviour mirrors what `cargo bench` needs: positional arguments
+//! act as substring filters and `--test` runs every benchmark exactly
+//! once (the CI smoke mode). Set `CRITERION_JSON=<path>` to append one
+//! JSON line per benchmark with the measured numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// How many elements or bytes one iteration of a benchmark processes;
+/// used to derive a rate from the measured time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim times each routine call individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the measurement routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up: find an iteration count that runs ≥ ~25 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(25) || iters > 1 << 24 {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                // Aim each sample at ~25 ms.
+                let sample_iters = ((25e6 / per_iter).ceil() as u64).max(1);
+                for _ in 0..self.sample_size {
+                    let t = Instant::now();
+                    for _ in 0..sample_iters {
+                        std::hint::black_box(routine());
+                    }
+                    self.samples
+                        .push(t.elapsed().as_nanos() as f64 / sample_iters as f64);
+                }
+                return;
+            }
+            iters *= 4;
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup` each call; only the
+    /// routine is on the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        // Warm-up a few calls, then time `sample_size` batches.
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let per_sample = 8usize;
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                total += t.elapsed();
+            }
+            self.samples
+                .push(total.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many samples to take (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let (tp, n) = (self.throughput, self.sample_size);
+        self.criterion.run_one(&full, tp, n, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let (tp, n) = (self.throughput, self.sample_size);
+        self.criterion.run_one(&full, tp, n, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            test_mode: false,
+            json_path: std::env::var("CRITERION_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness configured from `cargo bench` CLI arguments:
+    /// positional substrings filter benchmark names; `--test` runs each
+    /// selected benchmark once without timing.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--load-baseline" | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    // Flags with a value we don't use; skip the value if
+                    // it isn't another flag.
+                    if matches!(args.peek(), Some(v) if !v.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                flag if flag.starts_with('-') => {}
+                filter => c.filters.push(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks `f` under a bare name (no group).
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), None, 20, f);
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) {
+        if !self.selected(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut samples = Vec::new();
+            let mut b = Bencher {
+                samples: &mut samples,
+                sample_size,
+                test_mode: true,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size,
+            test_mode: false,
+        };
+        f(&mut b);
+        if samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        let rate = throughput.map(|tp| match tp {
+            Throughput::Elements(n) => (n as f64 / (mean / 1e9), "elem/s"),
+            Throughput::Bytes(n) => (n as f64 / (mean / 1e9), "B/s"),
+        });
+        match rate {
+            Some((r, unit)) => println!(
+                "{id:<48} time: {} (median {})   thrpt: {} {unit}",
+                fmt_ns(mean),
+                fmt_ns(median),
+                fmt_si(r)
+            ),
+            None => println!(
+                "{id:<48} time: {} (median {})",
+                fmt_ns(mean),
+                fmt_ns(median)
+            ),
+        }
+        if let Some(path) = &self.json_path {
+            let tp_json = match throughput {
+                Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+                Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+                None => String::new(),
+            };
+            let line = format!(
+                "{{\"id\":\"{id}\",\"mean_ns\":{mean:.2},\"median_ns\":{median:.2}{tp_json}}}\n"
+            );
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+
+    /// Prints the trailing summary (no-op; for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K", rate / 1e3)
+    } else {
+        format!("{rate:.2} ")
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+    }
+
+    #[test]
+    fn test_mode_runs_each_once() {
+        let mut c = Criterion {
+            filters: vec![],
+            test_mode: true,
+            json_path: None,
+        };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| {
+                b.iter(|| {
+                    runs += 1;
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            filters: vec!["window".into()],
+            test_mode: true,
+            json_path: None,
+        };
+        assert!(c.selected("window/in_order/64"));
+        assert!(!c.selected("crypto/sha256"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert!(fmt_si(2.5e6).starts_with("2.50 M"));
+    }
+}
