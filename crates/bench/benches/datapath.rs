@@ -6,6 +6,12 @@
 //! * `icv_64B` — per-packet HMAC-SHA-256-96 with the one-shot key
 //!   schedule vs the SA's precomputed [`HmacKey`] (claim: ≥1.5× on
 //!   64-byte payloads).
+//! * `sha256` — the one-shot hash at 64B and 4KiB, tracking the
+//!   2×-unrolled compression loop.
+//! * `icv_batch_64B` — per-packet `verify_frame` vs the HMAC suite's
+//!   amortized `verify_batch` over a 512-frame SA queue.
+//! * `suite_rx` — the batched receive pipeline per negotiable cipher
+//!   suite (legacy HMAC+keystream, auth-only, ChaCha20-Poly1305).
 //! * `wire_64B` — `seal`/`open` (key schedule + payload copy) vs
 //!   `seal_into`/`open_zc` (reused buffer, zero-copy payload).
 //! * `rx_pipeline` — a full `Inbound` receive of a 64-byte packet:
@@ -16,10 +22,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use bytes::{Bytes, BytesMut};
-use reset_crypto::{hmac_sha256_96, HmacKey};
-use reset_ipsec::{Inbound, Outbound, SaKeys, Sadb, SecurityAssociation};
+use reset_crypto::{hmac_sha256_96, sha256, CipherSuite, FrameToVerify, HmacKey, HmacSha256Suite};
+use reset_ipsec::{CryptoSuite, Inbound, Outbound, SaKeys, Sadb, SecurityAssociation};
 use reset_stable::MemStable;
-use reset_wire::{open, open_zc, seal, seal_into, seal_with};
+use reset_wire::{open, open_zc, seal, seal_into, seal_with, verify_frame, HEADER_LEN, ICV_LEN};
 
 const KEY: &[u8] = b"datapath-bench-auth-key-32bytes!";
 
@@ -34,6 +40,90 @@ fn bench_icv_64b(c: &mut Criterion) {
     g.bench_function("precomputed_key", |b| {
         b.iter(|| std::hint::black_box(hk.mac_96(&msg)))
     });
+    g.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    // The SHA-256 compression loop is the bottom of every ICV and
+    // keystream cost in the pipeline; benchmarked one-shot at a
+    // single-block-ish and a streaming size.
+    let mut g = c.benchmark_group("datapath/sha256");
+    for len in [64usize, 4096] {
+        let data = vec![0x6Bu8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(BenchmarkId::new("oneshot", format!("{len}B")), |b| {
+            b.iter(|| std::hint::black_box(sha256(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_icv_batch(c: &mut Criterion) {
+    // Verifying a whole SA's pending queue: per-packet `verify_frame`
+    // vs the suite's amortized `verify_batch`.
+    const BATCH: usize = 512;
+    let hk = HmacKey::new(KEY);
+    let frames: Vec<Bytes> = (1..=BATCH)
+        .map(|i| seal_with(9, i as u64, &[0xB7u8; 64], &hk, false).unwrap())
+        .collect();
+    let mut g = c.benchmark_group("datapath/icv_batch_64B");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("sequential_verify", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for f in &frames {
+                if verify_frame(f, &hk, None).is_ok() {
+                    ok += 1;
+                }
+            }
+            assert_eq!(ok, BATCH);
+            std::hint::black_box(ok)
+        })
+    });
+    let suite = HmacSha256Suite::auth_only(KEY);
+    let items: Vec<FrameToVerify<'_>> = frames
+        .iter()
+        .map(|f| FrameToVerify {
+            seq: u32::from_be_bytes(f[4..8].try_into().unwrap()) as u64,
+            header: &f[..HEADER_LEN],
+            ciphertext: &f[HEADER_LEN..f.len() - ICV_LEN],
+            esn_hi: None,
+            icv: &f[f.len() - ICV_LEN..],
+        })
+        .collect();
+    g.bench_function("verify_batch", |b| {
+        let mut ok: Vec<bool> = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            suite.verify_batch(&items, &mut ok);
+            assert!(ok.iter().all(|&v| v));
+            std::hint::black_box(ok.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_suite_rx(c: &mut Criterion) {
+    // The per-suite receive pipeline: batched drain of a 1024-packet
+    // in-order stream per negotiable suite (the harness `suites`
+    // experiment's hot loop, pinned here for the perf trajectory).
+    const STREAM: usize = 1024;
+    let mut g = c.benchmark_group("datapath/suite_rx");
+    g.throughput(Throughput::Elements(STREAM as u64));
+    for &suite in CryptoSuite::ALL {
+        let keys = SaKeys::derive(b"suite-bench", b"d");
+        let sa = SecurityAssociation::new(0x5111, keys).with_suite(suite);
+        let mut tx = Outbound::new(sa.clone(), MemStable::new(), 1 << 40);
+        let wires: Vec<Bytes> = (0..STREAM)
+            .map(|_| tx.protect(&[0xC3u8; 64]).unwrap().unwrap())
+            .collect();
+        let name = sa.cipher().name();
+        g.bench_function(BenchmarkId::new("process_batch_64B", name), |b| {
+            b.iter(|| {
+                let mut rx = Inbound::new(sa.clone(), MemStable::new(), 1 << 40, 1024);
+                std::hint::black_box(rx.process_batch(&wires).unwrap())
+            })
+        });
+    }
     g.finish();
 }
 
@@ -157,6 +247,9 @@ fn bench_gateway_drain(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_icv_64b,
+    bench_sha256,
+    bench_icv_batch,
+    bench_suite_rx,
     bench_wire_64b,
     bench_rx_pipeline,
     bench_gateway_drain

@@ -1,0 +1,192 @@
+//! ChaCha20 (RFC 8439), implemented from scratch.
+//!
+//! The quarter-round ARX core and the 20-round block function, used two
+//! ways by the AEAD suite: block counter 0 derives the Poly1305 one-time
+//! key, counters 1.. generate the confidentiality keystream. Validated
+//! against the RFC 8439 §2.3.2 block and §2.4.2 encryption vectors.
+
+/// Key length in bytes.
+pub const CHACHA_KEY_LEN: usize = 32;
+
+/// Nonce length in bytes (the RFC 8439 96-bit IETF nonce).
+pub const CHACHA_NONCE_LEN: usize = 12;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn init_state(
+    key: &[u8; CHACHA_KEY_LEN],
+    counter: u32,
+    nonce: &[u8; CHACHA_NONCE_LEN],
+) -> [u32; 16] {
+    let mut s = [0u32; 16];
+    s[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        s[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("fixed"));
+    }
+    s[12] = counter;
+    for i in 0..3 {
+        s[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("fixed"));
+    }
+    s
+}
+
+/// One 64-byte keystream block for `(key, counter, nonce)` — the RFC
+/// 8439 §2.3 `chacha20_block` function.
+pub fn chacha20_block(
+    key: &[u8; CHACHA_KEY_LEN],
+    counter: u32,
+    nonce: &[u8; CHACHA_NONCE_LEN],
+) -> [u8; 64] {
+    let initial = init_state(key, counter, nonce);
+    let mut s = initial;
+    for _ in 0..10 {
+        // Column round.
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 8, 13);
+        quarter_round(&mut s, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = s[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` with the ChaCha20 keystream starting at block `counter`.
+/// Encryption and decryption are the same operation.
+///
+/// # Panics
+///
+/// Panics if the stream would run past block counter `u32::MAX`
+/// (≈ 256 GiB per nonce — unreachable for packet payloads).
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::chacha20_xor;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut buf = *b"attack at dawn";
+/// chacha20_xor(&key, 1, &nonce, &mut buf);
+/// assert_ne!(&buf, b"attack at dawn");
+/// chacha20_xor(&key, 1, &nonce, &mut buf);
+/// assert_eq!(&buf, b"attack at dawn");
+/// ```
+pub fn chacha20_xor(
+    key: &[u8; CHACHA_KEY_LEN],
+    counter: u32,
+    nonce: &[u8; CHACHA_NONCE_LEN],
+    data: &mut [u8],
+) {
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = chacha20_block(key, ctr, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.checked_add(1).expect("chacha20 counter overflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::{from_hex, to_hex};
+
+    fn key_0_to_31() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // §2.3.2: key 00..1f, counter 1, nonce 000000090000004a00000000.
+        let key = key_0_to_31();
+        let mut nonce = [0u8; 12];
+        nonce[3] = 0x09;
+        nonce[7] = 0x4a;
+        let block = chacha20_block(&key, 1, &nonce);
+        assert_eq!(
+            to_hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // §2.4.2: the "sunscreen" plaintext under counter 1.
+        let key = key_0_to_31();
+        let mut nonce = [0u8; 12];
+        nonce[7] = 0x4a;
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        let expect = from_hex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        )
+        .unwrap();
+        assert_eq!(data, expect);
+        // Decrypt round-trips.
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // Whole-stream XOR equals per-block XOR with explicit counters.
+        let key = [0xAB; 32];
+        let nonce = [0x01; 12];
+        let mut whole = vec![0u8; 150];
+        chacha20_xor(&key, 5, &nonce, &mut whole);
+        let mut parts = vec![0u8; 150];
+        chacha20_xor(&key, 5, &nonce, &mut parts[..64]);
+        chacha20_xor(&key, 6, &nonce, &mut parts[64..128]);
+        chacha20_xor(&key, 7, &nonce, &mut parts[128..]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = [3u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&key, 0, &[0u8; 12], &mut a);
+        chacha20_xor(&key, 0, &[1u8; 12], &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let mut empty: Vec<u8> = Vec::new();
+        chacha20_xor(&[0u8; 32], 0, &[0u8; 12], &mut empty);
+        assert!(empty.is_empty());
+    }
+}

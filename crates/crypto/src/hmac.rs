@@ -84,6 +84,53 @@ impl HmacKey {
         out.copy_from_slice(&full[..12]);
         out
     }
+
+    /// Finishes an HMAC from an already-computed inner digest with a
+    /// single compression — the batch-verify fast path.
+    ///
+    /// The outer hash of HMAC-SHA-256 always absorbs exactly
+    /// `BLOCK_LEN + DIGEST_LEN = 96` bytes: the opad-masked key block
+    /// (one compression, precomputed at [`HmacKey::new`]) followed by
+    /// the 32-byte inner digest. Its final block therefore has a fixed
+    /// layout — digest, `0x80`, zeros, the constant bit length 768 —
+    /// so finishing costs one `compress` of a stack template instead of
+    /// cloning a hasher and running the buffered `update`/`finalize`
+    /// machinery. Identical output to the reference path (see tests).
+    pub fn finish_outer(&self, inner_digest: &[u8; DIGEST_LEN]) -> [u8; DIGEST_LEN] {
+        let mut block = [0u8; BLOCK_LEN];
+        block[..DIGEST_LEN].copy_from_slice(inner_digest);
+        block[DIGEST_LEN] = 0x80;
+        let bit_len = ((BLOCK_LEN + DIGEST_LEN) as u64) * 8;
+        block[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
+        let mut state = self.outer.state_words();
+        crate::sha256::compress_block(&mut state, &block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// The precomputed ipad-absorbed inner state — the starting point
+    /// for per-message inner hashes on the batch path.
+    pub fn inner_state(&self) -> Sha256 {
+        self.inner.clone()
+    }
+
+    /// One-shot MAC over the concatenation of `parts` with minimal
+    /// bookkeeping: the inner hash runs straight from the precomputed
+    /// ipad chain value through a stack block buffer (no hasher clone,
+    /// no buffered `update`), and the outer hash is the single
+    /// fixed-layout compression of [`HmacKey::finish_outer`]. Identical
+    /// output to `mac` over the same bytes — the batch-verify hot path.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+        let inner = crate::sha256::digest_parts_from_state(
+            self.inner.state_words(),
+            BLOCK_LEN as u64,
+            parts,
+        );
+        self.finish_outer(&inner)
+    }
 }
 
 /// Incremental HMAC-SHA-256.
@@ -179,6 +226,40 @@ mod tests {
     }
 
     #[test]
+    fn rfc4231_case_4_combined_key_and_data() {
+        let key: Vec<u8> = (0x01..=0x19).collect();
+        let msg = [0xcd; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            to_hex(&tag),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_5_truncated_tag() {
+        let key = [0x0c; 20];
+        let tag = hmac_sha256_96(&key, b"Test With Truncation");
+        // RFC 4231 truncates to 128 bits; our ESP transform keeps 96, a
+        // prefix of the same output.
+        assert_eq!(to_hex(&tag), "a3b6167473100ee06e0c796c");
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_long_data() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(
+            &key,
+            &b"This is a test using a larger than block-size key and a larger than \
+block-size data. The key needs to be hashed before being used by the HMAC algorithm."[..],
+        );
+        assert_eq!(
+            to_hex(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
     fn rfc4231_case_6_long_key() {
         let key = [0xaa; 131];
         let tag = hmac_sha256(
@@ -241,6 +322,39 @@ mod tests {
         let a2 = hk.mac(b"first");
         assert_eq!(a, a2, "state must not be consumed between MACs");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn finish_outer_matches_reference_path() {
+        for key_len in [0usize, 1, 16, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 13) as u8).collect();
+            let hk = HmacKey::new(&key);
+            for msg_len in [0usize, 1, 12, 55, 64, 200] {
+                let msg: Vec<u8> = (0..msg_len).map(|i| (i * 3 + 1) as u8).collect();
+                let mut inner = hk.inner_state();
+                inner.update(&msg);
+                let fast = hk.finish_outer(&inner.finalize());
+                assert_eq!(fast, hk.mac(&msg), "key_len {key_len} msg_len {msg_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_parts_matches_reference_path() {
+        let hk = HmacKey::new(b"parts-key");
+        for msg_len in [0usize, 1, 12, 51, 52, 55, 64, 76, 119, 120, 300] {
+            let msg: Vec<u8> = (0..msg_len).map(|i| (i * 7 + 3) as u8).collect();
+            for split in [0usize, msg_len / 3, msg_len / 2, msg_len] {
+                let parts: [&[u8]; 2] = [&msg[..split], &msg[split..]];
+                assert_eq!(
+                    hk.mac_parts(&parts),
+                    hk.mac(&msg),
+                    "msg_len {msg_len} split {split}"
+                );
+            }
+            assert_eq!(hk.mac_parts(&[&msg]), hk.mac(&msg));
+        }
+        assert_eq!(hk.mac_parts(&[]), hk.mac(b""));
     }
 
     #[test]

@@ -138,48 +138,75 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("fixed"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
+        compress_block(&mut self.state, block);
+    }
+
+    /// The raw chain value — what the batch-verify fast path resumes
+    /// from when it bypasses the buffered `update`/`finalize` machinery.
+    pub(crate) fn state_words(&self) -> [u32; 8] {
+        self.state
+    }
+}
+
+/// One compression of `block` into `state`, exposed crate-internally so
+/// [`crate::HmacKey::finish_outer`] can run a single precomputed-layout
+/// compression without a full hasher object.
+///
+/// The round loop is 2×-unrolled: two rounds per iteration with renamed
+/// working variables, so the eight-way register rotation of the textbook
+/// loop happens once per pair instead of once per round.
+pub(crate) fn compress_block(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u32; 64];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("fixed"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {{
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+                .wrapping_add(K[$i])
+                .wrapping_add(w[$i]);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0.wrapping_add(maj));
+        }};
     }
+    for i in (0..64).step_by(2) {
+        // Round i leaves the logical order (h a b c d e f g); round i+1
+        // consumes it with renamed variables and leaves (g h a b c d e f).
+        round!(a, b, c, d, e, f, g, h, i);
+        round!(h, a, b, c, d, e, f, g, i + 1);
+        let (x, y) = (g, h);
+        g = e;
+        h = f;
+        e = c;
+        f = d;
+        c = a;
+        d = b;
+        a = x;
+        b = y;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// One-shot SHA-256.
@@ -189,13 +216,103 @@ pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
     h.finalize()
 }
 
+/// Digests the concatenation of `parts`, resuming from a chain value
+/// that has `already_absorbed` bytes behind it (must be a multiple of
+/// [`BLOCK_LEN`]). A stack block buffer and direct compressions replace
+/// the [`Sha256`] struct's clone-and-update machinery — the per-message
+/// fast path under batched HMAC verification.
+pub(crate) fn digest_parts_from_state(
+    mut state: [u32; 8],
+    already_absorbed: u64,
+    parts: &[&[u8]],
+) -> [u8; DIGEST_LEN] {
+    debug_assert_eq!(already_absorbed % BLOCK_LEN as u64, 0);
+    let mut buf = [0u8; BLOCK_LEN];
+    let mut buf_len = 0usize;
+    let mut total = already_absorbed;
+    for part in parts {
+        let mut data = *part;
+        total += data.len() as u64;
+        if buf_len > 0 {
+            let take = (BLOCK_LEN - buf_len).min(data.len());
+            buf[buf_len..buf_len + take].copy_from_slice(&data[..take]);
+            buf_len += take;
+            data = &data[take..];
+            if buf_len == BLOCK_LEN {
+                compress_block(&mut state, &buf);
+                buf_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let (block, rest) = data.split_at(BLOCK_LEN);
+            compress_block(&mut state, block.try_into().expect("fixed"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            buf[..data.len()].copy_from_slice(data);
+            buf_len = data.len();
+        }
+    }
+    let bit_len = total.wrapping_mul(8);
+    buf[buf_len] = 0x80;
+    if buf_len + 1 > BLOCK_LEN - 8 {
+        buf[buf_len + 1..].fill(0);
+        compress_block(&mut state, &buf);
+        buf = [0u8; BLOCK_LEN];
+    } else {
+        buf[buf_len + 1..BLOCK_LEN - 8].fill(0);
+    }
+    buf[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
+    compress_block(&mut state, &buf);
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
 /// Renders bytes as lowercase hex.
 pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(bytes.len() * 2);
     for b in bytes {
-        s.push_str(&format!("{b:02x}"));
+        s.push(DIGITS[(b >> 4) as usize] as char);
+        s.push(DIGITS[(b & 0x0f) as usize] as char);
     }
     s
+}
+
+/// Parses a hex string (either case, no separators) back into bytes —
+/// the inverse of [`to_hex`], used to transcribe published test vectors.
+/// Returns `None` on odd length or a non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::{from_hex, to_hex};
+///
+/// let bytes = from_hex("00ff0a").unwrap();
+/// assert_eq!(bytes, [0x00, 0xff, 0x0a]);
+/// assert_eq!(to_hex(&bytes), "00ff0a");
+/// assert!(from_hex("abc").is_none()); // odd length
+/// assert!(from_hex("zz").is_none()); // not hex
+/// ```
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digit = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Some(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
 }
 
 #[cfg(test)]
@@ -283,8 +400,65 @@ mod tests {
     }
 
     #[test]
+    fn nist_four_block_896_bit() {
+        // FIPS 180-4 long-message vector: 112 bytes, so the padding and
+        // length land in an extra block (multi-block + boundary case).
+        assert_eq!(
+            to_hex(&sha256(
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+            )),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn digest_parts_matches_incremental_hasher() {
+        // Resume from the state after one absorbed block and compare
+        // against the reference hasher over every chunking.
+        let prefix = [0x36u8; BLOCK_LEN];
+        let mut base = Sha256::new();
+        base.update(&prefix);
+        let tail: Vec<u8> = (0..200u8).collect();
+        for split in [0usize, 1, 11, 52, 63, 64, 65, 127, 128, 200] {
+            let parts: [&[u8]; 2] = [&tail[..split], &tail[split..]];
+            let fast = digest_parts_from_state(base.state_words(), BLOCK_LEN as u64, &parts);
+            let mut reference = base.clone();
+            reference.update(&tail);
+            assert_eq!(fast, reference.finalize(), "split {split}");
+        }
+        // Empty-parts edge: just the padding of the absorbed block.
+        let fast = digest_parts_from_state(base.state_words(), BLOCK_LEN as u64, &[]);
+        assert_eq!(fast, base.finalize());
+    }
+
+    #[test]
     fn to_hex_formats() {
         assert_eq!(to_hex(&[0x00, 0xff, 0x0a]), "00ff0a");
         assert_eq!(to_hex(&[]), "");
+        assert_eq!(to_hex(&[0x12, 0x34, 0xab, 0xcd]), "1234abcd");
+    }
+
+    #[test]
+    fn from_hex_parses_both_cases() {
+        assert_eq!(from_hex("deadBEEF").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn from_hex_rejects_malformed() {
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("0g").is_none(), "non-hex digit");
+        assert!(from_hex("a b0").is_none(), "whitespace");
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for len in [0usize, 1, 2, 31, 32, 33, 100] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 + 5) as u8).collect();
+            let hex = to_hex(&bytes);
+            assert_eq!(hex.len(), 2 * len);
+            assert_eq!(from_hex(&hex).unwrap(), bytes, "len {len}");
+        }
     }
 }

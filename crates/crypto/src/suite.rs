@@ -1,0 +1,574 @@
+//! The pluggable cipher-suite layer: one trait over seal/open that the
+//! wire codec and the SA datapath program against.
+//!
+//! A [`CipherSuite`] bundles everything suite-specific about an ESP
+//! transform — key/IV/ICV lengths, the confidentiality transform, the
+//! integrity tag, and (optionally) an amortized batch verifier. Two
+//! in-repo implementations exist:
+//!
+//! * [`HmacSha256Suite`] — the legacy transform: HMAC-SHA-256-96 ICV
+//!   plus the HMAC-CTR keystream (or null encryption for the auth-only
+//!   configuration). Wire-compatible with the pre-suite codec, and the
+//!   only suite with a specialized [`CipherSuite::verify_batch`].
+//! * [`ChaCha20Poly1305Suite`] — the first real AEAD: RFC 8439
+//!   ChaCha20 encryption with a Poly1305 tag over the ESP header (and
+//!   implicit ESN high half) as AAD.
+//!
+//! Per-packet nonces are derived from the 64-bit sequence number, which
+//! IPsec guarantees unique per SA per direction, so neither suite
+//! carries an explicit IV on the wire ([`CipherSuite::iv_len`] is 0);
+//! the frame layout nevertheless honours non-zero IV lengths.
+
+use crate::aead::{chacha20_poly1305_tag, AEAD_TAG_LEN};
+use crate::chacha::{chacha20_xor, CHACHA_KEY_LEN, CHACHA_NONCE_LEN};
+use crate::ct::ct_eq;
+use crate::hmac::HmacKey;
+use crate::prf::xor_keystream_with;
+use crate::sha256::DIGEST_LEN;
+
+/// The largest ICV any in-repo suite emits (the Poly1305 tag).
+pub const MAX_ICV_LEN: usize = 16;
+
+/// The largest explicit IV the wire codec will stage on the stack.
+pub const MAX_IV_LEN: usize = 16;
+
+/// An integrity check value as produced by a suite: a fixed-capacity
+/// inline buffer, so the datapath never allocates for tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Icv {
+    len: usize,
+    bytes: [u8; MAX_ICV_LEN],
+}
+
+impl Icv {
+    /// Wraps `tag` (at most [`MAX_ICV_LEN`] bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` exceeds the inline capacity.
+    pub fn new(tag: &[u8]) -> Self {
+        assert!(tag.len() <= MAX_ICV_LEN, "ICV too long");
+        let mut bytes = [0u8; MAX_ICV_LEN];
+        bytes[..tag.len()].copy_from_slice(tag);
+        Icv {
+            len: tag.len(),
+            bytes,
+        }
+    }
+}
+
+impl std::ops::Deref for Icv {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.bytes[..self.len]
+    }
+}
+
+/// One parsed frame submitted to [`CipherSuite::verify`] /
+/// [`CipherSuite::verify_batch`]: the authenticated regions plus the
+/// ICV to compare against. All slices borrow from the wire buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameToVerify<'a> {
+    /// Full 64-bit sequence number (nonce input for AEAD suites).
+    pub seq: u64,
+    /// The ESP header bytes (SPI, low sequence, length).
+    pub header: &'a [u8],
+    /// The (still-encrypted) payload bytes.
+    pub ciphertext: &'a [u8],
+    /// ESN high half when the SA runs extended sequence numbers; it is
+    /// authenticated as if appended to the packet (RFC 4304).
+    pub esn_hi: Option<u32>,
+    /// The ICV carried on the wire.
+    pub icv: &'a [u8],
+}
+
+/// A pluggable ESP transform: confidentiality + integrity + layout
+/// metadata, dispatched dynamically by the wire codec and the SA.
+///
+/// # Adding a suite
+///
+/// Implement the trait (see `crates/crypto/src/suite.rs` for the two
+/// in-repo examples), give [`crate::CipherSuite::icv_len`] its tag
+/// size, and wire an enum variant + key derivation into
+/// `reset_ipsec::CryptoSuite`. The known-answer and differential tests
+/// in `crates/crypto` and `tests/it_suites.rs` are the gate: a new
+/// suite needs published vectors for its primitives and a
+/// batch-vs-sequential differential run before the datapath may use it.
+pub trait CipherSuite {
+    /// Human-readable suite name (reports, benches).
+    fn name(&self) -> &'static str;
+
+    /// Bytes of key material the suite consumes.
+    fn key_len(&self) -> usize;
+
+    /// Explicit per-packet IV bytes carried on the wire (0 for both
+    /// in-repo suites: their nonces derive from the sequence number).
+    fn iv_len(&self) -> usize {
+        0
+    }
+
+    /// ICV/tag bytes appended to each frame.
+    fn icv_len(&self) -> usize;
+
+    /// Writes the explicit per-packet IV (only called when
+    /// [`CipherSuite::iv_len`] is non-zero; `iv` has exactly that
+    /// length, at most [`MAX_IV_LEN`]). The default derives the IV from
+    /// the sequence number, big-endian in the trailing bytes — the
+    /// counter-style explicit IV shape.
+    fn fill_iv(&self, seq: u64, iv: &mut [u8]) {
+        let n = iv.len().min(8);
+        let start = iv.len() - n;
+        iv[..start].fill(0);
+        iv[start..].copy_from_slice(&seq.to_be_bytes()[8 - n..]);
+    }
+
+    /// Whether the payload is encrypted on the wire (false for
+    /// auth-only / null-encryption configurations, enabling zero-copy
+    /// delivery).
+    fn encrypts(&self) -> bool;
+
+    /// Encrypts `body` in place for sequence number `seq`.
+    fn encrypt(&self, seq: u64, body: &mut [u8]);
+
+    /// Decrypts `body` in place. Callers must have verified the ICV
+    /// first (RFC 2406 order: authenticate, then window, then decrypt).
+    fn decrypt(&self, seq: u64, body: &mut [u8]);
+
+    /// Computes the ICV over `header ‖ ciphertext ‖ esn_hi?`.
+    fn icv(&self, seq: u64, header: &[u8], ciphertext: &[u8], esn_hi: Option<u32>) -> Icv;
+
+    /// Constant-time ICV check for one frame.
+    fn verify(&self, frame: &FrameToVerify<'_>) -> bool {
+        frame.icv.len() == self.icv_len()
+            && ct_eq(
+                frame.icv,
+                &self.icv(frame.seq, frame.header, frame.ciphertext, frame.esn_hi),
+            )
+    }
+
+    /// Verifies a whole batch of frames for one SA, appending one
+    /// verdict per frame to `ok` (cleared first). Equivalent to calling
+    /// [`CipherSuite::verify`] per frame — suites override this only to
+    /// amortize, never to change results (differential-tested in
+    /// `tests/it_suites.rs`).
+    fn verify_batch(&self, frames: &[FrameToVerify<'_>], ok: &mut Vec<bool>) {
+        ok.clear();
+        ok.extend(frames.iter().map(|f| self.verify(f)));
+    }
+}
+
+/// ICV length of [`HmacSha256Suite`] (HMAC-SHA-256 truncated to 96
+/// bits, the classic ESP transform).
+pub const HMAC_ICV_LEN: usize = 12;
+
+/// The legacy suite: HMAC-SHA-256-96 integrity with the HMAC-CTR
+/// keystream confidentiality transform, or null encryption when built
+/// [`HmacSha256Suite::auth_only`]. Byte-compatible with the pre-suite
+/// wire codec.
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::{CipherSuite, HmacSha256Suite};
+///
+/// let suite = HmacSha256Suite::with_keystream(b"auth-key", b"enc-key");
+/// let mut body = *b"secret";
+/// suite.encrypt(7, &mut body);
+/// let icv = suite.icv(7, b"header", &body, None);
+/// assert_eq!(icv.len(), suite.icv_len());
+/// suite.decrypt(7, &mut body);
+/// assert_eq!(&body, b"secret");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HmacSha256Suite {
+    auth: HmacKey,
+    enc: Option<HmacKey>,
+}
+
+impl HmacSha256Suite {
+    /// Integrity + keystream confidentiality (the default transform).
+    pub fn with_keystream(auth_key: &[u8], enc_key: &[u8]) -> Self {
+        HmacSha256Suite {
+            auth: HmacKey::new(auth_key),
+            enc: Some(HmacKey::new(enc_key)),
+        }
+    }
+
+    /// Integrity only (ESP with null encryption, RFC 2410 style).
+    pub fn auth_only(auth_key: &[u8]) -> Self {
+        HmacSha256Suite {
+            auth: HmacKey::new(auth_key),
+            enc: None,
+        }
+    }
+
+    /// The precomputed authentication key schedule (legacy-codec
+    /// interop and benches).
+    pub fn auth_key(&self) -> &HmacKey {
+        &self.auth
+    }
+
+    /// The precomputed encryption key schedule, when the suite encrypts.
+    pub fn enc_key(&self) -> Option<&HmacKey> {
+        self.enc.as_ref()
+    }
+
+    fn tag(&self, header: &[u8], ciphertext: &[u8], esn_hi: Option<u32>) -> [u8; DIGEST_LEN] {
+        let mut h = self.auth.begin();
+        h.update(header);
+        h.update(ciphertext);
+        if let Some(hi) = esn_hi {
+            h.update(&hi.to_be_bytes());
+        }
+        h.finalize()
+    }
+}
+
+impl CipherSuite for HmacSha256Suite {
+    fn name(&self) -> &'static str {
+        if self.enc.is_some() {
+            "hmac-sha256-keystream"
+        } else {
+            "hmac-sha256-auth-only"
+        }
+    }
+
+    fn key_len(&self) -> usize {
+        if self.enc.is_some() {
+            64
+        } else {
+            32
+        }
+    }
+
+    fn icv_len(&self) -> usize {
+        HMAC_ICV_LEN
+    }
+
+    fn encrypts(&self) -> bool {
+        self.enc.is_some()
+    }
+
+    fn encrypt(&self, seq: u64, body: &mut [u8]) {
+        if let Some(enc) = &self.enc {
+            xor_keystream_with(enc, seq, body);
+        }
+    }
+
+    fn decrypt(&self, seq: u64, body: &mut [u8]) {
+        // The keystream is an involution.
+        self.encrypt(seq, body);
+    }
+
+    fn icv(&self, _seq: u64, header: &[u8], ciphertext: &[u8], esn_hi: Option<u32>) -> Icv {
+        Icv::new(&self.tag(header, ciphertext, esn_hi)[..HMAC_ICV_LEN])
+    }
+
+    /// The amortized batch path, built on [`HmacKey::mac_parts`]: every
+    /// frame's inner hash resumes straight from the one precomputed
+    /// ipad chain value through a stack block buffer (no hasher clone,
+    /// no buffered `update`, no per-frame padding-tail assembly), and
+    /// the outer hash is the single fixed-layout compression of
+    /// [`HmacKey::finish_outer`]. The sequential [`CipherSuite::verify`]
+    /// deliberately stays on the independent reference path
+    /// (`begin`/`update`/`finalize`), so the differential tests compare
+    /// two genuinely distinct implementations.
+    fn verify_batch(&self, frames: &[FrameToVerify<'_>], ok: &mut Vec<bool>) {
+        ok.clear();
+        ok.reserve(frames.len());
+        for f in frames {
+            let full = match f.esn_hi {
+                Some(hi) => self
+                    .auth
+                    .mac_parts(&[f.header, f.ciphertext, &hi.to_be_bytes()]),
+                None => self.auth.mac_parts(&[f.header, f.ciphertext]),
+            };
+            ok.push(f.icv.len() == HMAC_ICV_LEN && ct_eq(f.icv, &full[..HMAC_ICV_LEN]));
+        }
+    }
+}
+
+/// The ChaCha20-Poly1305 AEAD suite (RFC 8439): ChaCha20 keystream from
+/// block counter 1, Poly1305 tag keyed from block 0, ESP header (and
+/// ESN high half) as AAD. The per-packet nonce is the 64-bit sequence
+/// number big-endian in the low 8 nonce bytes.
+///
+/// # Examples
+///
+/// ```
+/// use reset_crypto::{ChaCha20Poly1305Suite, CipherSuite};
+///
+/// let suite = ChaCha20Poly1305Suite::new([7u8; 32]);
+/// assert_eq!(suite.icv_len(), 16);
+/// let mut body = *b"secret";
+/// suite.encrypt(1, &mut body);
+/// let icv = suite.icv(1, b"hdr", &body, None);
+/// assert!(suite.verify(&reset_crypto::FrameToVerify {
+///     seq: 1,
+///     header: b"hdr",
+///     ciphertext: &body,
+///     esn_hi: None,
+///     icv: &icv,
+/// }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha20Poly1305Suite {
+    key: [u8; CHACHA_KEY_LEN],
+}
+
+impl ChaCha20Poly1305Suite {
+    /// A suite over the 256-bit cipher key.
+    pub fn new(key: [u8; CHACHA_KEY_LEN]) -> Self {
+        ChaCha20Poly1305Suite { key }
+    }
+
+    /// Builds from derived key material (first 32 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `material` holds fewer than 32 bytes.
+    pub fn from_material(material: &[u8]) -> Self {
+        assert!(
+            material.len() >= CHACHA_KEY_LEN,
+            "chacha20-poly1305 needs 32 key bytes"
+        );
+        let mut key = [0u8; CHACHA_KEY_LEN];
+        key.copy_from_slice(&material[..CHACHA_KEY_LEN]);
+        ChaCha20Poly1305Suite { key }
+    }
+
+    fn nonce(seq: u64) -> [u8; CHACHA_NONCE_LEN] {
+        let mut n = [0u8; CHACHA_NONCE_LEN];
+        n[4..].copy_from_slice(&seq.to_be_bytes());
+        n
+    }
+}
+
+impl CipherSuite for ChaCha20Poly1305Suite {
+    fn name(&self) -> &'static str {
+        "chacha20-poly1305"
+    }
+
+    fn key_len(&self) -> usize {
+        CHACHA_KEY_LEN
+    }
+
+    fn icv_len(&self) -> usize {
+        AEAD_TAG_LEN
+    }
+
+    fn encrypts(&self) -> bool {
+        true
+    }
+
+    fn encrypt(&self, seq: u64, body: &mut [u8]) {
+        chacha20_xor(&self.key, 1, &Self::nonce(seq), body);
+    }
+
+    fn decrypt(&self, seq: u64, body: &mut [u8]) {
+        // Counter-mode: decryption is the same keystream XOR.
+        self.encrypt(seq, body);
+    }
+
+    fn icv(&self, seq: u64, header: &[u8], ciphertext: &[u8], esn_hi: Option<u32>) -> Icv {
+        let nonce = Self::nonce(seq);
+        let tag = match esn_hi {
+            Some(hi) => {
+                let hi = hi.to_be_bytes();
+                chacha20_poly1305_tag(&self.key, &nonce, &[header, &hi], ciphertext)
+            }
+            None => chacha20_poly1305_tag(&self.key, &nonce, &[header], ciphertext),
+        };
+        Icv::new(&tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aead::chacha20_poly1305_seal;
+    use crate::hmac::hmac_sha256_96;
+
+    fn frame<'a>(
+        seq: u64,
+        header: &'a [u8],
+        ct: &'a [u8],
+        esn_hi: Option<u32>,
+        icv: &'a [u8],
+    ) -> FrameToVerify<'a> {
+        FrameToVerify {
+            seq,
+            header,
+            ciphertext: ct,
+            esn_hi,
+            icv,
+        }
+    }
+
+    #[test]
+    fn hmac_suite_matches_raw_hmac_over_concatenation() {
+        let suite = HmacSha256Suite::with_keystream(b"auth", b"enc");
+        let header = b"HDRBYTES0012";
+        let ct = b"ciphertext region";
+        let icv = suite.icv(5, header, ct, None);
+        let mut concat = header.to_vec();
+        concat.extend_from_slice(ct);
+        assert_eq!(&icv[..], &hmac_sha256_96(b"auth", &concat));
+        // ESN high half participates like appended bytes.
+        let icv_esn = suite.icv(5, header, ct, Some(3));
+        concat.extend_from_slice(&3u32.to_be_bytes());
+        assert_eq!(&icv_esn[..], &hmac_sha256_96(b"auth", &concat));
+    }
+
+    #[test]
+    fn hmac_batch_agrees_with_sequential_including_corruption() {
+        let suite = HmacSha256Suite::with_keystream(b"batch-auth", b"batch-enc");
+        let mut storage: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0..50u64 {
+            let header = vec![i as u8; 12];
+            let ct: Vec<u8> = (0..(i % 7) * 9).map(|j| (i + j) as u8).collect();
+            let esn = if i % 3 == 0 { Some(i as u32) } else { None };
+            let mut icv = suite.icv(i, &header, &ct, esn).to_vec();
+            match i % 5 {
+                1 => icv[0] ^= 0x40,  // flipped tag byte
+                2 => icv.truncate(8), // truncated tag
+                3 => icv.push(0),     // overlong tag
+                _ => {}
+            }
+            storage.push((header, ct, icv));
+        }
+        let frames: Vec<FrameToVerify<'_>> = storage
+            .iter()
+            .enumerate()
+            .map(|(i, (h, c, t))| {
+                frame(
+                    i as u64,
+                    h,
+                    c,
+                    if i % 3 == 0 { Some(i as u32) } else { None },
+                    t,
+                )
+            })
+            .collect();
+        let mut batch = Vec::new();
+        suite.verify_batch(&frames, &mut batch);
+        let sequential: Vec<bool> = frames.iter().map(|f| suite.verify(f)).collect();
+        assert_eq!(batch, sequential);
+        assert!(batch.iter().any(|&b| b), "some frames verify");
+        assert!(batch.iter().any(|&b| !b), "corrupted frames fail");
+    }
+
+    #[test]
+    fn default_verify_batch_loops_verify() {
+        // The AEAD suite uses the trait default; results must match too.
+        let suite = ChaCha20Poly1305Suite::new([0x21; 32]);
+        let mut bodies = Vec::new();
+        for i in 0..10u64 {
+            let mut body = vec![i as u8; 20];
+            suite.encrypt(i, &mut body);
+            let mut icv = suite.icv(i, b"h", &body, None).to_vec();
+            if i == 4 {
+                icv[15] ^= 1;
+            }
+            bodies.push((body, icv));
+        }
+        let frames: Vec<FrameToVerify<'_>> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, (b, t))| frame(i as u64, b"h", b, None, t))
+            .collect();
+        let mut out = Vec::new();
+        suite.verify_batch(&frames, &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.iter().filter(|&&b| !b).count(), 1);
+    }
+
+    #[test]
+    fn aead_suite_matches_rfc_construction() {
+        // The suite's encrypt + icv must equal the validated one-shot
+        // RFC 8439 seal for the same (key, nonce, aad).
+        let key = [0x5Au8; 32];
+        let suite = ChaCha20Poly1305Suite::new(key);
+        let header = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+        let seq = 0x0102_0304_0506_0708u64;
+        let mut body = b"the aead payload".to_vec();
+        suite.encrypt(seq, &mut body);
+        let icv = suite.icv(seq, &header, &body, None);
+
+        let mut reference = b"the aead payload".to_vec();
+        let nonce = ChaCha20Poly1305Suite::nonce(seq);
+        let tag = chacha20_poly1305_seal(&key, &nonce, &header, &mut reference);
+        assert_eq!(body, reference);
+        assert_eq!(&icv[..], &tag);
+    }
+
+    #[test]
+    fn aead_esn_high_half_is_authenticated() {
+        let suite = ChaCha20Poly1305Suite::new([9u8; 32]);
+        let mut body = b"x".to_vec();
+        suite.encrypt(1, &mut body);
+        let icv = suite.icv(1, b"hdr", &body, Some(7));
+        assert!(suite.verify(&frame(1, b"hdr", &body, Some(7), &icv)));
+        assert!(!suite.verify(&frame(1, b"hdr", &body, Some(8), &icv)));
+        assert!(!suite.verify(&frame(1, b"hdr", &body, None, &icv)));
+    }
+
+    #[test]
+    fn suites_reject_each_others_tags() {
+        let hmac = HmacSha256Suite::with_keystream(b"k", b"e");
+        let aead = ChaCha20Poly1305Suite::new([1u8; 32]);
+        let body = b"payload".to_vec();
+        let hmac_icv = hmac.icv(1, b"hdr", &body, None);
+        let aead_icv = aead.icv(1, b"hdr", &body, None);
+        assert!(!aead.verify(&frame(1, b"hdr", &body, None, &hmac_icv)));
+        assert!(!hmac.verify(&frame(1, b"hdr", &body, None, &aead_icv)));
+    }
+
+    #[test]
+    fn metadata_is_consistent() {
+        let hk = HmacSha256Suite::with_keystream(b"a", b"e");
+        let ha = HmacSha256Suite::auth_only(b"a");
+        let cc = ChaCha20Poly1305Suite::new([0u8; 32]);
+        for s in [&hk as &dyn CipherSuite, &ha, &cc] {
+            assert!(s.icv_len() <= MAX_ICV_LEN, "{}", s.name());
+            assert_eq!(s.iv_len(), 0, "{}", s.name());
+            assert!(s.key_len() >= 32, "{}", s.name());
+        }
+        assert!(hk.encrypts());
+        assert!(!ha.encrypts());
+        assert!(cc.encrypts());
+        assert_ne!(hk.name(), ha.name());
+    }
+
+    #[test]
+    fn auth_only_encrypt_is_identity() {
+        let suite = HmacSha256Suite::auth_only(b"a");
+        let mut body = *b"cleartext";
+        suite.encrypt(3, &mut body);
+        assert_eq!(&body, b"cleartext");
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_all_suites() {
+        let suites: Vec<Box<dyn CipherSuite>> = vec![
+            Box::new(HmacSha256Suite::with_keystream(b"a", b"e")),
+            Box::new(HmacSha256Suite::auth_only(b"a")),
+            Box::new(ChaCha20Poly1305Suite::new([3u8; 32])),
+        ];
+        for suite in &suites {
+            for len in [0usize, 1, 63, 64, 65, 300] {
+                let original: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                let mut body = original.clone();
+                suite.encrypt(42, &mut body);
+                suite.decrypt(42, &mut body);
+                assert_eq!(body, original, "{} len {len}", suite.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ICV too long")]
+    fn icv_capacity_is_enforced() {
+        let _ = Icv::new(&[0u8; MAX_ICV_LEN + 1]);
+    }
+}

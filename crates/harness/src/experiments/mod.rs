@@ -12,6 +12,7 @@
 //! | `t6` | §2 w-Delivery & Discrimination | [`t6`] |
 //! | `t7` | §6 prolonged resets | [`t7`] |
 //! | `ablation` | §4 design choices | [`ablation`] |
+//! | `suites` | cipher-suite sweep (beyond the paper) | [`suites`] |
 //!
 //! Each module exposes raw `run`/`sweep` functions returning typed
 //! records (used by the integration tests) and a `table` function that
@@ -20,6 +21,7 @@
 pub mod ablation;
 pub mod fig1;
 pub mod fig2;
+pub mod suites;
 pub mod t1;
 pub mod t2;
 pub mod t3;
@@ -52,13 +54,14 @@ pub fn run_by_id(id: &str) -> Option<Vec<Table>> {
             ablation::policy_table(5_000, 25, 42),
             ablation::window_impl_table(25),
         ]),
+        "suites" => Some(vec![suites::table(20_000, 64)]),
         _ => None,
     }
 }
 
 /// All experiment ids, in run order.
 pub const ALL_IDS: &[&str] = &[
-    "fig1", "fig2", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "ablation",
+    "fig1", "fig2", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "ablation", "suites",
 ];
 
 #[cfg(test)]

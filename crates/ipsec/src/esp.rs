@@ -13,25 +13,30 @@
 //! The paper's premise is a ~4 µs per-message budget, so the receive
 //! pipeline is allocation-free after warm-up:
 //!
-//! * the ICV uses the SA's precomputed [`reset_crypto::HmacKey`] — no
-//!   per-packet key schedule;
-//! * [`reset_wire::verify_frame`] authenticates in place, without
+//! * all crypto dispatches through the SA's precomputed
+//!   [`reset_crypto::CipherSuite`] — no per-packet key schedule for any
+//!   suite;
+//! * [`reset_wire::verify_frame_with`] authenticates in place, without
 //!   materializing an intermediate packet;
 //! * delivered payloads are either zero-copy slices of the input
-//!   (auth-only suites, via [`Inbound::process_bytes`]) or decrypted
-//!   into a recycled arena whose allocation is reclaimed once the
-//!   consumer drops the previous payload;
+//!   (non-encrypting suites, via [`Inbound::process_bytes`]) or
+//!   decrypted into a recycled arena whose allocation is reclaimed once
+//!   the consumer drops the previous payload;
 //! * [`Inbound::process_batch`] amortizes the arena across a whole NIC
-//!   queue drain: one buffer, one freeze, per-packet zero-copy slices.
+//!   queue drain *and* verifies all ICVs of the batch through
+//!   [`reset_crypto::CipherSuite::verify_batch`], so the HMAC suite's
+//!   two-pass amortized verifier kicks in per SA run.
 
 use bytes::{Bytes, BytesMut};
-use reset_crypto::xor_keystream_with;
+use reset_crypto::FrameToVerify;
 use reset_stable::{SlotId, StableError, StableStore};
-use reset_wire::{infer_esn, seal_with, verify_frame, WireError, HEADER_LEN};
+use reset_wire::{
+    check_frame_length, infer_esn, seal_frame, verify_frame_with, WireError, HEADER_LEN,
+};
 
 use anti_replay::{Phase, RxOutcome, SeqNum, SfReceiver, SfSender};
 
-use crate::sa::{CryptoSuite, SecurityAssociation};
+use crate::sa::SecurityAssociation;
 use crate::IpsecError;
 
 /// Sender half of one SA's datapath.
@@ -61,10 +66,6 @@ use crate::IpsecError;
 pub struct Outbound<S> {
     sa: SecurityAssociation,
     seq: SfSender<S>,
-    /// Reused encryption buffer: `protect` copies the payload here,
-    /// transforms it in place and seals from it, so the only per-packet
-    /// allocation is the returned wire buffer itself.
-    body_scratch: Vec<u8>,
 }
 
 impl<S: StableStore> Outbound<S> {
@@ -75,7 +76,6 @@ impl<S: StableStore> Outbound<S> {
         Outbound {
             sa,
             seq: SfSender::new(store, slot, k),
-            body_scratch: Vec::new(),
         }
     }
 
@@ -100,16 +100,13 @@ impl<S: StableStore> Outbound<S> {
         let Some(seq) = self.seq.send_next()? else {
             return Ok(None);
         };
-        self.body_scratch.clear();
-        self.body_scratch.extend_from_slice(payload);
-        if self.sa.suite() == CryptoSuite::HmacSha256WithKeystream {
-            xor_keystream_with(self.sa.enc_key(), seq.value(), &mut self.body_scratch);
-        }
-        let wire = seal_with(
+        // The suite encrypts in place inside the wire buffer, so the
+        // only per-packet allocation is the returned buffer itself.
+        let wire = seal_frame(
             self.sa.spi(),
             seq.value(),
-            &self.body_scratch,
-            self.sa.hmac_key(),
+            payload,
+            self.sa.cipher(),
             self.sa.esn(),
         )?;
         self.sa.account(payload.len());
@@ -294,21 +291,32 @@ impl<S: StableStore> Inbound<S> {
 
     /// Drains a burst of packets for this SA in arrival order.
     ///
-    /// The whole batch shares one decryption arena (recycled from the
-    /// previous batch once its payloads were dropped), so a gateway
-    /// draining a NIC queue performs zero buffer allocations per
-    /// delivered packet: auth-only payloads slice the input buffers,
-    /// encrypted payloads slice the arena. Per-packet failures (bad ICV,
-    /// foreign SPI, malformed framing, store hiccups) are reported
-    /// in-line as [`RxResult::Rejected`] without aborting the batch;
-    /// background SAVEs issued while the batch advances the window
-    /// coalesce into the single newest pending save (the disk queue
-    /// collapses, see [`reset_stable::BackgroundSaver::issue`]).
+    /// Two amortizations over the single-packet path, with results
+    /// guaranteed identical to calling [`Inbound::process`] per packet
+    /// (differential-tested in `tests/it_suites.rs`):
     ///
-    /// Wall-clock today is on par with the single-packet path — the
-    /// pipeline is crypto-bound (see `BENCH_datapath.json`) — the batch
-    /// form buys the allocation profile and the amortized SA dispatch at
-    /// the SADB layer.
+    /// * **Batched ICV verification.** All well-framed frames of the
+    ///   batch go through [`reset_crypto::CipherSuite::verify_batch`]
+    ///   in one call; the HMAC suite's two-pass verifier amortizes the
+    ///   one-shot SHA-256 padding assembly and outer-hash bookkeeping
+    ///   across the run (see `BENCH_datapath.json`,
+    ///   `datapath/icv_batch_64B`). ESN high halves are guessed at the
+    ///   batch-start right edge; the rare frame whose guess is
+    ///   invalidated by the window advancing across a 2³² boundary
+    ///   mid-batch is re-verified individually, preserving sequential
+    ///   semantics exactly.
+    /// * **One decryption arena.** The whole batch shares one buffer
+    ///   (recycled from the previous batch once its payloads were
+    ///   dropped), so a gateway draining a NIC queue performs zero
+    ///   buffer allocations per delivered packet: non-encrypting suites
+    ///   slice the input buffers, encrypting suites slice the arena.
+    ///
+    /// Per-packet failures (bad ICV, foreign SPI, malformed framing,
+    /// store hiccups) are reported in-line as [`RxResult::Rejected`]
+    /// without aborting the batch; background SAVEs issued while the
+    /// batch advances the window coalesce into the single newest pending
+    /// save (the disk queue collapses, see
+    /// [`reset_stable::BackgroundSaver::issue`]).
     ///
     /// Memory caveat: every encrypted payload of a batch is a slice of
     /// the one shared arena, so *retaining* any single payload pins the
@@ -321,6 +329,91 @@ impl<S: StableStore> Inbound<S> {
     /// Reserved for non-per-packet infrastructure failures; today all
     /// failures are reported in-line and the call returns `Ok`.
     pub fn process_batch(&mut self, wires: &[Bytes]) -> Result<Vec<RxResult>, IpsecError> {
+        // The phase only changes through external calls, never inside a
+        // drain, so it gates the whole batch at once.
+        match self.rx.phase() {
+            Phase::Down => return Ok(wires.iter().map(|_| RxResult::DroppedDown).collect()),
+            Phase::Waking => {
+                self.pending.extend(wires.iter().cloned());
+                return Ok(wires.iter().map(|_| RxResult::Buffered).collect());
+            }
+            Phase::Running => {}
+        }
+
+        /// Phase-A classification of one frame.
+        enum Parsed {
+            /// Framing failure (counted as an auth failure, matching the
+            /// sequential path).
+            Bad(WireError),
+            /// Foreign SPI: rejected before any crypto.
+            Foreign(u32),
+            /// Well-framed; its ICV verdict sits in the batch at `slot`.
+            Frame {
+                seq_lo: u32,
+                payload_len: usize,
+                guess_hi: Option<u32>,
+                slot: usize,
+            },
+        }
+
+        // ---- Phase A: parse every frame, then verify all ICVs in one
+        // suite call. ESN high halves are inferred against the right
+        // edge as of batch start and re-checked in phase B.
+        let esn = self.sa.esn();
+        let edge0 = self.rx.right_edge().value();
+        let cipher = self.sa.cipher();
+        let overhead = HEADER_LEN + cipher.iv_len() + cipher.icv_len();
+        let body_off = HEADER_LEN + cipher.iv_len();
+        let mut parsed: Vec<Parsed> = Vec::with_capacity(wires.len());
+        let mut to_verify: Vec<FrameToVerify<'_>> = Vec::with_capacity(wires.len());
+        for wire in wires {
+            if wire.len() < 8 {
+                parsed.push(Parsed::Bad(WireError::Truncated {
+                    needed: 8,
+                    got: wire.len(),
+                }));
+                continue;
+            }
+            let spi = u32::from_be_bytes(wire[0..4].try_into().expect("fixed"));
+            if spi != self.sa.spi() {
+                parsed.push(Parsed::Foreign(spi));
+                continue;
+            }
+            // Framing rules shared with the sequential path — one
+            // definition in reset_wire, so the two cannot drift.
+            let (_, seq_lo, declared) = match check_frame_length(wire, overhead) {
+                Ok(parts) => parts,
+                Err(e) => {
+                    parsed.push(Parsed::Bad(e));
+                    continue;
+                }
+            };
+            let (seq, guess_hi) = if esn {
+                let inferred = infer_esn(seq_lo, edge0);
+                (inferred, Some((inferred >> 32) as u32))
+            } else {
+                (seq_lo as u64, None)
+            };
+            let ct_end = wire.len() - cipher.icv_len();
+            to_verify.push(FrameToVerify {
+                seq,
+                header: &wire[..body_off],
+                ciphertext: &wire[body_off..ct_end],
+                esn_hi: guess_hi,
+                icv: &wire[ct_end..],
+            });
+            parsed.push(Parsed::Frame {
+                seq_lo,
+                payload_len: declared,
+                guess_hi,
+                slot: to_verify.len() - 1,
+            });
+        }
+        let mut verdicts: Vec<bool> = Vec::with_capacity(to_verify.len());
+        cipher.verify_batch(&to_verify, &mut verdicts);
+
+        // ---- Phase B: consume verdicts in arrival order, driving the
+        // window, accounting and the shared decryption arena.
         enum Slot {
             Ready(RxResult),
             /// Delivered, payload decrypted into the arena at `start..start+len`.
@@ -332,31 +425,46 @@ impl<S: StableStore> Inbound<S> {
         }
         let mut slots: Vec<Slot> = Vec::with_capacity(wires.len());
         let mut arena = BytesMut::recycle(std::mem::take(&mut self.scratch), 0);
-        for wire in wires {
-            match self.rx.phase() {
-                Phase::Down => {
-                    slots.push(Slot::Ready(RxResult::DroppedDown));
-                    continue;
-                }
-                Phase::Waking => {
-                    self.pending.push(wire.clone());
-                    slots.push(Slot::Ready(RxResult::Buffered));
-                    continue;
-                }
-                Phase::Running => {}
-            }
-            let (seq, payload_len) = match self.verify_one(wire) {
-                Ok(v) => v,
-                Err(IpsecError::UnknownSa { spi }) => {
-                    slots.push(Slot::Ready(RxResult::Rejected(RxReject::UnknownSa { spi })));
-                    continue;
-                }
-                Err(IpsecError::Wire(e)) => {
+        for (wire, p) in wires.iter().zip(parsed) {
+            let (seq_lo, payload_len, guess_hi, slot) = match p {
+                Parsed::Bad(e) => {
+                    self.auth_failures += 1;
                     slots.push(Slot::Ready(RxResult::Rejected(RxReject::Wire(e))));
                     continue;
                 }
-                Err(other) => return Err(other),
+                Parsed::Foreign(spi) => {
+                    slots.push(Slot::Ready(RxResult::Rejected(RxReject::UnknownSa { spi })));
+                    continue;
+                }
+                Parsed::Frame {
+                    seq_lo,
+                    payload_len,
+                    guess_hi,
+                    slot,
+                } => (seq_lo, payload_len, guess_hi, slot),
             };
+            let (seq64, esn_hi) = if esn {
+                let inferred = infer_esn(seq_lo, self.rx.right_edge().value());
+                (inferred, Some((inferred >> 32) as u32))
+            } else {
+                (seq_lo as u64, None)
+            };
+            let ok = if esn_hi == guess_hi {
+                verdicts[slot]
+            } else {
+                // The window crossed an ESN boundary mid-batch and
+                // invalidated the batch-start guess; re-verify with the
+                // live inference, exactly as the sequential path would.
+                verify_frame_with(wire, self.sa.cipher(), esn_hi).is_ok()
+            };
+            if !ok {
+                self.auth_failures += 1;
+                slots.push(Slot::Ready(RxResult::Rejected(RxReject::Wire(
+                    WireError::IcvMismatch,
+                ))));
+                continue;
+            }
+            let seq = SeqNum::new(seq64);
             let outcome = match self.rx.receive(seq) {
                 Ok(o) => o,
                 Err(e) => {
@@ -372,16 +480,16 @@ impl<S: StableStore> Inbound<S> {
             match outcome {
                 RxOutcome::Delivered => {
                     self.sa.account(payload_len);
-                    if self.sa.suite() == CryptoSuite::HmacSha256AuthOnly {
+                    if !self.sa.cipher().encrypts() {
                         // Zero-copy: the payload is a slice of the input.
                         slots.push(Slot::Ready(RxResult::Delivered {
-                            payload: wire.slice(HEADER_LEN..HEADER_LEN + payload_len),
+                            payload: wire.slice(body_off..body_off + payload_len),
                             seq,
                         }));
                     } else {
                         let (start, len) = self.decrypt_append(
                             seq,
-                            &wire[HEADER_LEN..HEADER_LEN + payload_len],
+                            &wire[body_off..body_off + payload_len],
                             &mut arena,
                         );
                         slots.push(Slot::Arena { seq, start, len });
@@ -409,9 +517,15 @@ impl<S: StableStore> Inbound<S> {
             .collect())
     }
 
+    /// Where the (possibly encrypted) payload starts inside a frame of
+    /// this SA's suite.
+    fn body_offset(&self) -> usize {
+        HEADER_LEN + self.sa.cipher().iv_len()
+    }
+
     /// Parses and authenticates one frame against this SA. On success
     /// returns the ESN-reconstructed sequence number and the payload
-    /// length (the payload sits at `wire[HEADER_LEN..][..len]`).
+    /// length (the payload sits at `wire[self.body_offset()..][..len]`).
     fn verify_one(&mut self, wire: &[u8]) -> Result<(SeqNum, usize), IpsecError> {
         // Pre-parse SPI and low sequence bits (unauthenticated so far).
         if wire.len() < 8 {
@@ -433,8 +547,8 @@ impl<S: StableStore> Inbound<S> {
             (seq_lo as u64, None)
         };
         // Authenticate (a wrong ESN guess fails here too). The SA's
-        // precomputed HmacKey means no key schedule runs per packet.
-        match verify_frame(wire, self.sa.hmac_key(), esn_hi) {
+        // suite holds precomputed key schedules, so none runs per packet.
+        match verify_frame_with(wire, self.sa.cipher(), esn_hi) {
             Ok((_, _, payload_len)) => Ok((SeqNum::new(seq64), payload_len)),
             Err(e) => {
                 self.auth_failures += 1;
@@ -450,9 +564,9 @@ impl<S: StableStore> Inbound<S> {
     fn decrypt_append(&self, seq: SeqNum, body: &[u8], buf: &mut BytesMut) -> (usize, usize) {
         let start = buf.len();
         buf.extend_from_slice(body);
-        if self.sa.suite() == CryptoSuite::HmacSha256WithKeystream {
-            xor_keystream_with(self.sa.enc_key(), seq.value(), &mut buf.as_mut()[start..]);
-        }
+        self.sa
+            .cipher()
+            .decrypt(seq.value(), &mut buf.as_mut()[start..]);
         (start, body.len())
     }
 
@@ -468,21 +582,18 @@ impl<S: StableStore> Inbound<S> {
             RxOutcome::Delivered => {
                 // 3. Decrypt and deliver.
                 self.sa.account(payload_len);
-                let payload = match (self.sa.suite(), zc) {
-                    (CryptoSuite::HmacSha256AuthOnly, Some(shared)) => {
+                let start = self.body_offset();
+                let payload = match zc {
+                    Some(shared) if !self.sa.cipher().encrypts() => {
                         // Zero-copy: the payload is a slice of the input.
-                        shared.slice(HEADER_LEN..HEADER_LEN + payload_len)
+                        shared.slice(start..start + payload_len)
                     }
                     _ => {
                         // Copy into the recycled arena (and decrypt in
                         // place when the suite encrypts).
                         let mut buf =
                             BytesMut::recycle(std::mem::take(&mut self.scratch), payload_len);
-                        self.decrypt_append(
-                            seq,
-                            &wire[HEADER_LEN..HEADER_LEN + payload_len],
-                            &mut buf,
-                        );
+                        self.decrypt_append(seq, &wire[start..start + payload_len], &mut buf);
                         let payload = buf.freeze();
                         self.scratch = payload.clone();
                         payload
@@ -566,7 +677,7 @@ impl<S: StableStore> Inbound<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sa::SaKeys;
+    use crate::sa::{CryptoSuite, SaKeys};
     use reset_stable::MemStable;
 
     fn endpoints(k: u64, w: u64) -> (Outbound<MemStable>, Inbound<MemStable>) {
@@ -863,6 +974,89 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn every_suite_runs_end_to_end_with_batch_parity() {
+        for &suite in CryptoSuite::ALL {
+            let keys = SaKeys::derive(b"suite-e2e", b"d");
+            let sa = SecurityAssociation::new(0x61, keys).with_suite(suite);
+            let mut tx = Outbound::new(sa.clone(), MemStable::new(), 25);
+            let mut rx_seq = Inbound::new(sa, MemStable::new(), 25, 128);
+            let mut rx_batch = rx_seq.clone();
+            let mut wires: Vec<Bytes> = (0..40u64)
+                .map(|i| tx.protect(format!("s{i}").as_bytes()).unwrap().unwrap())
+                .collect();
+            wires.push(wires[2].clone()); // replay
+            let mut forged = wires[5].to_vec();
+            let n = forged.len();
+            forged[n - 1] ^= 0x10; // tag corruption
+            wires.push(Bytes::from(forged));
+            let batch = rx_batch.process_batch(&wires).unwrap();
+            for (i, wire) in wires.iter().enumerate() {
+                let single = match rx_seq.process_bytes(wire) {
+                    Ok(r) => r,
+                    Err(IpsecError::Wire(e)) => RxResult::Rejected(RxReject::Wire(e)),
+                    Err(IpsecError::UnknownSa { spi }) => {
+                        RxResult::Rejected(RxReject::UnknownSa { spi })
+                    }
+                    Err(other) => panic!("{other}"),
+                };
+                assert_eq!(batch[i], single, "{suite:?} packet {i}");
+            }
+            assert_eq!(
+                rx_batch.auth_failures(),
+                rx_seq.auth_failures(),
+                "{suite:?}"
+            );
+            assert_eq!(
+                rx_batch.auth_failures(),
+                1,
+                "{suite:?}: exactly the forgery"
+            );
+        }
+    }
+
+    #[test]
+    fn aead_frames_are_longer_but_confidential() {
+        let keys = SaKeys::derive(b"aead", b"d");
+        let sa = SecurityAssociation::new(0x62, keys).with_suite(CryptoSuite::ChaCha20Poly1305);
+        let mut tx = Outbound::new(sa.clone(), MemStable::new(), 25);
+        let mut rx = Inbound::new(sa, MemStable::new(), 25, 64);
+        let wire = tx.protect(b"supersecret").unwrap().unwrap();
+        // 16-byte Poly1305 tag instead of the 12-byte HMAC ICV.
+        assert_eq!(wire.len(), HEADER_LEN + b"supersecret".len() + 16);
+        assert!(!wire.windows(11).any(|w| w == b"supersecret"));
+        match rx.process(&wire).unwrap() {
+            RxResult::Delivered { payload, seq } => {
+                assert_eq!(&payload[..], b"supersecret");
+                assert_eq!(seq.value(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_from_a_different_suite_fail_authentication() {
+        // Same keys, different negotiated suite: every frame must be
+        // rejected by the ICV check, not misparsed.
+        let keys = SaKeys::derive(b"cross", b"d");
+        let legacy = SecurityAssociation::new(0x63, keys.clone());
+        let aead = SecurityAssociation::new(0x63, keys).with_suite(CryptoSuite::ChaCha20Poly1305);
+        let mut tx_legacy = Outbound::new(legacy.clone(), MemStable::new(), 25);
+        let mut tx_aead = Outbound::new(aead.clone(), MemStable::new(), 25);
+        let mut rx_legacy = Inbound::new(legacy, MemStable::new(), 25, 64);
+        let mut rx_aead = Inbound::new(aead, MemStable::new(), 25, 64);
+        for _ in 0..5 {
+            let from_legacy = tx_legacy.protect(b"legacy frame").unwrap().unwrap();
+            let from_aead = tx_aead.protect(b"aead frame").unwrap().unwrap();
+            assert!(rx_aead.process(&from_legacy).is_err(), "stale-suite frame");
+            assert!(rx_legacy.process(&from_aead).is_err(), "future-suite frame");
+            assert!(rx_legacy.process(&from_legacy).unwrap().is_delivered());
+            assert!(rx_aead.process(&from_aead).unwrap().is_delivered());
+        }
+        assert_eq!(rx_aead.auth_failures(), 5);
+        assert_eq!(rx_legacy.auth_failures(), 5);
     }
 
     #[test]

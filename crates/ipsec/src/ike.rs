@@ -195,26 +195,63 @@ pub fn run_handshake(
     spi_i2r: u32,
     spi_r2i: u32,
 ) -> Result<EstablishedPair, IpsecError> {
+    run_handshake_with_suites(
+        group,
+        psk,
+        secret_i,
+        secret_r,
+        spi_i2r,
+        spi_r2i,
+        CryptoSuite::ALL,
+    )
+}
+
+/// [`run_handshake`] with an explicit suite proposal list (preference
+/// order). The responder accepts the first offered suite it supports —
+/// in-repo that is always `offered[0]` — and both SAs are installed with
+/// it, so experiments can sweep transforms by varying the offer.
+///
+/// # Errors
+///
+/// [`IpsecError::HandshakeAuthFailed`] if the PSKs differ.
+///
+/// # Panics
+///
+/// Panics if `offered` is empty (an IKE proposal must carry at least
+/// one transform).
+pub fn run_handshake_with_suites(
+    group: DhGroup,
+    psk: &[u8],
+    secret_i: &[u8],
+    secret_r: &[u8],
+    spi_i2r: u32,
+    spi_r2i: u32,
+    offered: &[CryptoSuite],
+) -> Result<EstablishedPair, IpsecError> {
+    assert!(!offered.is_empty(), "empty suite proposal");
     let mut cost = HandshakeCost::default();
     let mut ledger = |m: &IkeMessage| {
         cost.messages += 1;
         cost.bytes += m.wire_len() as u64;
     };
 
-    // Messages 1-2: proposal / accept.
+    // Messages 1-2: proposal / accept. The proposal carries the suites'
+    // wire ids ([`CryptoSuite::wire_id`]); the responder echoes its
+    // choice back in the accept.
     let nonce_i = derive_nonce(psk, secret_i, b"ni");
     let nonce_r = derive_nonce(psk, secret_r, b"nr");
     cost.prf_calls += 2;
     let m1 = IkeMessage::Proposal {
-        suites: vec![
-            CryptoSuite::HmacSha256WithKeystream,
-            CryptoSuite::HmacSha256AuthOnly,
-        ],
+        suites: offered.to_vec(),
         nonce_i,
     };
     ledger(&m1);
     let suite = match &m1 {
-        IkeMessage::Proposal { suites, .. } => suites[0],
+        IkeMessage::Proposal { suites, .. } => {
+            // Responder-side selection, modelled through the id codec a
+            // real wire format would round-trip.
+            CryptoSuite::from_wire_id(suites[0].wire_id()).expect("offered suites are known")
+        }
         _ => unreachable!(),
     };
     let m2 = IkeMessage::Accept { suite, nonce_r };
@@ -361,6 +398,34 @@ mod tests {
         let b =
             run_handshake(toy_group(), b"psk", b"other-secret", b"dh-secret-r", 10, 20).unwrap();
         assert_ne!(a.sa_i2r.keys(), b.sa_i2r.keys());
+    }
+
+    #[test]
+    fn negotiating_each_suite_installs_it() {
+        for &suite in CryptoSuite::ALL {
+            let p = run_handshake_with_suites(toy_group(), b"psk", b"si", b"sr", 1, 2, &[suite])
+                .unwrap();
+            assert_eq!(p.sa_i2r.suite(), suite);
+            assert_eq!(p.sa_r2i.suite(), suite);
+        }
+    }
+
+    #[test]
+    fn preference_order_decides() {
+        let p = run_handshake_with_suites(
+            toy_group(),
+            b"psk",
+            b"si",
+            b"sr",
+            1,
+            2,
+            &[
+                CryptoSuite::ChaCha20Poly1305,
+                CryptoSuite::HmacSha256WithKeystream,
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.sa_i2r.suite(), CryptoSuite::ChaCha20Poly1305);
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub use dpd::{DpdAction, DpdConfig, DpdDetector};
 pub use error::IpsecError;
 pub use esp::{Inbound, Outbound, RxReject, RxResult};
 pub use ike::{
-    run_handshake, run_handshake_mismatched_psk, CostModel, EstablishedPair, HandshakeCost,
-    IkeMessage,
+    run_handshake, run_handshake_mismatched_psk, run_handshake_with_suites, CostModel,
+    EstablishedPair, HandshakeCost, IkeMessage,
 };
 pub use recovery::{IpsecPeer, PeerEvent};
 pub use rekey::{rekey, rekey_auth_tag, rekey_due, RekeyOutcome, RekeyRequest};

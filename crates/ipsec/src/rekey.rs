@@ -14,7 +14,7 @@
 
 use reset_crypto::{hmac_sha256, prf_plus};
 
-use crate::sa::{SaKeys, SaLifetime, SecurityAssociation};
+use crate::sa::{CryptoSuite, SaKeys, SaLifetime, SecurityAssociation};
 use crate::HandshakeCost;
 
 /// Inputs for a quick-mode rekey under an existing phase-1 SKEYID.
@@ -28,6 +28,13 @@ pub struct RekeyRequest {
     pub nonce_r: [u8; 16],
     /// SPI for the replacement SA.
     pub new_spi: u32,
+    /// Suite for the replacement SA. A rekey may migrate the SA to a
+    /// different transform (e.g. legacy HMAC+keystream → ChaCha20-
+    /// Poly1305); the suite id is bound into both the key derivation
+    /// and the quick-mode authentication tag, so a downgraded or
+    /// up-graded exchange cannot be spliced from another rekey's
+    /// messages.
+    pub suite: CryptoSuite,
 }
 
 /// Outcome of a rekey: the replacement SA and the exchange's cost ledger.
@@ -54,18 +61,22 @@ pub struct RekeyOutcome {
 ///     nonce_i: [1; 16],
 ///     nonce_r: [2; 16],
 ///     new_spi: 0x2002,
+///     suite: reset_ipsec::CryptoSuite::ChaCha20Poly1305,
 /// });
 /// assert_eq!(out.sa.spi(), 0x2002);
+/// assert_eq!(out.sa.suite(), reset_ipsec::CryptoSuite::ChaCha20Poly1305);
 /// assert_eq!(out.cost.messages, 3);
 /// assert_eq!(out.cost.modexps, 0); // no DH on the cheap path
 /// ```
 pub fn rekey(req: &RekeyRequest) -> RekeyOutcome {
-    // KEYMAT = prf+(SKEYID, Ni | Nr | SPI), per the RFC 2409 quick-mode
-    // shape (protocol id folded into the SPI here).
-    let mut seed = Vec::with_capacity(36);
+    // KEYMAT = prf+(SKEYID, Ni | Nr | SPI | suite-id), per the RFC 2409
+    // quick-mode shape (protocol id folded into the SPI here; the suite
+    // id keeps keymat domains separate across transform migrations).
+    let mut seed = Vec::with_capacity(37);
     seed.extend_from_slice(&req.nonce_i);
     seed.extend_from_slice(&req.nonce_r);
     seed.extend_from_slice(&req.new_spi.to_be_bytes());
+    seed.push(req.suite.wire_id());
     let keymat = prf_plus(&req.skeyid, &seed, 64);
     let keys = SaKeys {
         auth: keymat[..32].to_vec(),
@@ -81,7 +92,7 @@ pub fn rekey(req: &RekeyRequest) -> RekeyOutcome {
         bytes: 3 * 76,
     };
     RekeyOutcome {
-        sa: SecurityAssociation::new(req.new_spi, keys),
+        sa: SecurityAssociation::new(req.new_spi, keys).with_suite(req.suite),
         cost,
     }
 }
@@ -91,13 +102,15 @@ pub fn rekey_due(sa: &SecurityAssociation, lifetime: &SaLifetime) -> bool {
     sa.usage().packets >= lifetime.max_packets || sa.usage().bytes >= lifetime.max_bytes
 }
 
-/// Authenticated rekey-notify tag (binds the nonces + SPI to SKEYID), so
-/// the 3 quick-mode messages cannot be mixed and matched across rekeys.
+/// Authenticated rekey-notify tag (binds the nonces, SPI and suite id
+/// to SKEYID), so the 3 quick-mode messages cannot be mixed and matched
+/// across rekeys — nor a suite migration downgraded in flight.
 pub fn rekey_auth_tag(req: &RekeyRequest) -> [u8; 32] {
-    let mut msg = Vec::with_capacity(36);
+    let mut msg = Vec::with_capacity(37);
     msg.extend_from_slice(&req.nonce_i);
     msg.extend_from_slice(&req.nonce_r);
     msg.extend_from_slice(&req.new_spi.to_be_bytes());
+    msg.push(req.suite.wire_id());
     hmac_sha256(&req.skeyid, &msg)
 }
 
@@ -113,6 +126,7 @@ mod tests {
             nonce_i: [0xAA; 16],
             nonce_r: [0xBB; 16],
             new_spi: spi,
+            suite: CryptoSuite::default(),
         }
     }
 
@@ -197,6 +211,23 @@ mod tests {
         r.nonce_r = [0; 16];
         assert_ne!(rekey_auth_tag(&r), t0);
         assert_ne!(rekey_auth_tag(&req(2)), t0);
+        let mut s = req(1);
+        s.suite = CryptoSuite::ChaCha20Poly1305;
+        assert_ne!(rekey_auth_tag(&s), t0, "suite id must be bound");
         assert_eq!(rekey_auth_tag(&req(1)), t0);
+    }
+
+    #[test]
+    fn suite_migration_derives_distinct_keys_and_installs_suite() {
+        let legacy = rekey(&req(0x70));
+        let mut r = req(0x70);
+        r.suite = CryptoSuite::ChaCha20Poly1305;
+        let aead = rekey(&r);
+        assert_eq!(aead.sa.suite(), CryptoSuite::ChaCha20Poly1305);
+        assert_ne!(
+            legacy.sa.keys(),
+            aead.sa.keys(),
+            "keymat domains separated by suite id"
+        );
     }
 }

@@ -6,13 +6,14 @@
 //! SA's lifetime — so persisting the two counters is enough to rescue the
 //! whole SA across a reset, avoiding a full renegotiation.
 
-use reset_crypto::{prf_plus, HmacKey};
+use reset_crypto::{prf_plus, ChaCha20Poly1305Suite, CipherSuite, HmacSha256Suite};
 
 use crate::IpsecError;
 
-/// Algorithms an SA may use. The simulation implements one real suite;
-/// the enum exists so SADB entries carry their negotiated transform as in
-/// RFC 2407 proposals.
+/// The negotiable cipher suites (RFC 2407-style transform identifiers).
+/// Each maps to a concrete [`reset_crypto::CipherSuite`] implementation
+/// built from the SA's derived key material; IKE proposals and rekeys
+/// carry the [`CryptoSuite::wire_id`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CryptoSuite {
     /// HMAC-SHA-256-96 integrity + HMAC-CTR keystream confidentiality.
@@ -20,6 +21,75 @@ pub enum CryptoSuite {
     HmacSha256WithKeystream,
     /// Integrity only (ESP with null encryption, RFC 2410 style).
     HmacSha256AuthOnly,
+    /// ChaCha20-Poly1305 AEAD (RFC 8439): one transform providing both
+    /// confidentiality and a 128-bit tag.
+    ChaCha20Poly1305,
+}
+
+impl CryptoSuite {
+    /// Every negotiable suite, in default preference order.
+    pub const ALL: &'static [CryptoSuite] = &[
+        CryptoSuite::HmacSha256WithKeystream,
+        CryptoSuite::HmacSha256AuthOnly,
+        CryptoSuite::ChaCha20Poly1305,
+    ];
+
+    /// The transform identifier carried in IKE proposals and rekey
+    /// exchanges.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            CryptoSuite::HmacSha256WithKeystream => 1,
+            CryptoSuite::HmacSha256AuthOnly => 2,
+            CryptoSuite::ChaCha20Poly1305 => 3,
+        }
+    }
+
+    /// Decodes a transform identifier (`None` for unknown ids, which a
+    /// responder must reject rather than default).
+    pub fn from_wire_id(id: u8) -> Option<CryptoSuite> {
+        match id {
+            1 => Some(CryptoSuite::HmacSha256WithKeystream),
+            2 => Some(CryptoSuite::HmacSha256AuthOnly),
+            3 => Some(CryptoSuite::ChaCha20Poly1305),
+            _ => None,
+        }
+    }
+
+    /// Builds the concrete transform for this suite from derived keys.
+    fn build(self, keys: &SaKeys) -> SuiteState {
+        match self {
+            CryptoSuite::HmacSha256WithKeystream => {
+                SuiteState::Hmac(HmacSha256Suite::with_keystream(&keys.auth, &keys.enc))
+            }
+            CryptoSuite::HmacSha256AuthOnly => {
+                SuiteState::Hmac(HmacSha256Suite::auth_only(&keys.auth))
+            }
+            CryptoSuite::ChaCha20Poly1305 => {
+                SuiteState::Aead(ChaCha20Poly1305Suite::from_material(&keys.enc))
+            }
+        }
+    }
+}
+
+/// The SA's instantiated transform: the enum keeps
+/// [`SecurityAssociation`] `Clone + PartialEq` while
+/// [`SecurityAssociation::cipher`] hands the datapath a `&dyn
+/// CipherSuite`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)] // one per SA; boxing the HMAC
+                                     // schedules would put a pointer chase on every packet's dispatch
+enum SuiteState {
+    Hmac(HmacSha256Suite),
+    Aead(ChaCha20Poly1305Suite),
+}
+
+impl SuiteState {
+    fn as_dyn(&self) -> &dyn CipherSuite {
+        match self {
+            SuiteState::Hmac(s) => s,
+            SuiteState::Aead(s) => s,
+        }
+    }
 }
 
 /// Keys derived for one unidirectional SA.
@@ -96,12 +166,10 @@ pub struct SaUsage {
 pub struct SecurityAssociation {
     spi: u32,
     keys: SaKeys,
-    /// Precomputed HMAC key schedule for `keys.auth` — built once at SA
-    /// install so the per-packet ICV path never reruns the key schedule.
-    auth_hmac: HmacKey,
-    /// Precomputed schedule for `keys.enc`, feeding the keystream
-    /// transform without a per-block key schedule.
-    enc_hmac: HmacKey,
+    /// The instantiated transform: precomputed key schedules (HMAC
+    /// ipad/opad states, ChaCha key words) built once at SA install so
+    /// the per-packet path never reruns a key schedule.
+    cipher: SuiteState,
     suite: CryptoSuite,
     lifetime: SaLifetime,
     usage: SaUsage,
@@ -114,23 +182,24 @@ pub struct SecurityAssociation {
 impl SecurityAssociation {
     /// An SA with default suite, unlimited lifetime and ESN enabled.
     pub fn new(spi: u32, keys: SaKeys) -> Self {
-        let auth_hmac = HmacKey::new(&keys.auth);
-        let enc_hmac = HmacKey::new(&keys.enc);
+        let suite = CryptoSuite::default();
+        let cipher = suite.build(&keys);
         SecurityAssociation {
             spi,
             keys,
-            auth_hmac,
-            enc_hmac,
-            suite: CryptoSuite::default(),
+            cipher,
+            suite,
             lifetime: SaLifetime::UNLIMITED,
             usage: SaUsage::default(),
             esn: true,
         }
     }
 
-    /// Sets the crypto suite (builder style).
+    /// Sets the crypto suite (builder style), rebuilding the transform
+    /// from this SA's key material.
     pub fn with_suite(mut self, suite: CryptoSuite) -> Self {
         self.suite = suite;
+        self.cipher = suite.build(&self.keys);
         self
     }
 
@@ -156,17 +225,12 @@ impl SecurityAssociation {
         &self.keys
     }
 
-    /// The precomputed HMAC schedule for the authentication key — what
-    /// the ESP datapath hands to [`reset_wire::seal_with`] and
-    /// [`reset_wire::open_zc`] so per-packet ICVs skip the key schedule.
-    pub fn hmac_key(&self) -> &HmacKey {
-        &self.auth_hmac
-    }
-
-    /// The precomputed HMAC schedule for the encryption key — feeds
-    /// [`reset_crypto::xor_keystream_with`] on the datapath.
-    pub fn enc_key(&self) -> &HmacKey {
-        &self.enc_hmac
+    /// The instantiated transform — what the ESP datapath hands to
+    /// [`reset_wire::seal_frame_into`] and
+    /// [`reset_wire::verify_frame_with`]. Key schedules are precomputed
+    /// at SA install, so per-packet crypto never re-derives them.
+    pub fn cipher(&self) -> &dyn CipherSuite {
+        self.cipher.as_dyn()
     }
 
     /// The negotiated suite.
@@ -259,6 +323,29 @@ mod tests {
             .with_esn(false);
         assert_eq!(sa.suite(), CryptoSuite::HmacSha256AuthOnly);
         assert!(!sa.esn());
+    }
+
+    #[test]
+    fn wire_ids_round_trip() {
+        for &s in CryptoSuite::ALL {
+            assert_eq!(CryptoSuite::from_wire_id(s.wire_id()), Some(s));
+        }
+        assert_eq!(CryptoSuite::from_wire_id(0), None);
+        assert_eq!(CryptoSuite::from_wire_id(99), None);
+    }
+
+    #[test]
+    fn cipher_metadata_tracks_suite() {
+        let keys = SaKeys::derive(b"s", b"m");
+        let legacy = SecurityAssociation::new(1, keys.clone());
+        assert_eq!(legacy.cipher().icv_len(), 12);
+        assert!(legacy.cipher().encrypts());
+        let aead = legacy.clone().with_suite(CryptoSuite::ChaCha20Poly1305);
+        assert_eq!(aead.cipher().icv_len(), 16);
+        assert!(aead.cipher().encrypts());
+        let auth_only =
+            SecurityAssociation::new(1, keys).with_suite(CryptoSuite::HmacSha256AuthOnly);
+        assert!(!auth_only.cipher().encrypts());
     }
 
     #[test]

@@ -14,17 +14,22 @@
 //! (ESN) the high 32 bits are implicit and are included in the ICV
 //! computation, which lets the receiver detect a wrong high-half guess.
 //!
-//! Two tiers of API exist:
+//! Three tiers of API exist:
 //!
 //! * [`seal`] / [`open`] — convenience forms taking a raw key slice;
 //!   they rerun the HMAC key schedule per call.
 //! * [`seal_with`] / [`seal_into`] / [`open_with`] / [`open_zc`] — the
-//!   datapath forms: they take a precomputed [`HmacKey`] (built once per
-//!   SA), `seal_into` reuses a caller-owned buffer, and `open_zc`
+//!   keyed HMAC forms: they take a precomputed [`HmacKey`] (built once
+//!   per SA), `seal_into` reuses a caller-owned buffer, and `open_zc`
 //!   returns the payload as a zero-copy slice of the input `Bytes`.
+//! * [`seal_frame_into`] / [`verify_frame_with`] / [`open_frame`] — the
+//!   suite-generic forms: any [`reset_crypto::CipherSuite`] plugs in,
+//!   and the frame layout picks up the suite's IV and ICV lengths
+//!   (`HEADER ‖ IV ‖ ciphertext ‖ ICV`). For the HMAC suite these emit
+//!   byte-identical frames to the keyed forms.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use reset_crypto::{ct_eq, HmacKey};
+use reset_crypto::{ct_eq, CipherSuite, FrameToVerify, HmacKey, MAX_IV_LEN};
 
 use crate::WireError;
 
@@ -228,28 +233,206 @@ pub fn verify_frame(
     auth_key: &HmacKey,
     esn_hi: Option<u32>,
 ) -> Result<(u32, u32, usize), WireError> {
-    if wire.len() < HEADER_LEN + ICV_LEN {
-        return Err(WireError::Truncated {
-            needed: HEADER_LEN + ICV_LEN,
-            got: wire.len(),
-        });
-    }
-    let spi = u32::from_be_bytes(wire[0..4].try_into().expect("fixed"));
-    let seq_lo = u32::from_be_bytes(wire[4..8].try_into().expect("fixed"));
-    let declared = u32::from_be_bytes(wire[8..12].try_into().expect("fixed")) as usize;
-    let available = wire.len() - HEADER_LEN - ICV_LEN;
-    if declared != available {
-        return Err(WireError::BadLength {
-            declared,
-            available,
-        });
-    }
+    let (spi, seq_lo, declared) = check_frame_length(wire, HEADER_LEN + ICV_LEN)?;
     let (authed, icv) = wire.split_at(wire.len() - ICV_LEN);
     let expect = compute_icv(auth_key, authed, esn_hi);
     if !ct_eq(icv, &expect) {
         return Err(WireError::IcvMismatch);
     }
     Ok((spi, seq_lo, declared))
+}
+
+/// Total per-packet wire overhead of `suite`: fixed header plus the
+/// suite's explicit IV and ICV lengths.
+pub fn frame_overhead(suite: &dyn CipherSuite) -> usize {
+    HEADER_LEN + suite.iv_len() + suite.icv_len()
+}
+
+/// Seals a plaintext payload under `suite` into a caller-owned buffer:
+/// header, the suite's explicit IV (if any), the encrypted payload, and
+/// the suite's ICV. The buffer is cleared first and its allocation
+/// reused, like [`seal_into`].
+///
+/// For [`reset_crypto::HmacSha256Suite`] this emits frames
+/// byte-identical to [`seal_into`] over a pre-encrypted body — the
+/// legacy and suite-generic codecs interoperate.
+///
+/// # Errors
+///
+/// Returns [`WireError::SeqOverflow`] if `seq` exceeds `u32::MAX` while
+/// `esn` is false.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::BytesMut;
+/// use reset_crypto::ChaCha20Poly1305Suite;
+/// use reset_wire::{open_frame, seal_frame_into};
+///
+/// let suite = ChaCha20Poly1305Suite::new([7u8; 32]);
+/// let mut buf = BytesMut::with_capacity(1500);
+/// seal_frame_into(&mut buf, 9, 1, b"aead payload", &suite, false)?;
+/// let pkt = open_frame(&buf.freeze(), &suite, None)?;
+/// assert_eq!(&pkt.payload[..], b"aead payload");
+/// # Ok::<(), reset_wire::WireError>(())
+/// ```
+pub fn seal_frame_into(
+    buf: &mut BytesMut,
+    spi: u32,
+    seq: u64,
+    payload: &[u8],
+    suite: &dyn CipherSuite,
+    esn: bool,
+) -> Result<(), WireError> {
+    if !esn && seq > u32::MAX as u64 {
+        return Err(WireError::SeqOverflow);
+    }
+    let iv_len = suite.iv_len();
+    assert!(iv_len <= MAX_IV_LEN, "explicit IV too long for the codec");
+    buf.clear();
+    buf.reserve(HEADER_LEN + iv_len + payload.len() + suite.icv_len());
+    buf.put_u32(spi);
+    buf.put_u32(seq as u32);
+    buf.put_u32(payload.len() as u32);
+    if iv_len > 0 {
+        let mut iv = [0u8; MAX_IV_LEN];
+        suite.fill_iv(seq, &mut iv[..iv_len]);
+        buf.put_slice(&iv[..iv_len]);
+    }
+    let body_start = buf.len();
+    buf.put_slice(payload);
+    suite.encrypt(seq, &mut buf.as_mut()[body_start..]);
+    let esn_hi = if esn { Some((seq >> 32) as u32) } else { None };
+    let icv = {
+        let (aad, ct) = buf.split_at(body_start);
+        suite.icv(seq, aad, ct, esn_hi)
+    };
+    buf.put_slice(&icv);
+    Ok(())
+}
+
+/// [`seal_frame_into`] returning freshly allocated wire bytes.
+///
+/// # Errors
+///
+/// Same as [`seal_frame_into`].
+pub fn seal_frame(
+    spi: u32,
+    seq: u64,
+    payload: &[u8],
+    suite: &dyn CipherSuite,
+    esn: bool,
+) -> Result<Bytes, WireError> {
+    let mut buf =
+        BytesMut::with_capacity(HEADER_LEN + suite.iv_len() + payload.len() + suite.icv_len());
+    seal_frame_into(&mut buf, spi, seq, payload, suite, esn)?;
+    Ok(buf.freeze())
+}
+
+/// Framing + authentication under `suite` without touching the payload:
+/// returns `(spi, seq_lo, payload_len)` once the ICV verified. The
+/// (still-encrypted) payload occupies
+/// `wire[HEADER_LEN + suite.iv_len()..][..payload_len]`; callers decrypt
+/// it with [`CipherSuite::decrypt`] only after the anti-replay check.
+///
+/// `esn_hi` supplies the implicit sequence-number high half exactly as
+/// in [`verify_frame`]; it both participates in authentication and
+/// reconstructs the 64-bit nonce for AEAD suites.
+///
+/// # Errors
+///
+/// Same as [`open`].
+pub fn verify_frame_with(
+    wire: &[u8],
+    suite: &dyn CipherSuite,
+    esn_hi: Option<u32>,
+) -> Result<(u32, u32, usize), WireError> {
+    let overhead = frame_overhead(suite);
+    let (spi, seq_lo, declared) = check_frame_length(wire, overhead)?;
+    let seq = esn_seq(seq_lo, esn_hi);
+    let aad_end = HEADER_LEN + suite.iv_len();
+    let ct_end = wire.len() - suite.icv_len();
+    let ok = suite.verify(&FrameToVerify {
+        seq,
+        header: &wire[..aad_end],
+        ciphertext: &wire[aad_end..ct_end],
+        esn_hi,
+        icv: &wire[ct_end..],
+    });
+    if !ok {
+        return Err(WireError::IcvMismatch);
+    }
+    Ok((spi, seq_lo, declared))
+}
+
+/// Validates the fixed framing of a frame whose total per-packet
+/// overhead is `overhead` bytes: minimum length and the declared-length
+/// consistency check. Returns `(spi, seq_lo, payload_len)`. This is
+/// the single definition of the framing rules — the sequential
+/// ([`verify_frame_with`]) and batch (`reset_ipsec`'s
+/// `Inbound::process_batch`) verification paths both call it, so their
+/// framing semantics cannot drift.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] / [`WireError::BadLength`] as in [`open`].
+pub fn check_frame_length(wire: &[u8], overhead: usize) -> Result<(u32, u32, usize), WireError> {
+    if wire.len() < overhead {
+        return Err(WireError::Truncated {
+            needed: overhead,
+            got: wire.len(),
+        });
+    }
+    let spi = u32::from_be_bytes(wire[0..4].try_into().expect("fixed"));
+    let seq_lo = u32::from_be_bytes(wire[4..8].try_into().expect("fixed"));
+    let declared = u32::from_be_bytes(wire[8..12].try_into().expect("fixed")) as usize;
+    let available = wire.len() - overhead;
+    if declared != available {
+        return Err(WireError::BadLength {
+            declared,
+            available,
+        });
+    }
+    Ok((spi, seq_lo, declared))
+}
+
+/// Reconstructs the full 64-bit sequence number from the wire's low
+/// half and the implicit ESN high half — the one definition every
+/// verification and decryption site shares.
+pub fn esn_seq(seq_lo: u32, esn_hi: Option<u32>) -> u64 {
+    match esn_hi {
+        Some(hi) => ((hi as u64) << 32) | seq_lo as u64,
+        None => seq_lo as u64,
+    }
+}
+
+/// Verifies and decrypts one suite frame, copying the payload out
+/// (zero-copy when the suite does not encrypt).
+///
+/// # Errors
+///
+/// Same as [`open`].
+pub fn open_frame(
+    wire: &Bytes,
+    suite: &dyn CipherSuite,
+    esn_hi: Option<u32>,
+) -> Result<EspPacket, WireError> {
+    let (spi, seq_lo, declared) = verify_frame_with(wire, suite, esn_hi)?;
+    let start = HEADER_LEN + suite.iv_len();
+    let payload = if suite.encrypts() {
+        let seq = esn_seq(seq_lo, esn_hi);
+        let mut body = BytesMut::with_capacity(declared);
+        body.extend_from_slice(&wire[start..start + declared]);
+        suite.decrypt(seq, body.as_mut());
+        body.freeze()
+    } else {
+        wire.slice(start..start + declared)
+    };
+    Ok(EspPacket {
+        spi,
+        seq_lo,
+        payload,
+    })
 }
 
 fn compute_icv(auth_key: &HmacKey, authed: &[u8], esn_hi: Option<u32>) -> [u8; ICV_LEN] {
@@ -406,6 +589,143 @@ mod tests {
         // Same allocation: the payload's first byte lives inside `wire`.
         let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
         assert!(wire_range.contains(&(pkt.payload.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn hmac_suite_frames_are_byte_identical_to_legacy() {
+        use reset_crypto::{xor_keystream_with, HmacSha256Suite};
+        let suite = HmacSha256Suite::with_keystream(b"auth-key", b"enc-key");
+        let hk = HmacKey::new(b"auth-key");
+        let ek = HmacKey::new(b"enc-key");
+        for (esn, seq) in [(false, 42u64), (true, (6u64 << 32) | 13)] {
+            let suite_wire = seal_frame(3, seq, b"interop payload", &suite, esn).unwrap();
+            // Legacy path: encrypt first (as the SA datapath did), then seal.
+            let mut body = b"interop payload".to_vec();
+            xor_keystream_with(&ek, seq, &mut body);
+            let legacy_wire = seal_with(3, seq, &body, &hk, esn).unwrap();
+            assert_eq!(suite_wire, legacy_wire, "esn={esn}");
+            // And each codec verifies the other's frames.
+            let hi = if esn { Some((seq >> 32) as u32) } else { None };
+            assert!(verify_frame(&suite_wire, &hk, hi).is_ok());
+            assert!(verify_frame_with(&legacy_wire, &suite, hi).is_ok());
+        }
+    }
+
+    #[test]
+    fn auth_only_suite_round_trip_is_zero_copy() {
+        use reset_crypto::HmacSha256Suite;
+        let suite = HmacSha256Suite::auth_only(b"auth-key");
+        let wire = seal_frame(8, 5, b"plain on the wire", &suite, false).unwrap();
+        let pkt = open_frame(&wire, &suite, None).unwrap();
+        assert_eq!(&pkt.payload[..], b"plain on the wire");
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        assert!(wire_range.contains(&(pkt.payload.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn chacha_suite_round_trip_and_bit_flip_rejection() {
+        use reset_crypto::ChaCha20Poly1305Suite;
+        let suite = ChaCha20Poly1305Suite::new([0x42; 32]);
+        let wire = seal_frame(7, 99, b"aead sensitive", &suite, false).unwrap();
+        assert_eq!(wire.len(), frame_overhead(&suite) + b"aead sensitive".len());
+        // Ciphertext never leaks the plaintext.
+        assert!(!wire.windows(4).any(|w| w == b"aead"));
+        let pkt = open_frame(&wire, &suite, None).unwrap();
+        assert_eq!(&pkt.payload[..], b"aead sensitive");
+        for i in 0..wire.len() {
+            let mut bad = wire.to_vec();
+            bad[i] ^= 0x01;
+            assert!(
+                verify_frame_with(&bad, &suite, None).is_err(),
+                "bit flip at byte {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn chacha_esn_high_half_participates() {
+        use reset_crypto::ChaCha20Poly1305Suite;
+        let suite = ChaCha20Poly1305Suite::new([0x13; 32]);
+        let seq = (9u64 << 32) | 77;
+        let wire = seal_frame(1, seq, b"x", &suite, true).unwrap();
+        assert!(verify_frame_with(&wire, &suite, Some(9)).is_ok());
+        assert_eq!(
+            verify_frame_with(&wire, &suite, Some(8)),
+            Err(WireError::IcvMismatch)
+        );
+        assert_eq!(
+            verify_frame_with(&wire, &suite, None),
+            Err(WireError::IcvMismatch)
+        );
+    }
+
+    #[test]
+    fn suite_frames_reject_truncation_and_length_lies() {
+        use reset_crypto::ChaCha20Poly1305Suite;
+        let suite = ChaCha20Poly1305Suite::new([1; 32]);
+        let wire = seal_frame(1, 1, b"abcdef", &suite, false).unwrap();
+        for len in 0..frame_overhead(&suite) {
+            assert!(matches!(
+                verify_frame_with(&wire[..len.min(wire.len())], &suite, None),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+        let mut bad = wire.to_vec();
+        bad.remove(HEADER_LEN);
+        assert!(matches!(
+            verify_frame_with(&bad, &suite, None),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_iv_region_is_laid_out_and_authenticated() {
+        use reset_crypto::{CipherSuite, HmacSha256Suite, Icv};
+        /// A test-only suite with a 8-byte explicit IV riding on the
+        /// wire, delegating crypto to the HMAC suite — exercises the
+        /// layout math for `iv_len > 0`.
+        #[derive(Debug)]
+        struct ExplicitIv(HmacSha256Suite);
+        impl CipherSuite for ExplicitIv {
+            fn name(&self) -> &'static str {
+                "test-explicit-iv"
+            }
+            fn key_len(&self) -> usize {
+                self.0.key_len()
+            }
+            fn iv_len(&self) -> usize {
+                8
+            }
+            fn icv_len(&self) -> usize {
+                self.0.icv_len()
+            }
+            fn encrypts(&self) -> bool {
+                true
+            }
+            fn encrypt(&self, seq: u64, body: &mut [u8]) {
+                self.0.encrypt(seq, body);
+            }
+            fn decrypt(&self, seq: u64, body: &mut [u8]) {
+                self.0.decrypt(seq, body);
+            }
+            fn icv(&self, seq: u64, header: &[u8], ct: &[u8], esn_hi: Option<u32>) -> Icv {
+                self.0.icv(seq, header, ct, esn_hi)
+            }
+        }
+        let suite = ExplicitIv(HmacSha256Suite::with_keystream(b"a", b"e"));
+        let wire = seal_frame(4, 0x0102, b"iv payload", &suite, false).unwrap();
+        assert_eq!(wire.len(), HEADER_LEN + 8 + b"iv payload".len() + 12);
+        // Default fill_iv: seq big-endian in the IV's trailing bytes.
+        assert_eq!(&wire[HEADER_LEN..HEADER_LEN + 8], &0x0102u64.to_be_bytes());
+        let pkt = open_frame(&wire, &suite, None).unwrap();
+        assert_eq!(&pkt.payload[..], b"iv payload");
+        // Corrupting the IV region breaks authentication (it is AAD).
+        let mut bad = wire.to_vec();
+        bad[HEADER_LEN + 2] ^= 1;
+        assert_eq!(
+            verify_frame_with(&bad, &suite, None),
+            Err(WireError::IcvMismatch)
+        );
     }
 
     #[test]

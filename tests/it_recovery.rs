@@ -1,7 +1,10 @@
 //! Integration: §6 prolonged-reset recovery across the whole stack —
 //! DPD, grace periods, secured notifies, and gateway-scale recovery.
 
-use reset_ipsec::{DpdAction, DpdConfig, IpsecPeer, PeerEvent, SaKeys, Sadb, SecurityAssociation};
+use reset_ipsec::{
+    rekey, CryptoSuite, DpdAction, DpdConfig, IpsecPeer, PeerEvent, RekeyRequest, SaKeys, Sadb,
+    SecurityAssociation,
+};
 use reset_stable::MemStable;
 use system_tests::{drive_traffic, peer_pair};
 
@@ -162,6 +165,109 @@ fn naive_reset_to_one_scheme_would_be_replayable() {
         }
     }
     assert_eq!(a.inbound().seq_state().right_edge(), edge);
+}
+
+#[test]
+fn recovery_after_suite_change_converges_and_blocks_stale_suite_replays() {
+    // A gateway rekeys one SA from the legacy suite to the AEAD suite,
+    // then the whole host resets. SAVE/FETCH recovery must rescue the
+    // *migrated* SA (counters only — the new suite and keys live in the
+    // SADB, exactly the paper's point that only counters change per
+    // packet), while frames recorded under the old suite stay dead.
+    let spi = 0x900u32;
+    let keys0 = SaKeys::derive(b"rec-mig", b"gen0");
+    let sa0 = SecurityAssociation::new(spi, keys0);
+    let mut db: Sadb<MemStable> = Sadb::new();
+    db.install_outbound(sa0.clone(), MemStable::new(), 10);
+    db.install_inbound(sa0, MemStable::new(), 10, 64);
+    let mut stale = Vec::new();
+    for i in 0..20u32 {
+        let w = db
+            .protect(spi, format!("old {i}").as_bytes())
+            .unwrap()
+            .unwrap();
+        stale.push(w.clone());
+        assert!(db.process(&w).unwrap().is_delivered());
+    }
+
+    // Rekey in place: tear down both directions, install the AEAD SA
+    // under the same SPI with fresh stores (new number space).
+    let migrated = rekey(&RekeyRequest {
+        skeyid: b"rec-mig-skeyid".to_vec(),
+        nonce_i: [1; 16],
+        nonce_r: [2; 16],
+        new_spi: spi,
+        suite: CryptoSuite::ChaCha20Poly1305,
+    })
+    .sa;
+    assert!(db.remove(spi));
+    db.install_outbound(migrated.clone(), MemStable::new(), 10);
+    db.install_inbound(migrated, MemStable::new(), 10, 64);
+
+    // Traffic on the migrated SA, durably saved, then a host reset.
+    for i in 0..15u32 {
+        let w = db
+            .protect(spi, format!("new {i}").as_bytes())
+            .unwrap()
+            .unwrap();
+        assert!(db.process(&w).unwrap().is_delivered());
+    }
+    db.outbound_mut(spi).unwrap().save_completed().unwrap();
+    db.inbound_mut(spi).unwrap().save_completed().unwrap();
+    db.reset_all();
+    assert_eq!(db.recover_all().unwrap(), 2);
+
+    // Stale-suite recordings fail authentication outright (and do not
+    // touch the window), post-recovery or not.
+    for w in &stale {
+        assert!(db.process(w).is_err(), "stale-suite frame accepted");
+    }
+    // Fresh AEAD traffic converges within the 2K + 2K leap budget.
+    let mut tries = 0;
+    loop {
+        let w = db.protect(spi, b"post-recovery").unwrap().unwrap();
+        if db.process(&w).unwrap().is_delivered() {
+            break;
+        }
+        tries += 1;
+        assert!(tries <= 40, "migrated SA never converged");
+    }
+}
+
+#[test]
+fn gateway_scale_recovery_mixed_suites_all_converge() {
+    // Like gateway_scale_recovery_all_sas_converge, but the SAs cycle
+    // through every negotiable suite — recovery is suite-agnostic.
+    let n = 9u32;
+    let mut db: Sadb<MemStable> = Sadb::new();
+    for spi in 1..=n {
+        let suite = CryptoSuite::ALL[(spi as usize - 1) % CryptoSuite::ALL.len()];
+        let keys = SaKeys::derive(b"gw-mixed", &spi.to_be_bytes());
+        let sa = SecurityAssociation::new(spi, keys).with_suite(suite);
+        db.install_outbound(sa.clone(), MemStable::new(), 10);
+        db.install_inbound(sa, MemStable::new(), 10, 64);
+    }
+    for spi in 1..=n {
+        for _ in 0..(spi * 2) {
+            let w = db.protect(spi, b"t").unwrap().unwrap();
+            db.process(&w).unwrap();
+        }
+        db.outbound_mut(spi).unwrap().save_completed().unwrap();
+        db.inbound_mut(spi).unwrap().save_completed().unwrap();
+    }
+    db.reset_all();
+    assert_eq!(db.recover_all().unwrap(), 2 * n as usize);
+    for spi in 1..=n {
+        let mut tries = 0;
+        loop {
+            let w = db.protect(spi, b"post").unwrap().unwrap();
+            if db.process(&w).unwrap().is_delivered() {
+                break;
+            }
+            tries += 1;
+            assert!(tries <= 40, "spi {spi} never converged");
+        }
+    }
 }
 
 #[test]

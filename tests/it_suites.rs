@@ -1,0 +1,241 @@
+//! Differential: batched ICV verification must agree with per-packet
+//! verification — bit for bit, verdict for verdict — on randomized,
+//! corrupted, truncated and mixed-suite traffic.
+//!
+//! `CipherSuite::verify_batch` exists purely as an amortization (the
+//! HMAC suite's two-pass verifier); it must never change results. These
+//! tests pin that equivalence at three levels: the raw suite API, the
+//! wire codec, and the full `Sadb` batch drain.
+
+use bytes::Bytes;
+use reset_crypto::{ChaCha20Poly1305Suite, CipherSuite, FrameToVerify, HmacKey, HmacSha256Suite};
+use reset_ipsec::{CryptoSuite, IpsecError, RxReject, RxResult, SaKeys, Sadb, SecurityAssociation};
+use reset_sim::DetRng;
+use reset_stable::MemStable;
+use reset_wire::{frame_overhead, seal_frame, verify_frame, verify_frame_with, HEADER_LEN};
+
+fn suites() -> Vec<Box<dyn CipherSuite>> {
+    vec![
+        Box::new(HmacSha256Suite::with_keystream(
+            b"differential-auth-key",
+            b"differential-enc-key",
+        )),
+        Box::new(HmacSha256Suite::auth_only(b"differential-auth-key")),
+        Box::new(ChaCha20Poly1305Suite::new([0xC7; 32])),
+    ]
+}
+
+/// One randomized frame: which suite sealed it, the (possibly mutated)
+/// wire bytes, and the ESN high half the receiver would infer.
+struct TestFrame {
+    suite_idx: usize,
+    wire: Vec<u8>,
+    esn_hi: Option<u32>,
+}
+
+/// Generates `n` frames across all suites; roughly a third are mutated
+/// (flipped ICV bytes, flipped body bytes, truncations).
+fn generate_frames(n: usize, seed: u64) -> Vec<TestFrame> {
+    let suites = suites();
+    let mut rng = DetRng::new(seed);
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        let suite_idx = rng.below(suites.len() as u64) as usize;
+        let suite = suites[suite_idx].as_ref();
+        let esn = rng.chance(0.5);
+        let seq = 1 + if esn {
+            rng.below(1 << 40)
+        } else {
+            rng.below(u32::MAX as u64)
+        };
+        let mut payload = vec![0u8; rng.below(120) as usize];
+        rng.fill_bytes(&mut payload);
+        let spi = 0x1000 + suite_idx as u32;
+        let mut wire = seal_frame(spi, seq, &payload, suite, esn).unwrap().to_vec();
+        match rng.below(9) {
+            0 => {
+                // Flip a bit inside the ICV.
+                let idx = wire.len() - 1 - rng.below(suite.icv_len() as u64) as usize;
+                wire[idx] ^= 1 << rng.below(8);
+            }
+            1 => {
+                // Truncate anywhere, including into the header.
+                wire.truncate(rng.below(wire.len() as u64 + 1) as usize);
+            }
+            2 => {
+                // Flip a bit anywhere in the frame.
+                let idx = rng.below(wire.len() as u64) as usize;
+                wire[idx] ^= 1 << rng.below(8);
+            }
+            _ => {}
+        }
+        let esn_hi = esn.then_some((seq >> 32) as u32);
+        frames.push(TestFrame {
+            suite_idx,
+            wire,
+            esn_hi,
+        });
+    }
+    frames
+}
+
+#[test]
+fn verify_batch_agrees_with_sequential_on_10k_randomized_frames() {
+    let frames = generate_frames(10_000, 0xD1FF_5EED);
+    let suites = suites();
+    let mut verified = 0usize;
+    let mut rejected = 0usize;
+    for (suite_idx, suite) in suites.iter().enumerate() {
+        let suite = suite.as_ref();
+        let overhead = frame_overhead(suite);
+        let body_off = HEADER_LEN + suite.iv_len();
+        // Sequential ground truth through the wire codec.
+        let mine: Vec<&TestFrame> = frames.iter().filter(|f| f.suite_idx == suite_idx).collect();
+        let sequential: Vec<bool> = mine
+            .iter()
+            .map(|f| verify_frame_with(&f.wire, suite, f.esn_hi).is_ok())
+            .collect();
+        // Batch path over the frames that parse (the wire layer rejects
+        // the rest before any crypto — they must all be sequential
+        // failures too).
+        let mut items: Vec<FrameToVerify<'_>> = Vec::new();
+        let mut item_of_frame: Vec<Option<usize>> = Vec::with_capacity(mine.len());
+        for f in &mine {
+            let well_framed = f.wire.len() >= overhead && {
+                let declared = u32::from_be_bytes(f.wire[8..12].try_into().unwrap()) as usize;
+                declared == f.wire.len() - overhead
+            };
+            if !well_framed {
+                item_of_frame.push(None);
+                continue;
+            }
+            let seq_lo = u32::from_be_bytes(f.wire[4..8].try_into().unwrap());
+            let seq = match f.esn_hi {
+                Some(hi) => ((hi as u64) << 32) | seq_lo as u64,
+                None => seq_lo as u64,
+            };
+            let ct_end = f.wire.len() - suite.icv_len();
+            items.push(FrameToVerify {
+                seq,
+                header: &f.wire[..body_off],
+                ciphertext: &f.wire[body_off..ct_end],
+                esn_hi: f.esn_hi,
+                icv: &f.wire[ct_end..],
+            });
+            item_of_frame.push(Some(items.len() - 1));
+        }
+        let mut verdicts = Vec::new();
+        suite.verify_batch(&items, &mut verdicts);
+        assert_eq!(verdicts.len(), items.len());
+        for (i, (f, seq_ok)) in mine.iter().zip(&sequential).enumerate() {
+            match item_of_frame[i] {
+                Some(slot) => assert_eq!(
+                    verdicts[slot],
+                    *seq_ok,
+                    "{} frame {} (len {}) diverged",
+                    suite.name(),
+                    i,
+                    f.wire.len()
+                ),
+                None => assert!(
+                    !seq_ok,
+                    "{} frame {}: malformed framing must fail sequentially",
+                    suite.name(),
+                    i
+                ),
+            }
+            if *seq_ok {
+                verified += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+    }
+    // The mix must actually exercise both outcomes, heavily.
+    assert!(verified > 5_000, "verified {verified}");
+    assert!(rejected > 1_500, "rejected {rejected}");
+}
+
+#[test]
+fn suite_codec_agrees_with_legacy_hmac_codec_on_randomized_frames() {
+    // The HMAC suites share the 12-byte ICV layout with the legacy
+    // `HmacKey` codec; both must return identical verdicts on everything.
+    let frames = generate_frames(3_000, 0xBEEF);
+    let suites = suites();
+    let legacy = HmacKey::new(b"differential-auth-key");
+    for f in frames.iter().filter(|f| f.suite_idx < 2) {
+        let suite = suites[f.suite_idx].as_ref();
+        let via_suite = verify_frame_with(&f.wire, suite, f.esn_hi);
+        let via_legacy = verify_frame(&f.wire, &legacy, f.esn_hi);
+        assert_eq!(via_suite, via_legacy, "suite {}", suite.name());
+    }
+}
+
+#[test]
+fn sadb_batch_drain_matches_sequential_on_mixed_suite_queue() {
+    // Three SAs, one per suite, interleaved bursts with replays,
+    // forgeries, runts and a foreign SPI — the batch drain (which uses
+    // verify_batch per SA run) must agree with packet-at-a-time
+    // processing result for result.
+    let mut rng = DetRng::new(0x5ADB);
+    let build_db = || {
+        let mut db: Sadb<MemStable> = Sadb::new();
+        for (spi, suite) in CryptoSuite::ALL.iter().enumerate() {
+            let spi = spi as u32 + 1;
+            let keys = SaKeys::derive(b"sadb-mixed", &spi.to_be_bytes());
+            let sa = SecurityAssociation::new(spi, keys).with_suite(*suite);
+            db.install_outbound(sa.clone(), MemStable::new(), 50);
+            db.install_inbound(sa, MemStable::new(), 50, 256);
+        }
+        db
+    };
+    let mut db_batch = build_db();
+    let mut db_seq = build_db();
+
+    let mut queue: Vec<Bytes> = Vec::new();
+    for round in 0..60u32 {
+        let spi = 1 + rng.below(CryptoSuite::ALL.len() as u64) as u32;
+        for i in 0..(1 + rng.below(6)) {
+            let payload = format!("r{round} s{spi} p{i}");
+            queue.push(db_batch.protect(spi, payload.as_bytes()).unwrap().unwrap());
+            // Keep the sequential DB's outbound counters in lockstep.
+            db_seq.protect(spi, payload.as_bytes()).unwrap().unwrap();
+        }
+    }
+    // Replays: re-queue a random slice.
+    let replay_from = rng.below(queue.len() as u64 / 2) as usize;
+    queue.extend_from_slice(&queue.clone()[replay_from..replay_from + 20]);
+    // Forgeries: flip bits in some copies.
+    for _ in 0..15 {
+        let mut forged = queue[rng.below(queue.len() as u64) as usize].to_vec();
+        let idx = rng.below(forged.len() as u64) as usize;
+        forged[idx] ^= 1 << rng.below(8);
+        queue.push(Bytes::from(forged));
+    }
+    // A runt and a foreign SPI.
+    queue.push(Bytes::copy_from_slice(&[0x01, 0x02]));
+    let mut foreign = queue[0].to_vec();
+    foreign[3] = 0x77;
+    queue.push(Bytes::from(foreign));
+    // Shuffle so SA runs interleave unpredictably.
+    let mut order: Vec<usize> = (0..queue.len()).collect();
+    rng.shuffle(&mut order);
+    let queue: Vec<Bytes> = order.into_iter().map(|i| queue[i].clone()).collect();
+
+    let batch = db_batch.process_batch(&queue).unwrap();
+    assert_eq!(batch.len(), queue.len());
+    let mut delivered = 0usize;
+    for (i, wire) in queue.iter().enumerate() {
+        let single = match db_seq.process(wire) {
+            Ok(r) => r,
+            Err(IpsecError::Wire(e)) => RxResult::Rejected(RxReject::Wire(e)),
+            Err(IpsecError::UnknownSa { spi }) => RxResult::Rejected(RxReject::UnknownSa { spi }),
+            Err(other) => panic!("{other}"),
+        };
+        assert_eq!(batch[i], single, "packet {i}");
+        if batch[i].is_delivered() {
+            delivered += 1;
+        }
+    }
+    assert!(delivered > 100, "delivered {delivered}");
+}
