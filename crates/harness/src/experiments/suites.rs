@@ -132,7 +132,10 @@ mod tests {
     fn table_has_one_row_per_suite() {
         let t = table(100, 64);
         assert_eq!(t.len(), CryptoSuite::ALL.len());
-        assert_eq!(t.cell(0, 0), Some("hmac-sha256-keystream"));
-        assert_eq!(t.cell(2, 1), Some("28B"));
+        // Default preference order: the AEAD leads with its 16-byte tag.
+        assert_eq!(t.cell(0, 0), Some("chacha20-poly1305"));
+        assert_eq!(t.cell(0, 1), Some("28B"));
+        assert_eq!(t.cell(1, 0), Some("hmac-sha256-keystream"));
+        assert_eq!(t.cell(1, 1), Some("24B"));
     }
 }

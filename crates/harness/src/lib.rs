@@ -41,5 +41,7 @@ mod scenario;
 mod workload;
 
 pub use report::Table;
-pub use scenario::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig, ScenarioOutcome};
+pub use scenario::{
+    run_scenario, AdversaryPlan, Protocol, ScenarioConfig, ScenarioOutcome, Transport,
+};
 pub use workload::Workload;

@@ -6,6 +6,12 @@
 //! store, reset/wake-up schedules, and an online [`Monitor`] checking the
 //! §5 guarantees. All randomness forks from one seed; runs are exactly
 //! reproducible.
+//!
+//! Two [`Transport`]s drive the same experiment matrix: the abstract
+//! sequence-number model (fast, crypto-free) and the real ESP datapath —
+//! a [`reset_ipsec::Gateway`] pair exchanging suite-framed wire bytes
+//! over the faulty link, so every fault/adversary/reset scenario can
+//! sweep cipher suites too.
 
 use std::collections::VecDeque;
 
@@ -13,7 +19,11 @@ use anti_replay::{
     BaselineReceiver, BaselineSender, Monitor, MsgId, Origin, Phase, Report, RxOutcome, SeqNum,
     SfReceiver, SfSender,
 };
+use bytes::Bytes;
 use reset_channel::{Link, LinkConfig, LinkStats, Tap};
+use reset_ipsec::{
+    CryptoSuite, Gateway, GatewayBuilder, GatewayEvent, SaKeys, SecurityAssociation,
+};
 use reset_sim::{DetRng, SimDuration, SimTime, Simulator};
 use reset_stable::{MemStable, SaveLatencyModel, SlotId};
 
@@ -26,6 +36,23 @@ pub enum Protocol {
     SaveFetch,
     /// §2 protocol with the §3 naive restart (the vulnerable baseline).
     Baseline,
+}
+
+/// What actually crosses the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Abstract sequence numbers (the paper's model): no bytes, no
+    /// crypto — fastest, and the default.
+    Model,
+    /// Real ESP frames sealed under `suite` by a [`reset_ipsec::Gateway`]
+    /// pair: the adversary replays recorded *ciphertext*, resets strike
+    /// whole gateways, and recovery runs the engine's SAVE/FETCH path.
+    /// Under [`Protocol::Baseline`] a reset rebuilds the struck gateway
+    /// from scratch (the §3 naive restart: counters at 1, window empty).
+    Esp {
+        /// Cipher suite the SA pair negotiates.
+        suite: CryptoSuite,
+    },
 }
 
 /// What the adversary does during the run.
@@ -56,6 +83,8 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Protocol variant.
     pub protocol: Protocol,
+    /// What crosses the link: the abstract model or real ESP frames.
+    pub transport: Transport,
     /// Sender save interval `Kp`.
     pub kp: u64,
     /// Receiver save interval `Kq`.
@@ -85,6 +114,7 @@ impl Default for ScenarioConfig {
         ScenarioConfig {
             seed: 0,
             protocol: Protocol::SaveFetch,
+            transport: Transport::Model,
             kp: 25,
             kq: 25,
             w: 64,
@@ -130,15 +160,18 @@ enum Side {
 }
 
 /// One message instance on the wire: the sequence number the protocol
-/// sees plus the ground-truth instance identity the monitor tracks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// sees, the ground-truth instance identity the monitor tracks, and —
+/// under [`Transport::Esp`] — the sealed frame the adversary records
+/// and replays byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Msg {
     id: MsgId,
     seq: SeqNum,
+    wire: Option<Bytes>,
 }
 
 #[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)] // Msg is 3 words; boxing would cost more
+#[allow(clippy::large_enum_variant)] // Msg is a few words; boxing would cost more
 enum Ev {
     Send,
     Deliver(Msg, Origin),
@@ -159,6 +192,48 @@ enum Proto {
         p: BaselineSender,
         q: BaselineReceiver,
     },
+    /// Real ESP frames through a [`Gateway`] pair. `baseline` selects
+    /// the §3 naive restart (rebuild from scratch) over SAVE/FETCH.
+    Esp {
+        tx: Gateway<MemStable>,
+        rx: Gateway<MemStable>,
+        suite: CryptoSuite,
+        baseline: bool,
+    },
+}
+
+/// The single SA a [`Transport::Esp`] scenario runs over.
+const ESP_SPI: u32 = 1;
+/// Shared keying material both gateway halves derive the SA from.
+const ESP_MASTER: &[u8] = b"scenario-esp-master";
+/// Fixed application payload (the model transport carries none).
+const ESP_PAYLOAD: &[u8] = b"scenario payload";
+
+fn esp_sa(suite: CryptoSuite) -> SecurityAssociation {
+    let keys = SaKeys::derive(ESP_MASTER, &ESP_SPI.to_be_bytes());
+    SecurityAssociation::new(ESP_SPI, keys).with_suite(suite)
+}
+
+/// The sender half: a gateway holding only the outbound SA.
+fn esp_tx_gateway(kp: u64, w: u64, suite: CryptoSuite) -> Gateway<MemStable> {
+    let mut gw = GatewayBuilder::in_memory()
+        .suite(suite)
+        .save_interval(kp)
+        .window(w)
+        .build();
+    gw.install_outbound(esp_sa(suite));
+    gw
+}
+
+/// The receiver half: a gateway holding only the inbound SA.
+fn esp_rx_gateway(kq: u64, w: u64, suite: CryptoSuite) -> Gateway<MemStable> {
+    let mut gw = GatewayBuilder::in_memory()
+        .suite(suite)
+        .save_interval(kq)
+        .window(w)
+        .build();
+    gw.install_inbound(esp_sa(suite));
+    gw
 }
 
 /// Runs one scenario to completion.
@@ -206,14 +281,20 @@ impl ScenarioRunner {
         let workload_rng = sim.rng().fork();
         let latency_rng = sim.rng().fork();
         let adv_rng = sim.rng().fork();
-        let proto = match cfg.protocol {
-            Protocol::SaveFetch => Proto::Sf {
+        let proto = match (cfg.protocol, cfg.transport) {
+            (Protocol::SaveFetch, Transport::Model) => Proto::Sf {
                 p: SfSender::new(MemStable::new(), SlotId::sender(1), cfg.kp),
                 q: SfReceiver::new(MemStable::new(), SlotId::receiver(1), cfg.kq, cfg.w),
             },
-            Protocol::Baseline => Proto::Base {
+            (Protocol::Baseline, Transport::Model) => Proto::Base {
                 p: BaselineSender::new(),
                 q: BaselineReceiver::new(cfg.w),
+            },
+            (protocol, Transport::Esp { suite }) => Proto::Esp {
+                tx: esp_tx_gateway(cfg.kp, cfg.w, suite),
+                rx: esp_rx_gateway(cfg.kq, cfg.w, suite),
+                suite,
+                baseline: protocol == Protocol::Baseline,
             },
         };
         let link = Link::new(cfg.link, link_rng);
@@ -281,17 +362,22 @@ impl ScenarioRunner {
 
     fn on_send(&mut self, now: SimTime) {
         let sent = match &mut self.proto {
-            Proto::Sf { p, .. } => p.send_next().expect("mem store"),
-            Proto::Base { p, .. } => Some(p.send_next()),
+            Proto::Sf { p, .. } => p.send_next().expect("mem store").map(|seq| (seq, None)),
+            Proto::Base { p, .. } => Some((p.send_next(), None)),
+            Proto::Esp { tx, .. } => tx
+                .protect(ESP_SPI, ESP_PAYLOAD)
+                .expect("mem store")
+                .map(|frame| (frame.seq, Some(frame.wire))),
         };
-        if let Some(seq) = sent {
+        if let Some((seq, wire)) = sent {
             let msg = Msg {
                 id: MsgId(self.next_msg_id),
                 seq,
+                wire,
             };
             self.next_msg_id += 1;
             self.monitor.on_send(msg.id, seq);
-            self.tap.record(msg);
+            self.tap.record(msg.clone());
             self.transmit(now, msg, true);
             self.maybe_schedule_save(Side::P, now);
         }
@@ -335,19 +421,52 @@ impl ScenarioRunner {
                     self.monitor.on_discard(Some(msg.id), msg.seq, origin);
                 }
             }
+            Proto::Esp { rx, .. } => {
+                let wire = msg.wire.as_ref().expect("esp transport frames carry bytes");
+                rx.push_wire(wire).expect("mem store");
+                let events = rx.poll_events();
+                for ev in events {
+                    self.note_gateway_event(ev, &msg, origin);
+                }
+            }
         }
         // Receiver-side background save (SAVE/FETCH only).
         let now = self.sim.now();
         self.maybe_schedule_save(Side::Q, now);
     }
 
+    /// Maps one receiver-gateway event onto the monitor's ground truth.
+    /// `msg` is the instance whose push produced the event.
+    fn note_gateway_event(&mut self, ev: GatewayEvent, msg: &Msg, origin: Origin) {
+        match ev {
+            GatewayEvent::Delivered { seq, .. } => {
+                self.monitor.on_deliver(Some(msg.id), seq, origin)
+            }
+            GatewayEvent::ReplayDropped { seq, .. } => {
+                self.monitor.on_discard(Some(msg.id), seq, origin)
+            }
+            GatewayEvent::Buffered { .. } => self.buffered_meta.push_back((msg.id, origin)),
+            GatewayEvent::DroppedDown { .. } => self.dropped_down += 1,
+            // Genuine recorded frames always authenticate; reaching here
+            // would be a harness bug, but count it as a discard rather
+            // than corrupting the run.
+            GatewayEvent::AuthFailed { .. } | GatewayEvent::UnknownSa { .. } => {
+                self.monitor.on_discard(Some(msg.id), msg.seq, origin)
+            }
+            // No DPD/rekey policies are configured on scenario gateways.
+            _ => {}
+        }
+    }
+
     fn maybe_schedule_save(&mut self, side: Side, now: SimTime) {
-        let Proto::Sf { p, q } = &self.proto else {
-            return;
-        };
-        let (pending, outstanding) = match side {
-            Side::P => (p.pending_save().is_some(), self.p_save_outstanding),
-            Side::Q => (q.pending_save().is_some(), self.q_save_outstanding),
+        let (pending, outstanding) = match (&self.proto, side) {
+            (Proto::Sf { p, .. }, Side::P) => (p.pending_save().is_some(), self.p_save_outstanding),
+            (Proto::Sf { q, .. }, Side::Q) => (q.pending_save().is_some(), self.q_save_outstanding),
+            // The baseline performs no SAVEs (its restart ignores the
+            // store), so only SAVE/FETCH gateways model save latency.
+            (Proto::Esp { baseline: true, .. }, _) | (Proto::Base { .. }, _) => return,
+            (Proto::Esp { tx, .. }, Side::P) => (tx.pending_save(), self.p_save_outstanding),
+            (Proto::Esp { rx, .. }, Side::Q) => (rx.pending_save(), self.q_save_outstanding),
         };
         if pending && !outstanding {
             let d = self.cfg.save_latency.sample_ns(self.latency_rng.next_u64());
@@ -361,17 +480,23 @@ impl ScenarioRunner {
     }
 
     fn on_save_done(&mut self, side: Side) {
-        let Proto::Sf { p, q } = &mut self.proto else {
-            return;
-        };
-        match side {
-            Side::P => {
+        match (&mut self.proto, side) {
+            (Proto::Sf { p, .. }, Side::P) => {
                 self.p_save_outstanding = false;
                 p.save_completed().expect("mem store");
             }
-            Side::Q => {
+            (Proto::Sf { q, .. }, Side::Q) => {
                 self.q_save_outstanding = false;
                 q.save_completed().expect("mem store");
+            }
+            (Proto::Esp { baseline: true, .. }, _) | (Proto::Base { .. }, _) => return,
+            (Proto::Esp { tx, .. }, Side::P) => {
+                self.p_save_outstanding = false;
+                tx.save_completed().expect("mem store");
+            }
+            (Proto::Esp { rx, .. }, Side::Q) => {
+                self.q_save_outstanding = false;
+                rx.save_completed().expect("mem store");
             }
         }
         // A superseding issue may already be pending again.
@@ -427,6 +552,67 @@ impl ScenarioRunner {
                     }
                 }
             },
+            Proto::Esp {
+                tx,
+                rx,
+                suite,
+                baseline,
+            } => {
+                let suite = *suite;
+                if *baseline {
+                    // §3 naive restart over real frames: the struck
+                    // gateway is rebuilt from scratch — counters at 1,
+                    // window empty, same keys — and resumes immediately.
+                    match side {
+                        Side::P => {
+                            let old_next = tx.next_seq(ESP_SPI).expect("sa installed");
+                            *tx = esp_tx_gateway(self.cfg.kp, self.cfg.w, suite);
+                            self.p_resets += 1;
+                            self.monitor
+                                .on_sender_wakeup(old_next, SeqNum::FIRST, self.cfg.kp);
+                            if self.cfg.adversary == AdversaryPlan::ReplayLatestOnRestart {
+                                self.pending_latest_replay = true;
+                                self.try_latest_replay();
+                            }
+                        }
+                        Side::Q => {
+                            self.buffered_meta.clear();
+                            *rx = esp_rx_gateway(self.cfg.kq, self.cfg.w, suite);
+                            self.q_resets += 1;
+                            match self.cfg.adversary {
+                                AdversaryPlan::ReplayAllOnReceiverRestart => self.replay_all(),
+                                AdversaryPlan::ReplayLatestOnRestart => {
+                                    self.pending_latest_replay = true;
+                                    self.try_latest_replay();
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                } else {
+                    // SAVE/FETCH: the gateway goes down and recovers
+                    // through the engine's FETCH + 2K leap after the
+                    // configured downtime.
+                    match side {
+                        Side::P => {
+                            if tx.phase(ESP_SPI) == Some(Phase::Running) {
+                                self.p_next_at_reset = tx.next_seq(ESP_SPI).expect("sa installed");
+                            }
+                            tx.reset();
+                            self.p_resets += 1;
+                            self.sim
+                                .schedule_at(now + self.cfg.downtime, Ev::Wake(Side::P));
+                        }
+                        Side::Q => {
+                            self.buffered_meta.clear();
+                            rx.reset();
+                            self.q_resets += 1;
+                            self.sim
+                                .schedule_at(now + self.cfg.downtime, Ev::Wake(Side::Q));
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -453,36 +639,48 @@ impl ScenarioRunner {
     }
 
     fn on_wake(&mut self, now: SimTime, side: Side) {
-        let Proto::Sf { p, q } = &mut self.proto else {
-            return;
-        };
         let d = self.cfg.save_latency.sample_ns(self.latency_rng.next_u64());
-        match side {
-            Side::P => {
+        let began = match (&mut self.proto, side) {
+            (Proto::Sf { p, .. }, Side::P) => {
+                // Stale wakes after overlapping resets are ignored.
                 if p.phase() != Phase::Down {
-                    return; // stale wake after overlapping resets
+                    return;
                 }
                 p.begin_wakeup().expect("mem store");
-                self.sim
-                    .schedule_at(now + SimDuration::from_nanos(d), Ev::FinishWake(Side::P));
+                true
             }
-            Side::Q => {
+            (Proto::Sf { q, .. }, Side::Q) => {
                 if q.phase() != Phase::Down {
                     return;
                 }
                 q.begin_wakeup().expect("mem store");
-                self.sim
-                    .schedule_at(now + SimDuration::from_nanos(d), Ev::FinishWake(Side::Q));
+                true
             }
+            (Proto::Esp { tx, .. }, Side::P) => {
+                if tx.phase(ESP_SPI) != Some(Phase::Down) {
+                    return;
+                }
+                tx.begin_recover().expect("mem store");
+                true
+            }
+            (Proto::Esp { rx, .. }, Side::Q) => {
+                if rx.phase(ESP_SPI) != Some(Phase::Down) {
+                    return;
+                }
+                rx.begin_recover().expect("mem store");
+                true
+            }
+            (Proto::Base { .. }, _) => false,
+        };
+        if began {
+            self.sim
+                .schedule_at(now + SimDuration::from_nanos(d), Ev::FinishWake(side));
         }
     }
 
     fn on_finish_wake(&mut self, _now: SimTime, side: Side) {
-        let Proto::Sf { p, q } = &mut self.proto else {
-            return;
-        };
-        match side {
-            Side::P => {
+        match (&mut self.proto, side) {
+            (Proto::Sf { p, .. }, Side::P) => {
                 if p.phase() != Phase::Waking {
                     return;
                 }
@@ -490,7 +688,7 @@ impl ScenarioRunner {
                 self.monitor
                     .on_sender_wakeup(self.p_next_at_reset, resumed, self.cfg.kp);
             }
-            Side::Q => {
+            (Proto::Sf { q, .. }, Side::Q) => {
                 if q.phase() != Phase::Waking {
                     return;
                 }
@@ -506,15 +704,62 @@ impl ScenarioRunner {
                         _ => self.monitor.on_discard(id, seq, origin),
                     }
                 }
-                match self.cfg.adversary {
-                    AdversaryPlan::ReplayAllOnReceiverRestart => self.replay_all(),
-                    AdversaryPlan::ReplayLatestOnRestart => {
-                        self.pending_latest_replay = true;
-                        self.try_latest_replay();
-                    }
-                    _ => {}
-                }
+                self.post_receiver_wakeup_adversary();
             }
+            (Proto::Esp { tx, .. }, Side::P) => {
+                if tx.phase(ESP_SPI) != Some(Phase::Waking) {
+                    return;
+                }
+                tx.finish_recover().expect("mem store");
+                tx.poll_events(); // Recovered{..}: the monitor tracks senders itself
+                let resumed = tx.next_seq(ESP_SPI).expect("sa installed");
+                self.monitor
+                    .on_sender_wakeup(self.p_next_at_reset, resumed, self.cfg.kp);
+            }
+            (Proto::Esp { rx, .. }, Side::Q) => {
+                if rx.phase(ESP_SPI) != Some(Phase::Waking) {
+                    return;
+                }
+                rx.finish_recover().expect("mem store");
+                let events = rx.poll_events();
+                for ev in events {
+                    match ev {
+                        GatewayEvent::Recovered { .. } => {}
+                        // Buffered frames resolve in arrival order; their
+                        // ground-truth identities queued at buffering time.
+                        GatewayEvent::Delivered { seq, .. } => {
+                            let (id, origin) = self.pop_buffered_meta();
+                            self.monitor.on_deliver(id, seq, origin);
+                        }
+                        GatewayEvent::ReplayDropped { seq, .. } => {
+                            let (id, origin) = self.pop_buffered_meta();
+                            self.monitor.on_discard(id, seq, origin);
+                        }
+                        other => unreachable!("unexpected recovery event {other:?}"),
+                    }
+                }
+                self.post_receiver_wakeup_adversary();
+            }
+            (Proto::Base { .. }, _) => {}
+        }
+    }
+
+    fn pop_buffered_meta(&mut self) -> (Option<MsgId>, Origin) {
+        self.buffered_meta
+            .pop_front()
+            .map(|(i, o)| (Some(i), o))
+            .unwrap_or((None, Origin::Original))
+    }
+
+    /// The §3 adversary strikes the moment the receiver is back up.
+    fn post_receiver_wakeup_adversary(&mut self) {
+        match self.cfg.adversary {
+            AdversaryPlan::ReplayAllOnReceiverRestart => self.replay_all(),
+            AdversaryPlan::ReplayLatestOnRestart => {
+                self.pending_latest_replay = true;
+                self.try_latest_replay();
+            }
+            _ => {}
         }
     }
 
@@ -532,6 +777,10 @@ impl ScenarioRunner {
         let (final_next_seq, final_right_edge) = match &self.proto {
             Proto::Sf { p, q } => (p.next_seq().value(), q.right_edge().value()),
             Proto::Base { p, q } => (p.next_seq().value(), q.right_edge().value()),
+            Proto::Esp { tx, rx, .. } => (
+                tx.next_seq(ESP_SPI).expect("sa installed").value(),
+                rx.right_edge(ESP_SPI).expect("sa installed").value(),
+            ),
         };
         ScenarioOutcome {
             monitor: self.monitor.into_report(),
@@ -675,6 +924,151 @@ mod tests {
         let out = run_scenario(cfg);
         assert!(out.monitor.clean());
         assert_eq!(out.monitor.replays_accepted, 0, "dups never double-deliver");
+    }
+
+    /// The two real transforms the §3 experiments must sweep (auth-only
+    /// is covered by the unit layers; it changes nothing here).
+    const ESP_SUITES: [CryptoSuite; 2] = [
+        CryptoSuite::HmacSha256WithKeystream,
+        CryptoSuite::ChaCha20Poly1305,
+    ];
+
+    #[test]
+    fn esp_transport_default_run_is_clean_for_both_suites() {
+        for suite in ESP_SUITES {
+            let cfg = ScenarioConfig {
+                transport: Transport::Esp { suite },
+                duration: SimDuration::from_millis(5),
+                ..ScenarioConfig::default()
+            };
+            let out = run_scenario(cfg);
+            assert!(
+                out.monitor.clean(),
+                "{suite:?}: {:?}",
+                out.monitor.violations
+            );
+            assert!(out.monitor.fresh_delivered > 500, "{suite:?}");
+            assert_eq!(out.monitor.fresh_discarded, 0, "{suite:?}");
+        }
+    }
+
+    #[test]
+    fn esp_transport_savefetch_defeats_section3_attack_for_both_suites() {
+        for suite in ESP_SUITES {
+            let cfg = ScenarioConfig {
+                transport: Transport::Esp { suite },
+                receiver_resets: vec![SimTime::from_millis(4)],
+                adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+                ..ScenarioConfig::default()
+            };
+            let out = run_scenario(cfg);
+            assert!(
+                out.monitor.clean(),
+                "{suite:?}: {:?}",
+                out.monitor.violations
+            );
+            assert_eq!(out.monitor.replays_accepted, 0, "{suite:?}");
+            assert!(out.monitor.replays_rejected > 0, "{suite:?}: attack ran");
+            assert!(
+                out.monitor.fresh_discarded <= 2 * 25,
+                "{suite:?}: condition (ii): {} > 2K",
+                out.monitor.fresh_discarded
+            );
+            assert!(out.dropped_down > 0, "{suite:?}: downtime drops traffic");
+        }
+    }
+
+    #[test]
+    fn esp_transport_baseline_falls_to_section3_attack_for_both_suites() {
+        for suite in ESP_SUITES {
+            let cfg = ScenarioConfig {
+                protocol: Protocol::Baseline,
+                transport: Transport::Esp { suite },
+                receiver_resets: vec![SimTime::from_millis(4)],
+                adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+                ..ScenarioConfig::default()
+            };
+            let out = run_scenario(cfg);
+            assert!(
+                out.monitor.replays_accepted > 100,
+                "{suite:?}: the naive restart must accept the replayed \
+                 ciphertext wholesale: {}",
+                out.monitor.replays_accepted
+            );
+            assert!(!out.monitor.clean(), "{suite:?}");
+        }
+    }
+
+    #[test]
+    fn esp_transport_baseline_sender_reset_discards_fresh() {
+        let cfg = ScenarioConfig {
+            protocol: Protocol::Baseline,
+            transport: Transport::Esp {
+                suite: CryptoSuite::default(),
+            },
+            sender_resets: vec![SimTime::from_millis(4)],
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert!(
+            out.monitor.fresh_discarded > 100,
+            "counter restarted at 1 inside the receiver's window: {}",
+            out.monitor.fresh_discarded
+        );
+    }
+
+    #[test]
+    fn esp_transport_matches_model_verdicts() {
+        // The same seeded experiment must reach the same *qualitative*
+        // verdict over real frames as over the abstract model.
+        let run = |transport| {
+            let cfg = ScenarioConfig {
+                transport,
+                receiver_resets: vec![SimTime::from_millis(3)],
+                sender_resets: vec![SimTime::from_millis(6)],
+                link: LinkConfig::lossy(0.05),
+                adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+                ..ScenarioConfig::default()
+            };
+            run_scenario(cfg)
+        };
+        let model = run(Transport::Model);
+        let esp = run(Transport::Esp {
+            suite: CryptoSuite::default(),
+        });
+        for out in [&model, &esp] {
+            assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
+            assert_eq!(out.monitor.replays_accepted, 0);
+            assert!(out.monitor.replays_rejected > 0);
+        }
+        // Identical send schedules: the workload stream is transport-
+        // independent.
+        assert_eq!(model.monitor.sent, esp.monitor.sent);
+    }
+
+    #[test]
+    fn esp_transport_is_reproducible_for_seed() {
+        let run = |seed| {
+            let cfg = ScenarioConfig {
+                seed,
+                transport: Transport::Esp {
+                    suite: CryptoSuite::ChaCha20Poly1305,
+                },
+                link: LinkConfig::lossy(0.1),
+                receiver_resets: vec![SimTime::from_millis(3)],
+                adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+                duration: SimDuration::from_millis(6),
+                ..ScenarioConfig::default()
+            };
+            let o = run_scenario(cfg);
+            (
+                o.monitor.sent,
+                o.monitor.fresh_delivered,
+                o.final_right_edge,
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 
     #[test]

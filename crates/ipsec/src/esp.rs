@@ -137,9 +137,39 @@ impl<S: StableStore> Outbound<S> {
         self.seq.wake_up()
     }
 
+    /// First half of wake-up (FETCH + leap + issue the synchronous
+    /// SAVE); the endpoint stays unable to send until
+    /// [`finish_wakeup`](Self::finish_wakeup). Timed drivers (the
+    /// harness) split the halves around the store's save latency.
+    ///
+    /// # Errors
+    ///
+    /// Store failures (the endpoint stays down).
+    pub fn begin_wakeup(&mut self) -> Result<SeqNum, StableError> {
+        self.seq.begin_wakeup()
+    }
+
+    /// Second half of wake-up: the synchronous SAVE completed; sending
+    /// resumes at the leaped counter.
+    ///
+    /// # Errors
+    ///
+    /// Store failures (the endpoint stays waking; retry).
+    pub fn finish_wakeup(&mut self) -> Result<SeqNum, StableError> {
+        self.seq.finish_wakeup()
+    }
+
     /// Current phase.
     pub fn phase(&self) -> Phase {
         self.seq.phase()
+    }
+
+    /// Mutable access to the persistent store — SA teardown (a correct
+    /// teardown erases `SlotId::sender(spi)` so a later FETCH cannot
+    /// resurrect this SA's counters into a reused SPI's number space)
+    /// and fault-injection tests.
+    pub fn store_mut(&mut self) -> &mut S {
+        self.seq.store_mut()
     }
 }
 
@@ -672,6 +702,12 @@ impl<S: StableStore> Inbound<S> {
     pub fn phase(&self) -> Phase {
         self.rx.phase()
     }
+
+    /// Mutable access to the persistent store — SA teardown (erase
+    /// `SlotId::receiver(spi)`) and fault-injection tests.
+    pub fn store_mut(&mut self) -> &mut S {
+        self.rx.store_mut()
+    }
 }
 
 #[cfg(test)]
@@ -1041,7 +1077,8 @@ mod tests {
         // Same keys, different negotiated suite: every frame must be
         // rejected by the ICV check, not misparsed.
         let keys = SaKeys::derive(b"cross", b"d");
-        let legacy = SecurityAssociation::new(0x63, keys.clone());
+        let legacy = SecurityAssociation::new(0x63, keys.clone())
+            .with_suite(CryptoSuite::HmacSha256WithKeystream);
         let aead = SecurityAssociation::new(0x63, keys).with_suite(CryptoSuite::ChaCha20Poly1305);
         let mut tx_legacy = Outbound::new(legacy.clone(), MemStable::new(), 25);
         let mut tx_aead = Outbound::new(aead.clone(), MemStable::new(), 25);

@@ -1,0 +1,1055 @@
+//! The `Gateway` engine: one event-driven entry point over the whole
+//! IPsec substrate.
+//!
+//! Everything the paper's receiver-under-reset story needs — the SADB,
+//! the ESP datapath, SAVE/FETCH recovery, DPD, lifetime-driven rekeys —
+//! previously had to be hand-wired per experiment. A [`Gateway`] owns
+//! all of it behind four verbs:
+//!
+//! * [`Gateway::protect`] — seal application data on an outbound SA;
+//! * [`Gateway::push_wire`] / [`Gateway::push_wire_batch`] — feed
+//!   received frames in; nothing is returned in-line, every per-packet
+//!   verdict becomes a [`GatewayEvent`];
+//! * [`Gateway::tick`] — advance wall-clock policies (DPD probing and
+//!   grace expiry, lifetime-driven rekeys);
+//! * [`Gateway::poll_events`] — drain what happened, in order.
+//!
+//! Resets are first-class: [`Gateway::reset`] models the host crash,
+//! [`Gateway::recover`] (or the [`Gateway::begin_recover`] /
+//! [`Gateway::finish_recover`] halves, for timed drivers that model the
+//! wake-up SAVE's latency) runs the paper's FETCH + `2K` leap over every
+//! SA and reports `Recovered`.
+//!
+//! Construction goes through [`GatewayBuilder`]: cipher suite, window
+//! size, save interval, the persistent-store factory, and the optional
+//! rekey/DPD policies are fixed up front, then SAs are added with
+//! [`Gateway::add_peer`] (symmetric shortcut) or
+//! [`Gateway::install_pair`] (e.g. from [`crate::run_handshake`]).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use bytes::Bytes;
+use reset_crypto::hmac_sha256;
+use reset_stable::{MemStable, SlotId, StableError, StableStore};
+
+use anti_replay::{Phase, RxOutcome, SeqNum};
+
+use crate::dpd::{DpdAction, DpdConfig, DpdDetector};
+use crate::esp::{RxReject, RxResult};
+use crate::rekey::{rekey, rekey_due, RekeyRequest};
+use crate::sa::{CryptoSuite, SaKeys, SaLifetime, SecurityAssociation};
+use crate::sadb::{RemovedSa, Sadb};
+use crate::IpsecError;
+
+/// Which directional endpoint a store is being created for (the
+/// argument to the [`GatewayBuilder::stores`] factory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaDirection {
+    /// The sender half (persists the send counter).
+    Outbound,
+    /// The receiver half (persists the window's right edge).
+    Inbound,
+}
+
+/// One sealed outbound frame: the wire bytes plus the sequence number
+/// the frame carries (the harness monitor and tests correlate on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentFrame {
+    /// The SA that sealed the frame.
+    pub spi: u32,
+    /// The full (64-bit) sequence number sealed into the frame.
+    pub seq: SeqNum,
+    /// The wire bytes.
+    pub wire: Bytes,
+}
+
+/// What happened inside the gateway, in order. Drained by
+/// [`Gateway::poll_events`]; each pushed frame produces exactly one of
+/// the first six variants, lifecycle operations append the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayEvent {
+    /// A frame authenticated, passed the anti-replay window, and its
+    /// payload was delivered.
+    Delivered {
+        /// Receiving SA.
+        spi: u32,
+        /// ESN-reconstructed sequence number.
+        seq: SeqNum,
+        /// Decrypted payload.
+        payload: Bytes,
+    },
+    /// A frame authenticated but the anti-replay window rejected it —
+    /// a replay (or a fresh frame sacrificed inside the post-recovery
+    /// leap, which the paper bounds by `2K`).
+    ReplayDropped {
+        /// Receiving SA.
+        spi: u32,
+        /// The rejected sequence number.
+        seq: SeqNum,
+        /// Stale or duplicate.
+        outcome: RxOutcome,
+    },
+    /// A frame failed framing or ICV verification (forged, corrupted,
+    /// or sealed under different keys/suite). `spi` is 0 when the frame
+    /// was too short to carry one.
+    AuthFailed {
+        /// The SPI the frame named (0 if unparseable).
+        spi: u32,
+    },
+    /// A frame named an SPI with no installed inbound SA.
+    UnknownSa {
+        /// The unknown SPI.
+        spi: u32,
+    },
+    /// A frame arrived during a wake-up and was buffered; its verdict
+    /// follows [`Gateway::finish_recover`] as a normal
+    /// `Delivered`/`ReplayDropped` event.
+    Buffered {
+        /// Receiving SA.
+        spi: u32,
+    },
+    /// A frame arrived while the gateway was down and evaporated.
+    DroppedDown {
+        /// Receiving SA.
+        spi: u32,
+    },
+    /// The rekey policy found an SA due and began a quick-mode rekey.
+    RekeyStarted {
+        /// The SA being rekeyed.
+        spi: u32,
+    },
+    /// The rekey completed; the SA now runs fresh keys (and counters)
+    /// under `suite`.
+    RekeyCompleted {
+        /// The rekeyed SA.
+        spi: u32,
+        /// The replacement SA's transform.
+        suite: CryptoSuite,
+    },
+    /// DPD wants an R-U-THERE probe sent for this SA pair (the caller
+    /// owns actual transmission — the gateway has no wire of its own).
+    ProbeDue {
+        /// The silent peer's SA.
+        spi: u32,
+    },
+    /// DPD's bounded grace period expired without the peer recovering;
+    /// the SA pair was torn down (the paper's "the wait cannot be
+    /// unbounded" rule).
+    PeerDead {
+        /// The torn-down SA.
+        spi: u32,
+    },
+    /// SAVE/FETCH recovery completed: `sas` SA directions woke up via
+    /// FETCH + `2K` leap (compare one IKE handshake *per SA* for the
+    /// IETF remedy).
+    Recovered {
+        /// SA directions recovered.
+        sas: usize,
+    },
+}
+
+/// Builds a [`Gateway`]: engine-wide policy is fixed here, SAs are
+/// added to the built engine afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use reset_ipsec::{GatewayBuilder, CryptoSuite};
+///
+/// let mut gw = GatewayBuilder::in_memory()
+///     .suite(CryptoSuite::ChaCha20Poly1305)
+///     .save_interval(25)
+///     .window(64)
+///     .build();
+/// gw.add_peer(0x1001, b"master-secret");
+/// let frame = gw.protect(0x1001, b"hello")?.expect("endpoint up");
+/// assert_eq!(frame.seq.value(), 1);
+/// # Ok::<(), reset_ipsec::IpsecError>(())
+/// ```
+pub struct GatewayBuilder<S> {
+    suite: CryptoSuite,
+    k: u64,
+    w: u64,
+    rekey_after: Option<SaLifetime>,
+    dpd: Option<DpdConfig>,
+    skeyid: Vec<u8>,
+    make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
+}
+
+impl GatewayBuilder<MemStable> {
+    /// A builder whose SAs persist to fresh in-memory stores — the
+    /// simulation default.
+    pub fn in_memory() -> Self {
+        GatewayBuilder::with_stores(|_, _| MemStable::new())
+    }
+}
+
+impl<S: StableStore> GatewayBuilder<S> {
+    /// A builder creating one persistent store per SA direction through
+    /// `make_store` (e.g. a [`reset_stable::FileStable`] directory per
+    /// SPI).
+    pub fn with_stores(make_store: impl FnMut(u32, SaDirection) -> S + Send + 'static) -> Self {
+        GatewayBuilder {
+            suite: CryptoSuite::default(),
+            k: 25, // the paper's calibrated Pentium-III save interval
+            w: 64,
+            rekey_after: None,
+            dpd: None,
+            skeyid: b"gateway-phase1-skeyid".to_vec(),
+            make_store: Box::new(make_store),
+        }
+    }
+
+    /// Cipher suite applied to SAs added via [`Gateway::add_peer`] and
+    /// to policy-driven rekeys. Default: [`CryptoSuite::default()`].
+    pub fn suite(mut self, suite: CryptoSuite) -> Self {
+        self.suite = suite;
+        self
+    }
+
+    /// SAVE interval `K` (packets between background counter saves).
+    /// Default 25.
+    pub fn save_interval(mut self, k: u64) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Anti-replay window size `w`. Default 64.
+    pub fn window(mut self, w: u64) -> Self {
+        self.w = w;
+        self
+    }
+
+    /// Enables the rekey policy: [`Gateway::tick`] quick-mode-rekeys any
+    /// SA whose usage reaches `lifetime` (fresh keys and counters under
+    /// the builder's suite; the adversary's replay library dies with the
+    /// old keys). Disabled by default.
+    pub fn rekey_after(mut self, lifetime: SaLifetime) -> Self {
+        self.rekey_after = Some(lifetime);
+        self
+    }
+
+    /// Enables dead-peer detection: [`Gateway::tick`] emits
+    /// [`GatewayEvent::ProbeDue`] after silence and tears the pair down
+    /// ([`GatewayEvent::PeerDead`]) when the §6 grace period expires.
+    /// Disabled by default.
+    pub fn dpd(mut self, cfg: DpdConfig) -> Self {
+        self.dpd = Some(cfg);
+        self
+    }
+
+    /// The phase-1 shared secret rekeys derive from. Two gateways that
+    /// share it (and the same suite/policies) derive identical
+    /// replacement SAs from the same rekey generation.
+    pub fn skeyid(mut self, skeyid: &[u8]) -> Self {
+        self.skeyid = skeyid.to_vec();
+        self
+    }
+
+    /// Builds the engine (no SAs installed yet).
+    pub fn build(self) -> Gateway<S> {
+        Gateway {
+            sadb: Sadb::new(),
+            suite: self.suite,
+            k: self.k,
+            w: self.w,
+            rekey_after: self.rekey_after,
+            dpd_cfg: self.dpd,
+            skeyid: self.skeyid,
+            make_store: self.make_store,
+            dpd: BTreeMap::new(),
+            dpd_unarmed: BTreeSet::new(),
+            rekey_generation: BTreeMap::new(),
+            events: VecDeque::new(),
+            now_ns: 0,
+        }
+    }
+}
+
+impl<S> fmt::Debug for GatewayBuilder<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GatewayBuilder")
+            .field("suite", &self.suite)
+            .field("k", &self.k)
+            .field("w", &self.w)
+            .field("rekey_after", &self.rekey_after)
+            .field("dpd", &self.dpd)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The engine: owns the SADB and every lifecycle manager, exposes the
+/// event-driven surface described in the [module docs](self).
+///
+/// # Examples
+///
+/// The §3 attack in six lines — record, reset, recover, replay:
+///
+/// ```
+/// use reset_ipsec::{GatewayBuilder, GatewayEvent};
+///
+/// let mut p = GatewayBuilder::in_memory().build();
+/// let mut q = GatewayBuilder::in_memory().build();
+/// p.add_peer(7, b"shared-master");
+/// q.add_peer(7, b"shared-master");
+///
+/// let frame = p.protect(7, b"secret")?.expect("up");
+/// q.push_wire(&frame.wire)?;
+/// q.save_completed()?; // the background SAVE reaches the disk
+/// q.reset();
+/// q.recover()?; // FETCH + 2K leap
+/// q.push_wire(&frame.wire)?; // the adversary replays
+/// let events = q.poll_events();
+/// assert!(matches!(events[0], GatewayEvent::Delivered { .. }));
+/// assert!(matches!(events[1], GatewayEvent::Recovered { .. }));
+/// assert!(matches!(events[2], GatewayEvent::ReplayDropped { .. }));
+/// # Ok::<(), reset_ipsec::IpsecError>(())
+/// ```
+pub struct Gateway<S> {
+    sadb: Sadb<S>,
+    suite: CryptoSuite,
+    k: u64,
+    w: u64,
+    rekey_after: Option<SaLifetime>,
+    dpd_cfg: Option<DpdConfig>,
+    skeyid: Vec<u8>,
+    make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
+    /// One detector per inbound SPI (created when DPD is configured).
+    dpd: BTreeMap<u32, DpdDetector>,
+    /// Inbound SPIs whose detector has not been armed yet: arming waits
+    /// for the first [`Gateway::tick`] (or delivered frame) so the idle
+    /// clock starts at the driver's real time, not at install time.
+    dpd_unarmed: BTreeSet<u32>,
+    /// Rekey generation per SPI: folded into the deterministic nonces so
+    /// each generation derives fresh key material.
+    rekey_generation: BTreeMap<u32, u32>,
+    events: VecDeque<GatewayEvent>,
+    /// Wall clock as of the last [`Gateway::tick`]; timestamps DPD
+    /// liveness evidence from pushed frames.
+    now_ns: u64,
+}
+
+impl<S> fmt::Debug for Gateway<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gateway")
+            .field("suite", &self.suite)
+            .field("k", &self.k)
+            .field("w", &self.w)
+            .field("sas", &self.sadb.len())
+            .field("pending_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: StableStore> Gateway<S> {
+    // ------------------------------------------------------------------
+    // SA installation
+    // ------------------------------------------------------------------
+
+    /// Installs a bidirectional SA pair under `spi` with keys derived
+    /// from `master` and the builder's suite. Two gateways calling this
+    /// with the same arguments interoperate (each direction uses the
+    /// same derived keys on both ends).
+    ///
+    /// Because the two directions share one key, a host's own sent
+    /// frames would authenticate against its own inbound SA — fine for
+    /// loopback demos and unidirectional experiments, but a real
+    /// bidirectional deployment should use [`Gateway::add_peer_between`]
+    /// (direction-separated keys, reflection-proof) or install
+    /// handshake-negotiated SAs via [`Gateway::install_pair`].
+    pub fn add_peer(&mut self, spi: u32, master: &[u8]) {
+        let keys = SaKeys::derive(master, &spi.to_be_bytes());
+        let sa = SecurityAssociation::new(spi, keys).with_suite(self.suite);
+        self.install_pair(sa);
+    }
+
+    /// Installs a bidirectional SA pair under `spi` with
+    /// *direction-separated* keys: outbound protects `local → remote`,
+    /// inbound expects `remote → local`. The peer gateway calls this
+    /// with the names swapped, so the two interoperate while a frame a
+    /// host sent can never be reflected back into that same host (it
+    /// fails authentication, like [`IpsecPeer`]'s directional SAs).
+    pub fn add_peer_between(&mut self, spi: u32, master: &[u8], local: &[u8], remote: &[u8]) {
+        let label = |from: &[u8], to: &[u8]| {
+            let mut l = Vec::with_capacity(4 + from.len() + 2 + to.len());
+            l.extend_from_slice(&spi.to_be_bytes());
+            l.extend_from_slice(from);
+            l.extend_from_slice(b"->");
+            l.extend_from_slice(to);
+            l
+        };
+        let out_keys = SaKeys::derive(master, &label(local, remote));
+        let in_keys = SaKeys::derive(master, &label(remote, local));
+        self.install_outbound(SecurityAssociation::new(spi, out_keys).with_suite(self.suite));
+        self.install_inbound(SecurityAssociation::new(spi, in_keys).with_suite(self.suite));
+    }
+
+    /// Installs an externally built SA (e.g. from
+    /// [`crate::run_handshake`] or [`crate::rekey`]) in both directions,
+    /// with fresh stores from the builder's factory.
+    pub fn install_pair(&mut self, sa: SecurityAssociation) {
+        self.install_outbound(sa.clone());
+        self.install_inbound(sa);
+    }
+
+    /// Installs an SA for sending only.
+    pub fn install_outbound(&mut self, sa: SecurityAssociation) {
+        let spi = sa.spi();
+        let store = (self.make_store)(spi, SaDirection::Outbound);
+        self.sadb.install_outbound(sa, store, self.k);
+    }
+
+    /// Installs an SA for receiving only. When the builder configured
+    /// DPD, the SPI's detector arms at the next [`Gateway::tick`] (not
+    /// here — install happens before the driver's clock is known, and
+    /// arming at a stale instant would make the first tick see a huge
+    /// phantom idle gap).
+    pub fn install_inbound(&mut self, sa: SecurityAssociation) {
+        let spi = sa.spi();
+        let store = (self.make_store)(spi, SaDirection::Inbound);
+        self.sadb.install_inbound(sa, store, self.k, self.w);
+        if self.dpd_cfg.is_some() {
+            self.dpd_unarmed.insert(spi);
+        }
+    }
+
+    /// Tears down both directions of `spi`. Best-effort erases the
+    /// directions' persistent slots (so a later FETCH cannot resurrect
+    /// this SA's counters into a reused SPI). Returns whether anything
+    /// was removed.
+    pub fn remove_peer(&mut self, spi: u32) -> bool {
+        self.dpd.remove(&spi);
+        self.dpd_unarmed.remove(&spi);
+        self.rekey_generation.remove(&spi);
+        self.remove_and_erase(spi).is_some()
+    }
+
+    /// [`Sadb::remove`] plus best-effort erasure of the removed
+    /// endpoints' persistent slots — the teardown duty
+    /// [`Sadb::remove`]'s docs assign to the caller. Erase failures are
+    /// swallowed: the slot then merely retains a stale value, which is
+    /// no worse than the pre-teardown state.
+    fn remove_and_erase(&mut self, spi: u32) -> Option<RemovedSa<S>> {
+        let mut removed = self.sadb.remove(spi)?;
+        if let Some(o) = removed.outbound.as_mut() {
+            let _ = o.store_mut().erase(SlotId::sender(spi));
+        }
+        if let Some(i) = removed.inbound.as_mut() {
+            let _ = i.store_mut().erase(SlotId::receiver(spi));
+        }
+        Some(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // Datapath
+    // ------------------------------------------------------------------
+
+    /// Seals `payload` on the outbound SA `spi`. Returns `None` while
+    /// the gateway is down or waking (nothing can be sent).
+    ///
+    /// # Errors
+    ///
+    /// [`IpsecError::UnknownSa`], lifetime exhaustion, or store
+    /// failures.
+    pub fn protect(&mut self, spi: u32, payload: &[u8]) -> Result<Option<SentFrame>, IpsecError> {
+        let out = self
+            .sadb
+            .outbound_mut(spi)
+            .ok_or(IpsecError::UnknownSa { spi })?;
+        let seq = out.seq_state().next_seq();
+        Ok(out
+            .protect(payload)?
+            .map(|wire| SentFrame { spi, seq, wire }))
+    }
+
+    /// Feeds one received frame through authenticate → anti-replay →
+    /// decrypt. The verdict is appended to the event queue (exactly one
+    /// event per frame); nothing is returned in-line.
+    ///
+    /// # Errors
+    ///
+    /// Store failures only — per-packet failures (forgery, unknown SPI,
+    /// replay) are events, not errors.
+    pub fn push_wire(&mut self, wire: &Bytes) -> Result<(), IpsecError> {
+        let spi = reset_wire::peek_spi(wire).unwrap_or(0);
+        let ev = match self.sadb.process_bytes(wire) {
+            Ok(result) => self.event_from_rx(spi, result),
+            Err(IpsecError::Wire(_)) => GatewayEvent::AuthFailed { spi },
+            Err(IpsecError::UnknownSa { spi }) => GatewayEvent::UnknownSa { spi },
+            Err(other) => return Err(other),
+        };
+        self.events.push_back(ev);
+        Ok(())
+    }
+
+    /// Feeds a burst of frames (a NIC queue drain) through the batched
+    /// pipeline: ICVs verify through the suite's amortized
+    /// [`reset_crypto::CipherSuite::verify_batch`] per SA run and
+    /// delivered payloads share one decryption arena. One event per
+    /// frame, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for non-per-packet infrastructure failures.
+    pub fn push_wire_batch(&mut self, wires: &[Bytes]) -> Result<(), IpsecError> {
+        let results = self.sadb.process_batch(wires)?;
+        for (wire, result) in wires.iter().zip(results) {
+            let spi = reset_wire::peek_spi(wire).unwrap_or(0);
+            let ev = self.event_from_rx(spi, result);
+            self.events.push_back(ev);
+        }
+        Ok(())
+    }
+
+    fn event_from_rx(&mut self, spi: u32, result: RxResult) -> GatewayEvent {
+        match result {
+            RxResult::Delivered { payload, seq } => {
+                // Only authenticated traffic proves liveness (and arms a
+                // detector still waiting for its first clock reading).
+                self.arm_dpd(spi);
+                if let Some(det) = self.dpd.get_mut(&spi) {
+                    det.on_traffic(self.now_ns);
+                }
+                GatewayEvent::Delivered { spi, seq, payload }
+            }
+            RxResult::AntiReplay { outcome, seq } => {
+                GatewayEvent::ReplayDropped { spi, seq, outcome }
+            }
+            RxResult::Rejected(RxReject::UnknownSa { spi }) => GatewayEvent::UnknownSa { spi },
+            RxResult::Rejected(_) => GatewayEvent::AuthFailed { spi },
+            RxResult::Buffered => GatewayEvent::Buffered { spi },
+            RxResult::DroppedDown => GatewayEvent::DroppedDown { spi },
+        }
+    }
+
+    /// Drains everything that happened since the last poll, in order.
+    pub fn poll_events(&mut self) -> Vec<GatewayEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Events queued but not yet polled.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Clock-driven policies
+    // ------------------------------------------------------------------
+
+    /// Advances the gateway's clock and runs the configured policies:
+    /// DPD probing/teardown and lifetime-driven rekeys. Emits
+    /// [`GatewayEvent::ProbeDue`], [`GatewayEvent::PeerDead`],
+    /// [`GatewayEvent::RekeyStarted`]/[`GatewayEvent::RekeyCompleted`].
+    pub fn tick(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+        // Arm detectors installed since the last tick: their idle clock
+        // starts now, the first instant the driver's time is known.
+        let unarmed: Vec<u32> = self.dpd_unarmed.iter().copied().collect();
+        for spi in unarmed {
+            self.arm_dpd(spi);
+        }
+        // DPD first: a peer torn down here must not be rekeyed below.
+        let mut dead = Vec::new();
+        for (&spi, det) in self.dpd.iter_mut() {
+            match det.poll(now_ns) {
+                DpdAction::Idle | DpdAction::PeerPresumedDown => {}
+                DpdAction::SendProbe => self.events.push_back(GatewayEvent::ProbeDue { spi }),
+                DpdAction::TearDown => dead.push(spi),
+            }
+        }
+        for spi in dead {
+            self.remove_peer(spi);
+            self.events.push_back(GatewayEvent::PeerDead { spi });
+        }
+        if let Some(lifetime) = self.rekey_after {
+            let due: Vec<u32> = self
+                .sadb
+                .iter_outbound()
+                .filter(|(_, o)| rekey_due(o.sa(), &lifetime))
+                .map(|(spi, _)| spi)
+                .chain(
+                    self.sadb
+                        .iter_inbound()
+                        .filter(|(_, i)| rekey_due(i.sa(), &lifetime))
+                        .map(|(spi, _)| spi),
+                )
+                .collect();
+            let mut seen = std::collections::BTreeSet::new();
+            for spi in due {
+                if seen.insert(spi) {
+                    self.rekey_now(spi);
+                }
+            }
+        }
+    }
+
+    /// Creates `spi`'s DPD detector on its first clock reading (no-op
+    /// once armed or when DPD is off / the SPI unknown).
+    fn arm_dpd(&mut self, spi: u32) {
+        if !self.dpd_unarmed.remove(&spi) {
+            return;
+        }
+        let cfg = self.dpd_cfg.expect("only DPD-configured SPIs are queued");
+        let mut det = DpdDetector::new(cfg);
+        det.on_traffic(self.now_ns);
+        self.dpd.insert(spi, det);
+    }
+
+    /// Quick-mode-rekeys `spi` immediately: fresh keys and counters
+    /// under the builder's suite, derived deterministically from the
+    /// shared `skeyid` and the per-SPI generation counter (so two peer
+    /// gateways performing the same generation derive identical SAs).
+    /// Emits `RekeyStarted` + `RekeyCompleted`.
+    pub fn rekey_now(&mut self, spi: u32) {
+        if self.sadb.outbound(spi).is_none() && self.sadb.inbound(spi).is_none() {
+            return;
+        }
+        self.events.push_back(GatewayEvent::RekeyStarted { spi });
+        let generation = self.rekey_generation.entry(spi).or_insert(0);
+        *generation += 1;
+        let request = RekeyRequest {
+            skeyid: self.skeyid.clone(),
+            nonce_i: rekey_nonce(&self.skeyid, b"ni", spi, *generation),
+            nonce_r: rekey_nonce(&self.skeyid, b"nr", spi, *generation),
+            new_spi: spi,
+            suite: self.suite,
+        };
+        let replacement = rekey(&request).sa;
+        // Tear down the old generation *and* its persistent slots: the
+        // replacement starts a fresh number space, and a stale FETCH
+        // after a post-rekey crash must not leap the new SA to the old
+        // generation's counters.
+        let had = self.remove_and_erase(spi).expect("checked above");
+        if had.outbound.is_some() {
+            let store = (self.make_store)(spi, SaDirection::Outbound);
+            self.sadb
+                .install_outbound(replacement.clone(), store, self.k);
+        }
+        if had.inbound.is_some() {
+            let store = (self.make_store)(spi, SaDirection::Inbound);
+            self.sadb
+                .install_inbound(replacement.clone(), store, self.k, self.w);
+        }
+        self.events.push_back(GatewayEvent::RekeyCompleted {
+            spi,
+            suite: replacement.suite(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Reset and recovery
+    // ------------------------------------------------------------------
+
+    /// The host crashes: every SA loses its volatile counters and
+    /// buffered frames. Traffic pushed while down evaporates
+    /// ([`GatewayEvent::DroppedDown`]).
+    pub fn reset(&mut self) {
+        self.sadb.reset_all();
+    }
+
+    /// SAVE/FETCH recovery of the whole gateway in one call: FETCH +
+    /// `2K` leap + synchronous SAVE on every SA. Emits
+    /// [`GatewayEvent::Recovered`]. Returns the number of SA directions
+    /// recovered.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn recover(&mut self) -> Result<usize, IpsecError> {
+        self.begin_recover()?;
+        self.finish_recover()
+    }
+
+    /// First recovery half: FETCH + leap + issue the synchronous SAVE
+    /// on every down SA. Frames pushed until [`Gateway::finish_recover`]
+    /// are buffered ([`GatewayEvent::Buffered`]).
+    ///
+    /// # Errors
+    ///
+    /// Store failures (the gateway stays down).
+    pub fn begin_recover(&mut self) -> Result<(), IpsecError> {
+        self.sadb.begin_recover_all().map_err(IpsecError::from)
+    }
+
+    /// Second recovery half: the wake-up SAVEs completed. Emits
+    /// `Recovered { sas }` followed by one `Delivered`/`ReplayDropped`
+    /// event per frame buffered during the wake-up (the §3 test: a
+    /// replay stream spanning the reset must surface as `ReplayDropped`
+    /// here, never `Delivered`). Returns the recovered direction count.
+    ///
+    /// # Errors
+    ///
+    /// Store failures (the gateway stays waking; retry).
+    pub fn finish_recover(&mut self) -> Result<usize, IpsecError> {
+        let (sas, buffered) = self.sadb.finish_recover_all()?;
+        self.events.push_back(GatewayEvent::Recovered { sas });
+        for (spi, result) in buffered {
+            let ev = self.event_from_rx(spi, result);
+            self.events.push_back(ev);
+        }
+        Ok(sas)
+    }
+
+    // ------------------------------------------------------------------
+    // Background-save plumbing and introspection
+    // ------------------------------------------------------------------
+
+    /// True iff any SA has a background SAVE in flight (timed drivers
+    /// schedule a completion after the device latency).
+    pub fn pending_save(&self) -> bool {
+        self.sadb
+            .iter_outbound()
+            .any(|(_, o)| o.seq_state().pending_save().is_some())
+            || self
+                .sadb
+                .iter_inbound()
+                .any(|(_, i)| i.seq_state().pending_save().is_some())
+    }
+
+    /// Completes every in-flight background SAVE (the device finished
+    /// writing).
+    ///
+    /// # Errors
+    ///
+    /// Store failures (pending saves are retained for retry).
+    pub fn save_completed(&mut self) -> Result<(), StableError> {
+        for (_, o) in self.sadb.iter_outbound_mut() {
+            if o.seq_state().pending_save().is_some() {
+                o.save_completed()?;
+            }
+        }
+        for (_, i) in self.sadb.iter_inbound_mut() {
+            if i.seq_state().pending_save().is_some() {
+                i.save_completed()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The next sequence number the outbound SA `spi` would send.
+    pub fn next_seq(&self, spi: u32) -> Option<SeqNum> {
+        self.sadb.outbound(spi).map(|o| o.seq_state().next_seq())
+    }
+
+    /// The inbound SA's anti-replay right edge.
+    pub fn right_edge(&self, spi: u32) -> Option<SeqNum> {
+        self.sadb.inbound(spi).map(|i| i.seq_state().right_edge())
+    }
+
+    /// The SA's liveness phase (outbound half preferred when both
+    /// directions are installed; a reset strikes the whole host, so the
+    /// two move together).
+    pub fn phase(&self, spi: u32) -> Option<Phase> {
+        self.sadb
+            .outbound(spi)
+            .map(|o| o.phase())
+            .or_else(|| self.sadb.inbound(spi).map(|i| i.phase()))
+    }
+
+    /// Whether the DPD detector for `spi` is inside the §6 grace window
+    /// (peer presumed down, SAs kept alive awaiting its recovery).
+    /// `None` when DPD is not configured or the SPI unknown.
+    pub fn in_grace(&self, spi: u32) -> Option<bool> {
+        self.dpd.get(&spi).map(|d| d.in_grace())
+    }
+
+    /// Read access to the underlying SADB.
+    pub fn sadb(&self) -> &Sadb<S> {
+        &self.sadb
+    }
+
+    /// Mutable access to the underlying SADB — escape hatch for tests
+    /// and store fault injection; normal operation goes through the
+    /// event API.
+    pub fn sadb_mut(&mut self) -> &mut Sadb<S> {
+        &mut self.sadb
+    }
+}
+
+/// Deterministic quick-mode nonce: both peers derive the same nonce for
+/// the same (skeyid, role, spi, generation), so policy rekeys stay in
+/// lockstep without an extra exchange being modelled.
+fn rekey_nonce(skeyid: &[u8], role: &[u8], spi: u32, generation: u32) -> [u8; 16] {
+    let mut msg = Vec::with_capacity(role.len() + 8);
+    msg.extend_from_slice(role);
+    msg.extend_from_slice(&spi.to_be_bytes());
+    msg.extend_from_slice(&generation.to_be_bytes());
+    let h = hmac_sha256(skeyid, &msg);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&h[..16]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(suite: CryptoSuite) -> (Gateway<MemStable>, Gateway<MemStable>) {
+        let mut p = GatewayBuilder::in_memory()
+            .suite(suite)
+            .save_interval(10)
+            .window(64)
+            .build();
+        let mut q = GatewayBuilder::in_memory()
+            .suite(suite)
+            .save_interval(10)
+            .window(64)
+            .build();
+        p.add_peer(0x11, b"gw-test-master");
+        q.add_peer(0x11, b"gw-test-master");
+        (p, q)
+    }
+
+    #[test]
+    fn traffic_flows_and_events_carry_payloads() {
+        let (mut p, mut q) = pair(CryptoSuite::default());
+        for i in 0..20u32 {
+            let f = p
+                .protect(0x11, format!("m{i}").as_bytes())
+                .unwrap()
+                .unwrap();
+            assert_eq!(f.seq.value(), i as u64 + 1);
+            q.push_wire(&f.wire).unwrap();
+        }
+        let events = q.poll_events();
+        assert_eq!(events.len(), 20);
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                GatewayEvent::Delivered { spi, seq, payload } => {
+                    assert_eq!(*spi, 0x11);
+                    assert_eq!(seq.value(), i as u64 + 1);
+                    assert_eq!(&payload[..], format!("m{i}").as_bytes());
+                }
+                other => panic!("packet {i}: {other:?}"),
+            }
+        }
+        assert_eq!(q.pending_events(), 0);
+    }
+
+    #[test]
+    fn batch_push_matches_sequential_push() {
+        let (mut p, mut q_seq) = pair(CryptoSuite::default());
+        let (_, mut q_batch) = pair(CryptoSuite::default());
+        let mut wires = Vec::new();
+        for i in 0..30u32 {
+            wires.push(
+                p.protect(0x11, format!("b{i}").as_bytes())
+                    .unwrap()
+                    .unwrap()
+                    .wire,
+            );
+        }
+        wires.push(wires[4].clone()); // replay
+        let mut forged = wires[6].to_vec();
+        let n = forged.len();
+        forged[n - 1] ^= 0x40;
+        wires.push(Bytes::from(forged));
+        for w in &wires {
+            q_seq.push_wire(w).unwrap();
+        }
+        q_batch.push_wire_batch(&wires).unwrap();
+        assert_eq!(q_seq.poll_events(), q_batch.poll_events());
+    }
+
+    #[test]
+    fn forged_and_foreign_frames_become_events_not_errors() {
+        let (mut p, mut q) = pair(CryptoSuite::default());
+        let f = p.protect(0x11, b"x").unwrap().unwrap();
+        let mut forged = f.wire.to_vec();
+        forged[9] ^= 0xFF;
+        q.push_wire(&Bytes::from(forged)).unwrap();
+        let mut foreign = f.wire.to_vec();
+        foreign[3] = 0x99;
+        q.push_wire(&Bytes::from(foreign)).unwrap();
+        q.push_wire(&Bytes::copy_from_slice(&[1, 2])).unwrap();
+        assert_eq!(
+            q.poll_events(),
+            vec![
+                GatewayEvent::AuthFailed { spi: 0x11 },
+                GatewayEvent::UnknownSa { spi: 0x99 },
+                GatewayEvent::AuthFailed { spi: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn protect_on_unknown_spi_errors() {
+        let (mut p, _) = pair(CryptoSuite::default());
+        assert!(matches!(
+            p.protect(0xDEAD, b"x"),
+            Err(IpsecError::UnknownSa { spi: 0xDEAD })
+        ));
+    }
+
+    #[test]
+    fn rekey_now_replaces_keys_and_counters() {
+        let (mut p, mut q) = pair(CryptoSuite::default());
+        let old = p.protect(0x11, b"old traffic").unwrap().unwrap();
+        q.push_wire(&old.wire).unwrap();
+        p.rekey_now(0x11);
+        q.rekey_now(0x11);
+        let events = p.poll_events();
+        assert!(events.contains(&GatewayEvent::RekeyStarted { spi: 0x11 }));
+        assert!(matches!(
+            events.last(),
+            Some(GatewayEvent::RekeyCompleted { spi: 0x11, .. })
+        ));
+        q.poll_events();
+        // The replay library died with the old keys.
+        q.push_wire(&old.wire).unwrap();
+        assert_eq!(
+            q.poll_events(),
+            vec![GatewayEvent::AuthFailed { spi: 0x11 }]
+        );
+        // Fresh traffic flows from sequence 1 under the new keys.
+        let fresh = p.protect(0x11, b"new traffic").unwrap().unwrap();
+        assert_eq!(fresh.seq.value(), 1);
+        q.push_wire(&fresh.wire).unwrap();
+        assert!(matches!(q.poll_events()[0], GatewayEvent::Delivered { .. }));
+    }
+
+    #[test]
+    fn directional_peers_interoperate_but_reject_reflection() {
+        let mut a = GatewayBuilder::in_memory().build();
+        let mut b = GatewayBuilder::in_memory().build();
+        a.add_peer_between(9, b"m", b"gw-a", b"gw-b");
+        b.add_peer_between(9, b"m", b"gw-b", b"gw-a");
+        let f = a.protect(9, b"to b").unwrap().unwrap();
+        // The adversary reflects a's own frame back at a: the inbound SA
+        // holds the other direction's keys, so authentication fails.
+        a.push_wire(&f.wire).unwrap();
+        assert_eq!(a.poll_events(), vec![GatewayEvent::AuthFailed { spi: 9 }]);
+        // The intended receiver accepts it, and the reverse direction
+        // interoperates too.
+        b.push_wire(&f.wire).unwrap();
+        assert!(matches!(
+            b.poll_events()[..],
+            [GatewayEvent::Delivered { .. }]
+        ));
+        let g = b.protect(9, b"to a").unwrap().unwrap();
+        a.push_wire(&g.wire).unwrap();
+        assert!(matches!(
+            a.poll_events()[..],
+            [GatewayEvent::Delivered { .. }]
+        ));
+    }
+
+    #[test]
+    fn rekey_policy_fires_from_tick() {
+        let mut p = GatewayBuilder::in_memory()
+            .save_interval(10)
+            .rekey_after(SaLifetime {
+                max_packets: 5,
+                max_bytes: u64::MAX,
+            })
+            .build();
+        p.add_peer(0x22, b"policy-master");
+        for _ in 0..5 {
+            p.protect(0x22, b"use it up").unwrap().unwrap();
+        }
+        p.tick(1_000);
+        let events = p.poll_events();
+        assert_eq!(
+            events,
+            vec![
+                GatewayEvent::RekeyStarted { spi: 0x22 },
+                GatewayEvent::RekeyCompleted {
+                    spi: 0x22,
+                    suite: CryptoSuite::default()
+                },
+            ]
+        );
+        // Counters restarted: the SA is usable again from sequence 1.
+        let f = p.protect(0x22, b"gen 2").unwrap().unwrap();
+        assert_eq!(f.seq.value(), 1);
+    }
+
+    #[test]
+    fn dpd_probes_then_tears_down_silent_peer() {
+        let mut p = GatewayBuilder::in_memory()
+            .dpd(DpdConfig {
+                idle_timeout_ns: 1_000,
+                probe_interval_ns: 500,
+                max_probes: 2,
+                grace_period_ns: 5_000,
+            })
+            .build();
+        p.add_peer(0x33, b"dpd-master");
+        assert_eq!(p.poll_events(), vec![]);
+        // The detector arms at the first tick — a later first tick must
+        // not count install-to-tick wall time as peer silence.
+        p.tick(500);
+        assert_eq!(p.poll_events(), vec![], "no phantom idle at arming");
+        p.tick(1_500);
+        assert_eq!(p.poll_events(), vec![GatewayEvent::ProbeDue { spi: 0x33 }]);
+        p.tick(2_100); // probe 2
+        p.tick(2_700); // presumed down: grace starts
+        assert_eq!(p.in_grace(0x33), Some(true));
+        p.poll_events();
+        p.tick(10_000); // grace expired
+        assert_eq!(p.poll_events(), vec![GatewayEvent::PeerDead { spi: 0x33 }]);
+        assert!(matches!(
+            p.protect(0x33, b"gone"),
+            Err(IpsecError::UnknownSa { spi: 0x33 })
+        ));
+    }
+
+    #[test]
+    fn authenticated_traffic_keeps_dpd_alive() {
+        let dpd_cfg = DpdConfig {
+            idle_timeout_ns: 1_000,
+            probe_interval_ns: 500,
+            max_probes: 1,
+            grace_period_ns: 2_000,
+        };
+        let mut p = GatewayBuilder::in_memory().dpd(dpd_cfg).build();
+        let mut q = GatewayBuilder::in_memory().build();
+        p.add_peer(0x44, b"alive-master");
+        q.add_peer(0x44, b"alive-master");
+        for t in 0..10u64 {
+            let f = q.protect(0x44, b"keepalive").unwrap().unwrap();
+            p.tick(t * 900);
+            p.push_wire(&f.wire).unwrap();
+        }
+        assert!(
+            !p.poll_events()
+                .iter()
+                .any(|e| matches!(e, GatewayEvent::ProbeDue { .. })),
+            "traffic within the idle timeout must suppress probes"
+        );
+    }
+
+    #[test]
+    fn down_gateway_drops_then_recovery_reports_order() {
+        let (mut p, mut q) = pair(CryptoSuite::default());
+        let mut recorded = Vec::new();
+        for i in 0..30u32 {
+            let f = p
+                .protect(0x11, format!("r{i}").as_bytes())
+                .unwrap()
+                .unwrap();
+            recorded.push(f.wire.clone());
+            q.push_wire(&f.wire).unwrap();
+        }
+        q.save_completed().unwrap();
+        q.poll_events();
+        q.reset();
+        q.push_wire(&recorded[0]).unwrap();
+        assert_eq!(
+            q.poll_events(),
+            vec![GatewayEvent::DroppedDown { spi: 0x11 }]
+        );
+        q.begin_recover().unwrap();
+        q.push_wire(&recorded[1]).unwrap();
+        assert_eq!(q.poll_events(), vec![GatewayEvent::Buffered { spi: 0x11 }]);
+        let sas = q.finish_recover().unwrap();
+        assert_eq!(sas, 2);
+        let events = q.poll_events();
+        assert!(matches!(events[0], GatewayEvent::Recovered { sas: 2 }));
+        assert!(
+            matches!(events[1], GatewayEvent::ReplayDropped { .. }),
+            "buffered replay resolved after recovery: {events:?}"
+        );
+    }
+}

@@ -6,7 +6,60 @@
 //! key exchange whose cost motivates rescuing SAs instead of rebuilding
 //! them (RFC 2408/2412), dead-peer detection (the drafts in the paper's
 //! references \[3\] and \[7\]), and the §6 bidirectional recovery scheme.
-//! This crate builds all of it on top of [`anti_replay`]:
+//!
+//! # The `Gateway` engine
+//!
+//! The primary public API is [`Gateway`], an event-driven engine that
+//! owns the whole receiver-under-reset story — SADB, datapath,
+//! SAVE/FETCH recovery, DPD, and lifetime-driven rekeys — behind four
+//! verbs: [`Gateway::protect`], [`Gateway::push_wire`] (and
+//! [`Gateway::push_wire_batch`] for NIC-queue drains),
+//! [`Gateway::tick`], and [`Gateway::poll_events`]. Configuration is
+//! fixed up front in [`GatewayBuilder`] (suite, window, save interval,
+//! store factory, rekey/DPD policies); every per-packet and lifecycle
+//! verdict surfaces as a [`GatewayEvent`].
+//!
+//! ```
+//! use reset_ipsec::{GatewayBuilder, GatewayEvent};
+//!
+//! // Two gateways sharing one SA pair (normally keyed via run_handshake).
+//! let mut p = GatewayBuilder::in_memory().save_interval(25).window(64).build();
+//! let mut q = GatewayBuilder::in_memory().save_interval(25).window(64).build();
+//! p.add_peer(0x1001, b"master-secret");
+//! q.add_peer(0x1001, b"master-secret");
+//!
+//! let frame = p.protect(0x1001, b"payload")?.expect("endpoint up");
+//! q.push_wire(&frame.wire)?;
+//! // A replay of the same bytes authenticates but is rejected:
+//! q.push_wire(&frame.wire)?;
+//! let events = q.poll_events();
+//! assert!(matches!(events[0], GatewayEvent::Delivered { .. }));
+//! assert!(matches!(events[1], GatewayEvent::ReplayDropped { .. }));
+//! # Ok::<(), reset_ipsec::IpsecError>(())
+//! ```
+//!
+//! ## Migrating from the free-standing style
+//!
+//! Earlier revisions of this crate were driven by hand-wiring the layer
+//! types per use: `Outbound::new(sa, store, k)` +
+//! `Inbound::new(sa, store, k, w)` (or a [`Sadb`] of them), with
+//! `tx.protect(..)` / `rx.process(..)` / `sadb.recover_all()` calls and
+//! per-call `match` on [`RxResult`]. That style still works — the layer
+//! types below remain public, and [`Gateway`] is a facade over them,
+//! not a replacement — but new code should prefer the engine:
+//!
+//! | free-standing (PR 1/2 style)            | `Gateway` engine                        |
+//! |-----------------------------------------|-----------------------------------------|
+//! | `Outbound::new` / `Inbound::new` / `Sadb::install_*` | [`GatewayBuilder`] + [`Gateway::add_peer`] / [`Gateway::install_pair`] |
+//! | `tx.protect(payload)` → `Bytes`         | [`Gateway::protect`] → [`SentFrame`] (seq + bytes) |
+//! | `rx.process(..)` → `match RxResult`     | [`Gateway::push_wire`] + [`Gateway::poll_events`] |
+//! | `Inbound::process_batch` / `Sadb::process_batch` | [`Gateway::push_wire_batch`]   |
+//! | `reset()` + `wake_up()` / `recover_all` | [`Gateway::reset`] + [`Gateway::recover`] (or the `begin`/`finish` halves) |
+//! | `DpdDetector::poll` + `rekey_due` + `rekey` by hand | [`GatewayBuilder::dpd`] / [`GatewayBuilder::rekey_after`] + [`Gateway::tick`] |
+//!
+//! # Layer types
+//!
+//! The engine is built from these, all public:
 //!
 //! * [`SecurityAssociation`] / [`SaKeys`] / [`SaLifetime`] — SA state;
 //!   only the counters change per packet, which is the whole point.
@@ -21,24 +74,6 @@
 //! * [`IpsecPeer`] / [`PeerEvent`] — bidirectional peer with the secured
 //!   recovery notify ("I am up again; my counter is now X") that a
 //!   replayed copy cannot spoof.
-//!
-//! # Examples
-//!
-//! ```
-//! use reset_ipsec::{Inbound, Outbound, RxResult, SaKeys, SecurityAssociation};
-//! use reset_stable::MemStable;
-//!
-//! // Establish an SA (normally via run_handshake) and move data.
-//! let sa = SecurityAssociation::new(1, SaKeys::derive(b"ikm", b"a->b"));
-//! let mut tx = Outbound::new(sa.clone(), MemStable::new(), 25);
-//! let mut rx = Inbound::new(sa, MemStable::new(), 25, 64);
-//!
-//! let wire = tx.protect(b"payload")?.expect("up");
-//! assert!(rx.process(&wire)?.is_delivered());
-//! // A replay of the same bytes authenticates but is rejected:
-//! assert!(!rx.process(&wire)?.is_delivered());
-//! # Ok::<(), reset_ipsec::IpsecError>(())
-//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +81,7 @@
 mod dpd;
 mod error;
 mod esp;
+mod gateway;
 mod ike;
 mod recovery;
 mod rekey;
@@ -55,6 +91,7 @@ mod sadb;
 pub use dpd::{DpdAction, DpdConfig, DpdDetector};
 pub use error::IpsecError;
 pub use esp::{Inbound, Outbound, RxReject, RxResult};
+pub use gateway::{Gateway, GatewayBuilder, GatewayEvent, SaDirection, SentFrame};
 pub use ike::{
     run_handshake, run_handshake_mismatched_psk, run_handshake_with_suites, CostModel,
     EstablishedPair, HandshakeCost, IkeMessage,
@@ -62,4 +99,4 @@ pub use ike::{
 pub use recovery::{IpsecPeer, PeerEvent};
 pub use rekey::{rekey, rekey_auth_tag, rekey_due, RekeyOutcome, RekeyRequest};
 pub use sa::{CryptoSuite, SaKeys, SaLifetime, SaUsage, SecurityAssociation};
-pub use sadb::Sadb;
+pub use sadb::{RemovedSa, Sadb};

@@ -212,18 +212,19 @@ mod tests {
         assert_ne!(rekey_auth_tag(&r), t0);
         assert_ne!(rekey_auth_tag(&req(2)), t0);
         let mut s = req(1);
-        s.suite = CryptoSuite::ChaCha20Poly1305;
+        s.suite = CryptoSuite::HmacSha256WithKeystream;
         assert_ne!(rekey_auth_tag(&s), t0, "suite id must be bound");
         assert_eq!(rekey_auth_tag(&req(1)), t0);
     }
 
     #[test]
     fn suite_migration_derives_distinct_keys_and_installs_suite() {
-        let legacy = rekey(&req(0x70));
+        let aead = rekey(&req(0x70)); // default suite: the AEAD
         let mut r = req(0x70);
-        r.suite = CryptoSuite::ChaCha20Poly1305;
-        let aead = rekey(&r);
+        r.suite = CryptoSuite::HmacSha256WithKeystream;
+        let legacy = rekey(&r);
         assert_eq!(aead.sa.suite(), CryptoSuite::ChaCha20Poly1305);
+        assert_eq!(legacy.sa.suite(), CryptoSuite::HmacSha256WithKeystream);
         assert_ne!(
             legacy.sa.keys(),
             aead.sa.keys(),

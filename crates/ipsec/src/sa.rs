@@ -16,22 +16,27 @@ use crate::IpsecError;
 /// carry the [`CryptoSuite::wire_id`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CryptoSuite {
-    /// HMAC-SHA-256-96 integrity + HMAC-CTR keystream confidentiality.
-    #[default]
+    /// HMAC-SHA-256-96 integrity + HMAC-CTR keystream confidentiality
+    /// (the original transform; still negotiable).
     HmacSha256WithKeystream,
     /// Integrity only (ESP with null encryption, RFC 2410 style).
     HmacSha256AuthOnly,
     /// ChaCha20-Poly1305 AEAD (RFC 8439): one transform providing both
-    /// confidentiality and a 128-bit tag.
+    /// confidentiality and a 128-bit tag. The default — it runs the
+    /// batched receive pipeline ~5× faster than the HMAC+keystream
+    /// transform (see `BENCH_datapath.json`).
+    #[default]
     ChaCha20Poly1305,
 }
 
 impl CryptoSuite {
-    /// Every negotiable suite, in default preference order.
+    /// Every negotiable suite, in default preference order (the AEAD
+    /// first: it is both the fastest and the only single-pass
+    /// transform).
     pub const ALL: &'static [CryptoSuite] = &[
+        CryptoSuite::ChaCha20Poly1305,
         CryptoSuite::HmacSha256WithKeystream,
         CryptoSuite::HmacSha256AuthOnly,
-        CryptoSuite::ChaCha20Poly1305,
     ];
 
     /// The transform identifier carried in IKE proposals and rekey
@@ -337,7 +342,8 @@ mod tests {
     #[test]
     fn cipher_metadata_tracks_suite() {
         let keys = SaKeys::derive(b"s", b"m");
-        let legacy = SecurityAssociation::new(1, keys.clone());
+        let legacy = SecurityAssociation::new(1, keys.clone())
+            .with_suite(CryptoSuite::HmacSha256WithKeystream);
         assert_eq!(legacy.cipher().icv_len(), 12);
         assert!(legacy.cipher().encrypts());
         let aead = legacy.clone().with_suite(CryptoSuite::ChaCha20Poly1305);
@@ -346,6 +352,14 @@ mod tests {
         let auth_only =
             SecurityAssociation::new(1, keys).with_suite(CryptoSuite::HmacSha256AuthOnly);
         assert!(!auth_only.cipher().encrypts());
+    }
+
+    #[test]
+    fn default_suite_is_the_aead() {
+        let keys = SaKeys::derive(b"s", b"d");
+        let sa = SecurityAssociation::new(1, keys);
+        assert_eq!(sa.suite(), CryptoSuite::ChaCha20Poly1305);
+        assert_eq!(CryptoSuite::ALL[0], CryptoSuite::default());
     }
 
     #[test]

@@ -6,17 +6,32 @@
 //! object: after a reboot, the IETF remedy renegotiates *every* SA, while
 //! SAVE/FETCH wakes them all up with one FETCH + SAVE each.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use reset_stable::{StableError, StableStore};
 
-use anti_replay::SeqNum;
+use anti_replay::{Phase, SeqNum};
 
 use crate::esp::{Inbound, Outbound, RxReject, RxResult};
 use crate::IpsecError;
 
+/// Both directional endpoints torn out of the database by
+/// [`Sadb::remove`] — whichever of the two existed for the SPI.
+#[derive(Debug)]
+pub struct RemovedSa<S> {
+    /// The outbound endpoint, if one was installed.
+    pub outbound: Option<Outbound<S>>,
+    /// The inbound endpoint, if one was installed.
+    pub inbound: Option<Inbound<S>>,
+}
+
 /// The SA database of one host.
+///
+/// SPIs are kept ordered (`BTreeMap`), so every whole-database sweep —
+/// [`Sadb::recover_all`], [`Sadb::iter_outbound`], the wake-up event
+/// order a [`crate::Gateway`] reports — is deterministic, which the
+/// seeded harness scenarios rely on.
 ///
 /// # Examples
 ///
@@ -33,16 +48,30 @@ use crate::IpsecError;
 /// ```
 #[derive(Debug, Default)]
 pub struct Sadb<S> {
-    outbound: HashMap<u32, Outbound<S>>,
-    inbound: HashMap<u32, Inbound<S>>,
+    outbound: BTreeMap<u32, Outbound<S>>,
+    inbound: BTreeMap<u32, Inbound<S>>,
+}
+
+impl<S> Sadb<S> {
+    /// Total number of installed SA endpoints (outbound + inbound; an SA
+    /// pair installed in both directions counts twice, matching what
+    /// [`Sadb::recover_all`] reports).
+    pub fn len(&self) -> usize {
+        self.outbound.len() + self.inbound.len()
+    }
+
+    /// True iff no SA is installed in either direction.
+    pub fn is_empty(&self) -> bool {
+        self.outbound.is_empty() && self.inbound.is_empty()
+    }
 }
 
 impl<S: StableStore> Sadb<S> {
     /// An empty database.
     pub fn new() -> Self {
         Sadb {
-            outbound: HashMap::new(),
-            inbound: HashMap::new(),
+            outbound: BTreeMap::new(),
+            inbound: BTreeMap::new(),
         }
     }
 
@@ -82,6 +111,16 @@ impl<S: StableStore> Sadb<S> {
         self.inbound.len()
     }
 
+    /// Looks up an outbound SA (read-only).
+    pub fn outbound(&self, spi: u32) -> Option<&Outbound<S>> {
+        self.outbound.get(&spi)
+    }
+
+    /// Looks up an inbound SA (read-only).
+    pub fn inbound(&self, spi: u32) -> Option<&Inbound<S>> {
+        self.inbound.get(&spi)
+    }
+
     /// Looks up an outbound SA.
     pub fn outbound_mut(&mut self, spi: u32) -> Option<&mut Outbound<S>> {
         self.outbound.get_mut(&spi)
@@ -92,12 +131,38 @@ impl<S: StableStore> Sadb<S> {
         self.inbound.get_mut(&spi)
     }
 
-    /// Removes both directions of `spi` (SA teardown). Returns whether
-    /// anything was removed.
-    pub fn remove(&mut self, spi: u32) -> bool {
-        let a = self.outbound.remove(&spi).is_some();
-        let b = self.inbound.remove(&spi).is_some();
-        a || b
+    /// Iterates over outbound endpoints in SPI order.
+    pub fn iter_outbound(&self) -> impl Iterator<Item = (u32, &Outbound<S>)> {
+        self.outbound.iter().map(|(&spi, o)| (spi, o))
+    }
+
+    /// Iterates over inbound endpoints in SPI order.
+    pub fn iter_inbound(&self) -> impl Iterator<Item = (u32, &Inbound<S>)> {
+        self.inbound.iter().map(|(&spi, i)| (spi, i))
+    }
+
+    /// Mutably iterates over outbound endpoints in SPI order (save
+    /// completion sweeps, fault injection).
+    pub fn iter_outbound_mut(&mut self) -> impl Iterator<Item = (u32, &mut Outbound<S>)> {
+        self.outbound.iter_mut().map(|(&spi, o)| (spi, o))
+    }
+
+    /// Mutably iterates over inbound endpoints in SPI order.
+    pub fn iter_inbound_mut(&mut self) -> impl Iterator<Item = (u32, &mut Inbound<S>)> {
+        self.inbound.iter_mut().map(|(&spi, i)| (spi, i))
+    }
+
+    /// Removes both directions of `spi` (SA teardown). Returns the
+    /// removed endpoints — e.g. to erase their persistent slots, which a
+    /// correct teardown must do before the SPI can be reused — or `None`
+    /// if the SPI was not installed in either direction.
+    pub fn remove(&mut self, spi: u32) -> Option<RemovedSa<S>> {
+        let outbound = self.outbound.remove(&spi);
+        let inbound = self.inbound.remove(&spi);
+        if outbound.is_none() && inbound.is_none() {
+            return None;
+        }
+        Some(RemovedSa { outbound, inbound })
     }
 
     /// Protects a payload on the outbound SA `spi`.
@@ -119,17 +184,36 @@ impl<S: StableStore> Sadb<S> {
     /// [`IpsecError::UnknownSa`] for an unknown SPI; datapath errors
     /// otherwise.
     pub fn process(&mut self, wire: &[u8]) -> Result<RxResult, IpsecError> {
-        if wire.len() < 4 {
-            return Err(IpsecError::Wire(reset_wire::WireError::Truncated {
+        let spi = reset_wire::peek_spi(wire).ok_or(IpsecError::Wire(
+            reset_wire::WireError::Truncated {
                 needed: 4,
                 got: wire.len(),
-            }));
-        }
-        let spi = u32::from_be_bytes(wire[0..4].try_into().expect("fixed"));
+            },
+        ))?;
         self.inbound
             .get_mut(&spi)
             .ok_or(IpsecError::UnknownSa { spi })?
             .process(wire)
+    }
+
+    /// [`Sadb::process`] for shared buffers: auth-only payloads come
+    /// back as zero-copy slices of `wire` and wake-up buffering is a
+    /// reference-count bump (see [`Inbound::process_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sadb::process`].
+    pub fn process_bytes(&mut self, wire: &Bytes) -> Result<RxResult, IpsecError> {
+        let spi = reset_wire::peek_spi(wire).ok_or(IpsecError::Wire(
+            reset_wire::WireError::Truncated {
+                needed: 4,
+                got: wire.len(),
+            },
+        ))?;
+        self.inbound
+            .get_mut(&spi)
+            .ok_or(IpsecError::UnknownSa { spi })?
+            .process_bytes(wire)
     }
 
     /// Drains a queue of inbound packets, in arrival order, with one
@@ -172,7 +256,7 @@ impl<S: StableStore> Sadb<S> {
         let mut out = Vec::with_capacity(wires.len());
         let mut i = 0;
         while i < wires.len() {
-            if wires[i].len() < 4 {
+            let Some(spi) = reset_wire::peek_spi(&wires[i]) else {
                 out.push(RxResult::Rejected(RxReject::Wire(
                     reset_wire::WireError::Truncated {
                         needed: 4,
@@ -181,8 +265,7 @@ impl<S: StableStore> Sadb<S> {
                 )));
                 i += 1;
                 continue;
-            }
-            let spi = u32::from_be_bytes(wires[i][0..4].try_into().expect("fixed"));
+            };
             // Extend the run of consecutive packets for the same SA.
             let mut j = i + 1;
             while j < wires.len() && wires[j].len() >= 4 && wires[j][0..4] == wires[i][0..4] {
@@ -227,6 +310,58 @@ impl<S: StableStore> Sadb<S> {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// First half of [`Sadb::recover_all`] for timed drivers: FETCH +
+    /// leap + issue the synchronous wake-up SAVE on every SA that is
+    /// down. Inbound traffic arriving before
+    /// [`Sadb::finish_recover_all`] is buffered per SA.
+    ///
+    /// # Errors
+    ///
+    /// First store failure aborts the sweep (already-begun SAs stay
+    /// `Waking`; the sweep may be retried).
+    pub fn begin_recover_all(&mut self) -> Result<(), StableError> {
+        for o in self.outbound.values_mut() {
+            if o.phase() == Phase::Down {
+                o.begin_wakeup()?;
+            }
+        }
+        for i in self.inbound.values_mut() {
+            if i.phase() == Phase::Down {
+                i.begin_wakeup()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Second half of [`Sadb::recover_all`]: completes the wake-up SAVE
+    /// on every waking SA, rebuilds the windows at the leaped edges and
+    /// classifies the packets buffered in between. Returns the number of
+    /// SA directions recovered and, per inbound SA in SPI order, the
+    /// buffered packets' outcomes in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// First store failure aborts the sweep.
+    #[allow(clippy::type_complexity)]
+    pub fn finish_recover_all(&mut self) -> Result<(usize, Vec<(u32, RxResult)>), StableError> {
+        let mut n = 0;
+        for o in self.outbound.values_mut() {
+            if o.phase() == Phase::Waking {
+                o.finish_wakeup()?;
+                n += 1;
+            }
+        }
+        let mut buffered = Vec::new();
+        for (&spi, i) in self.inbound.iter_mut() {
+            if i.phase() == Phase::Waking {
+                let outcomes = i.finish_wakeup()?;
+                buffered.extend(outcomes.into_iter().map(|r| (spi, r)));
+                n += 1;
+            }
+        }
+        Ok((n, buffered))
     }
 
     /// Iterates over outbound `(spi, next_seq)` pairs.
@@ -292,9 +427,14 @@ mod tests {
     #[test]
     fn remove_tears_down_both_directions() {
         let mut db = sadb_with(2);
-        assert!(db.remove(1));
-        assert!(!db.remove(1), "second remove is a no-op");
+        assert_eq!(db.len(), 4);
+        let removed = db.remove(1).expect("spi 1 installed");
+        assert_eq!(removed.outbound.expect("outbound half").sa().spi(), 1);
+        assert_eq!(removed.inbound.expect("inbound half").sa().spi(), 1);
+        assert!(db.remove(1).is_none(), "second remove is a no-op");
         assert_eq!(db.outbound_count(), 1);
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
         assert!(db.protect(1, b"x").is_err());
     }
 
@@ -392,9 +532,51 @@ mod tests {
     fn outbound_seqs_iterates() {
         let mut db = sadb_with(3);
         db.protect(1, b"x").unwrap();
-        let seqs: HashMap<u32, SeqNum> = db.outbound_seqs().collect();
+        let seqs: std::collections::HashMap<u32, SeqNum> = db.outbound_seqs().collect();
         assert_eq!(seqs.len(), 3);
         assert_eq!(seqs[&1], SeqNum::new(2));
         assert_eq!(seqs[&2], SeqNum::new(1));
+    }
+
+    #[test]
+    fn iterators_walk_spis_in_order() {
+        let mut db = Sadb::new();
+        for &spi in &[9u32, 3, 7, 1] {
+            db.install_outbound(sa(spi), MemStable::new(), 10);
+            db.install_inbound(sa(spi), MemStable::new(), 10, 64);
+        }
+        let outs: Vec<u32> = db.iter_outbound().map(|(spi, _)| spi).collect();
+        let ins: Vec<u32> = db.iter_inbound().map(|(spi, _)| spi).collect();
+        assert_eq!(outs, vec![1, 3, 7, 9], "deterministic SPI order");
+        assert_eq!(ins, outs);
+    }
+
+    #[test]
+    fn split_recovery_matches_atomic_recover_all() {
+        let mut db = sadb_with(4);
+        for spi in 1..=4u32 {
+            for _ in 0..15 {
+                let w = db.protect(spi, b"data").unwrap().unwrap();
+                db.process(&w).unwrap();
+            }
+            db.outbound_mut(spi).unwrap().save_completed().unwrap();
+            db.inbound_mut(spi).unwrap().save_completed().unwrap();
+        }
+        db.reset_all();
+        db.begin_recover_all().unwrap();
+        // A packet arriving mid-recovery is buffered, then classified.
+        let w = {
+            let mut other = sadb_with(4);
+            for _ in 0..40 {
+                other.protect(2, b"ahead").unwrap();
+            }
+            other.protect(2, b"fresh").unwrap().unwrap()
+        };
+        assert_eq!(db.process(&w).unwrap(), RxResult::Buffered);
+        let (recovered, buffered) = db.finish_recover_all().unwrap();
+        assert_eq!(recovered, 8, "4 SAs x 2 directions");
+        assert_eq!(buffered.len(), 1);
+        assert_eq!(buffered[0].0, 2);
+        assert!(buffered[0].1.is_delivered(), "{buffered:?}");
     }
 }

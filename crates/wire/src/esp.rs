@@ -396,6 +396,14 @@ pub fn check_frame_length(wire: &[u8], overhead: usize) -> Result<(u32, u32, usi
     Ok((spi, seq_lo, declared))
 }
 
+/// Reads the SPI from a frame's fixed header without verifying anything
+/// — the pre-crypto dispatch step every demultiplexer (SADB, gateway)
+/// performs. Returns `None` for frames too short to carry an SPI.
+pub fn peek_spi(wire: &[u8]) -> Option<u32> {
+    wire.get(0..4)
+        .map(|b| u32::from_be_bytes(b.try_into().expect("fixed")))
+}
+
 /// Reconstructs the full 64-bit sequence number from the wire's low
 /// half and the implicit ESN high half — the one definition every
 /// verification and decryption site shares.

@@ -1,7 +1,7 @@
 //! Calibrate the SAVE interval for this machine, the §4 way.
 //!
 //! ```text
-//! cargo run --release -p reset-harness --example calibrate
+//! cargo run --release -p system-tests --example calibrate
 //! ```
 //!
 //! The paper picks `K ≥ ⌈t_save / t_msg⌉` — the maximum number of
@@ -13,8 +13,7 @@
 use std::time::Instant;
 
 use reset_harness::experiments::t4;
-use reset_ipsec::{Outbound, SaKeys, SecurityAssociation};
-use reset_stable::MemStable;
+use reset_ipsec::GatewayBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== SAVE-interval calibration on this host ===\n");
@@ -26,21 +25,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t_save_ns as f64 / 1e3
     );
 
-    // 2. t_msg: time to produce one protected 1000-byte packet (seal +
-    //    keystream + counter bookkeeping), the analogue of the paper's
-    //    "sending a 1000-byte message".
-    let keys = SaKeys::derive(b"calibration", b"tx");
-    let sa = SecurityAssociation::new(1, keys);
-    let mut tx = Outbound::new(sa, MemStable::new(), u64::MAX >> 1);
+    // 2. t_msg: time to produce one protected 1000-byte packet through
+    //    the Gateway engine (seal under the default AEAD suite + counter
+    //    bookkeeping), the analogue of the paper's "sending a 1000-byte
+    //    message".
+    let mut gw = GatewayBuilder::in_memory()
+        .save_interval(u64::MAX >> 1)
+        .build();
+    gw.add_peer(1, b"calibration-master");
     let payload = vec![0xAB; 1000];
     // Warm up.
     for _ in 0..100 {
-        let _ = tx.protect(&payload)?;
+        let _ = gw.protect(1, &payload)?;
     }
     let n = 2_000u32;
     let t0 = Instant::now();
     for _ in 0..n {
-        let _ = tx.protect(&payload)?;
+        let _ = gw.protect(1, &payload)?;
     }
     let t_msg_ns = (t0.elapsed().as_nanos() as u64 / n as u64).max(1);
     println!(

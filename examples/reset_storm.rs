@@ -1,19 +1,20 @@
 //! Reset storm: repeated crashes of both peers under lossy traffic and
-//! continuous replay noise.
+//! continuous replay noise — over real ESP frames.
 //!
 //! ```text
-//! cargo run -p reset-harness --example reset_storm
+//! cargo run -p system-tests --example reset_storm
 //! ```
 //!
-//! Stress-cases the convergence theorem: eight resets (both sides,
-//! overlapping), 5% loss, 5% duplication, and an adversary injecting
-//! recorded packets every 200 µs — including the §4 "double reset before
-//! the first SAVE" pattern (two resets back to back). The monitor checks
-//! after every event that no replay is accepted and all losses stay
-//! bounded.
+//! Stress-cases the convergence theorem on the `Gateway` engine: eight
+//! resets (both sides, overlapping), 5% loss, 5% duplication, and an
+//! adversary injecting recorded ciphertext every 200 µs — including the
+//! §4 "double reset before the first SAVE" pattern (two resets back to
+//! back). The monitor checks after every event that no replay is
+//! accepted and all losses stay bounded.
 
 use reset_channel::LinkConfig;
-use reset_harness::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig};
+use reset_harness::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig, Transport};
+use reset_ipsec::CryptoSuite;
 use reset_sim::{SimDuration, SimTime};
 
 fn main() {
@@ -21,6 +22,9 @@ fn main() {
     let cfg = ScenarioConfig {
         seed: 7,
         protocol: Protocol::SaveFetch,
+        transport: Transport::Esp {
+            suite: CryptoSuite::default(),
+        },
         kp: k,
         kq: k,
         duration: SimDuration::from_millis(40),
@@ -53,7 +57,11 @@ fn main() {
     };
     let out = run_scenario(cfg);
 
-    println!("=== reset storm over {} of traffic ===", out.end_time);
+    println!(
+        "=== reset storm over {} of real {:?} ESP traffic ===",
+        out.end_time,
+        CryptoSuite::default()
+    );
     println!("messages sent:           {}", out.monitor.sent);
     println!("delivered:               {}", out.monitor.fresh_delivered);
     println!("sender resets:           {}", out.sender_resets);

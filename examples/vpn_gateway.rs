@@ -1,26 +1,31 @@
 //! A VPN gateway with many SAs rebooting: renegotiate everything (the
-//! IETF remedy) vs SAVE/FETCH `recover_all` (the paper's).
+//! IETF remedy) vs the `Gateway` engine's SAVE/FETCH recovery (the
+//! paper's).
 //!
 //! ```text
-//! cargo run --release -p reset-harness --example vpn_gateway
+//! cargo run --release -p system-tests --example vpn_gateway
 //! ```
 //!
 //! Establishes N SA pairs through the real (simplified) ISAKMP handshake
-//! with OAKLEY group-1 Diffie–Hellman, pushes traffic through each,
-//! reboots the gateway, and times both recovery strategies on this host.
+//! with OAKLEY group-1 Diffie–Hellman, installs them into one
+//! [`reset_ipsec::Gateway`], pushes traffic through each, reboots the
+//! gateway, and times both recovery strategies on this host.
 
 use std::time::Instant;
 
 use reset_crypto::oakley_group1;
-use reset_ipsec::{run_handshake, CostModel, Sadb};
-use reset_stable::MemStable;
+use reset_ipsec::{run_handshake, CostModel, GatewayBuilder, GatewayEvent};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_sas = 8u32;
     println!("=== gateway with {n_sas} SAs (each established via ISAKMP + OAKLEY group 1) ===");
 
-    // 1. Establish N SAs the expensive way, timing it.
-    let mut sadb: Sadb<MemStable> = Sadb::new();
+    // 1. Establish N SAs the expensive way, timing it, and install each
+    //    negotiated SA pair into the engine.
+    let mut gw = GatewayBuilder::in_memory()
+        .save_interval(25)
+        .window(64)
+        .build();
     let t0 = Instant::now();
     let mut total_cost = None;
     for i in 0..n_sas {
@@ -32,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             0x1000 + i,
             0x2000 + i,
         )?;
-        sadb.install_outbound(pair.sa_i2r.clone(), MemStable::new(), 25);
-        sadb.install_inbound(pair.sa_i2r, MemStable::new(), 25, 64);
+        gw.install_pair(pair.sa_i2r);
         total_cost = Some(pair.cost);
     }
     let establish_elapsed = t0.elapsed();
@@ -43,28 +47,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total_cost.map(|c| c.modexps).unwrap_or(0),
     );
 
-    // 2. Traffic on every SA; background saves land.
+    // 2. Traffic on every SA (sealed and received by this host — the
+    //    tunnel loops back for the demo); background saves land.
     for spi in 0x1000..0x1000 + n_sas {
         for _ in 0..60 {
-            let wire = sadb.protect(spi, b"tunnel payload")?.expect("up");
-            sadb.process(&wire)?;
+            let frame = gw.protect(spi, b"tunnel payload")?.expect("up");
+            gw.push_wire(&frame.wire)?;
         }
-        sadb.outbound_mut(spi)
-            .expect("installed")
-            .save_completed()?;
-        sadb.inbound_mut(spi).expect("installed").save_completed()?;
     }
+    let delivered = gw
+        .poll_events()
+        .iter()
+        .filter(|e| matches!(e, GatewayEvent::Delivered { .. }))
+        .count();
+    assert_eq!(delivered as u32, 60 * n_sas);
+    gw.save_completed()?;
     println!("pushed 60 packets through each SA");
 
     // 3. The gateway reboots.
-    sadb.reset_all();
+    gw.reset();
     println!("gateway rebooted: all volatile counters lost");
 
-    // 4a. The paper's path: FETCH + leap + SAVE for every SA.
+    // 4a. The paper's path: one engine call — FETCH + leap + SAVE for
+    //     every SA.
     let t1 = Instant::now();
-    let recovered = sadb.recover_all()?;
+    let recovered = gw.recover()?;
     let recover_elapsed = t1.elapsed();
-    println!("SAVE/FETCH recover_all: {recovered} SA directions in {recover_elapsed:?}");
+    assert!(matches!(
+        gw.poll_events()[..],
+        [GatewayEvent::Recovered { .. }]
+    ));
+    println!("SAVE/FETCH recover: {recovered} SA directions in {recover_elapsed:?}");
 
     // 4b. The IETF path (for comparison): a full re-handshake per SA.
     let t2 = Instant::now();
@@ -94,8 +107,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(speedup > 2.0, "recovery must win decisively");
 
     // 6. And the recovered SAs still work.
-    let wire = sadb.protect(0x1000, b"after reboot")?.expect("up");
-    let _ = sadb.process(&wire)?;
+    let frame = gw.protect(0x1000, b"after reboot")?.expect("up");
+    gw.push_wire(&frame.wire)?;
     println!("recovered SA verified: traffic flows again without renegotiation");
     Ok(())
 }

@@ -161,7 +161,8 @@ fn sadb_mixed_suites_and_teardown() {
     }
     // Tear down half; they must stop working, others unaffected.
     for spi in [2u32, 4, 6] {
-        assert!(db.remove(spi));
+        let removed = db.remove(spi).expect("installed");
+        assert!(removed.outbound.is_some() && removed.inbound.is_some());
     }
     assert!(db.protect(2, b"x").is_err());
     assert!(db.protect(1, b"x").unwrap().is_some());

@@ -1,0 +1,352 @@
+//! Integration: the `Gateway` engine event loop across the whole stack —
+//! the §3 reset-while-replaying attack over real ESP frames, recovery
+//! event ordering, policy rekeys, DPD teardown, and batch parity, for
+//! every negotiable cipher suite.
+
+use bytes::Bytes;
+use reset_ipsec::{
+    CryptoSuite, DpdConfig, Gateway, GatewayBuilder, GatewayEvent, IpsecError, SaLifetime,
+};
+use reset_stable::MemStable;
+
+const SPI: u32 = 0x6A7E;
+const MASTER: &[u8] = b"it-gateway-master";
+
+/// The two real transforms the §3 experiments sweep.
+const SUITES: [CryptoSuite; 2] = [
+    CryptoSuite::HmacSha256WithKeystream,
+    CryptoSuite::ChaCha20Poly1305,
+];
+
+fn gateway_pair(suite: CryptoSuite, k: u64, w: u64) -> (Gateway<MemStable>, Gateway<MemStable>) {
+    let build = || {
+        GatewayBuilder::in_memory()
+            .suite(suite)
+            .save_interval(k)
+            .window(w)
+            .build()
+    };
+    let (mut p, mut q) = (build(), build());
+    p.add_peer(SPI, MASTER);
+    q.add_peer(SPI, MASTER);
+    (p, q)
+}
+
+/// Sends `n` frames p→q, asserts delivery, returns the recorded wires.
+fn drive(p: &mut Gateway<MemStable>, q: &mut Gateway<MemStable>, n: u32) -> Vec<Bytes> {
+    let mut recorded = Vec::new();
+    for i in 0..n {
+        let f = p
+            .protect(SPI, format!("pkt-{i}").as_bytes())
+            .expect("datapath")
+            .expect("endpoint up");
+        recorded.push(f.wire.clone());
+        q.push_wire(&f.wire).expect("mem store");
+    }
+    let events = q.poll_events();
+    assert!(
+        events
+            .iter()
+            .all(|e| matches!(e, GatewayEvent::Delivered { .. })),
+        "{events:?}"
+    );
+    recorded
+}
+
+#[test]
+fn section3_reset_while_replaying_rejected_for_both_suites() {
+    for suite in SUITES {
+        let (mut p, mut q) = gateway_pair(suite, 10, 64);
+        let recorded = drive(&mut p, &mut q, 60);
+        q.save_completed().unwrap();
+
+        // The receiver is struck mid-replay: the adversary is already
+        // pumping the recorded history when the host goes down, keeps
+        // pumping through the wake-up SAVE, and finishes after recovery.
+        q.reset();
+        for w in &recorded[..20] {
+            q.push_wire(w).unwrap();
+        }
+        assert!(
+            q.poll_events()
+                .iter()
+                .all(|e| matches!(e, GatewayEvent::DroppedDown { .. })),
+            "{suite:?}: down host must drop"
+        );
+
+        q.begin_recover().unwrap();
+        for w in &recorded[20..40] {
+            q.push_wire(w).unwrap();
+        }
+        assert!(
+            q.poll_events()
+                .iter()
+                .all(|e| matches!(e, GatewayEvent::Buffered { .. })),
+            "{suite:?}: waking host must buffer"
+        );
+
+        q.finish_recover().unwrap();
+        let events = q.poll_events();
+        // Event order: Recovered first, then the buffered replays
+        // resolve — every one rejected by the leaped window.
+        assert!(
+            matches!(events[0], GatewayEvent::Recovered { sas: 2 }),
+            "{suite:?}: {events:?}"
+        );
+        assert_eq!(events.len(), 21, "{suite:?}");
+        assert!(
+            events[1..]
+                .iter()
+                .all(|e| matches!(e, GatewayEvent::ReplayDropped { .. })),
+            "{suite:?}: a buffered replay survived recovery: {events:?}"
+        );
+
+        // The tail of the attack, after recovery: still nothing lands.
+        for w in &recorded[40..] {
+            q.push_wire(w).unwrap();
+        }
+        assert!(
+            q.poll_events()
+                .iter()
+                .all(|e| matches!(e, GatewayEvent::ReplayDropped { .. })),
+            "{suite:?}: post-recovery replay accepted"
+        );
+
+        // Condition (ii): fresh traffic converges within 2K.
+        let mut sacrificed = 0;
+        loop {
+            let f = p.protect(SPI, b"fresh").unwrap().unwrap();
+            q.push_wire(&f.wire).unwrap();
+            match q.poll_events().pop().expect("one event per frame") {
+                GatewayEvent::Delivered { .. } => break,
+                GatewayEvent::ReplayDropped { .. } => sacrificed += 1,
+                other => panic!("{suite:?}: {other:?}"),
+            }
+            assert!(sacrificed <= 2 * 10, "{suite:?}: condition (ii) bound");
+        }
+    }
+}
+
+#[test]
+fn batch_replay_after_recovery_matches_sequential_for_both_suites() {
+    for suite in SUITES {
+        let (mut p, mut q_seq) = gateway_pair(suite, 10, 64);
+        let (_, mut q_batch) = gateway_pair(suite, 10, 64);
+        let mut wires = Vec::new();
+        for i in 0..40u32 {
+            let f = p
+                .protect(SPI, format!("b-{i}").as_bytes())
+                .unwrap()
+                .unwrap();
+            wires.push(f.wire);
+        }
+        // Both receivers consume the stream, crash, recover, then face
+        // the full replay — one frame at a time vs one NIC-queue drain.
+        for q in [&mut q_seq, &mut q_batch] {
+            q.push_wire_batch(&wires).unwrap();
+            q.save_completed().unwrap();
+            q.reset();
+            q.recover().unwrap();
+            q.poll_events();
+        }
+        for w in &wires {
+            q_seq.push_wire(w).unwrap();
+        }
+        q_batch.push_wire_batch(&wires).unwrap();
+        let seq_events = q_seq.poll_events();
+        let batch_events = q_batch.poll_events();
+        assert_eq!(seq_events, batch_events, "{suite:?}");
+        assert!(
+            seq_events
+                .iter()
+                .all(|e| matches!(e, GatewayEvent::ReplayDropped { .. })),
+            "{suite:?}"
+        );
+    }
+}
+
+#[test]
+fn policy_rekey_keeps_peers_in_lockstep_and_kills_replay_library() {
+    let lifetime = SaLifetime {
+        max_packets: 30,
+        max_bytes: u64::MAX,
+    };
+    let build = || {
+        GatewayBuilder::in_memory()
+            .save_interval(10)
+            .rekey_after(lifetime)
+            .skeyid(b"shared-phase1")
+            .build()
+    };
+    let (mut p, mut q) = (build(), build());
+    p.add_peer(SPI, MASTER);
+    q.add_peer(SPI, MASTER);
+    let recorded = drive(&mut p, &mut q, 30);
+
+    // Both gateways tick; both counted 30 packets on the SA, so both
+    // rekey to the same generation — deriving identical replacements.
+    p.tick(1_000);
+    q.tick(1_000);
+    for gw in [&mut p, &mut q] {
+        let events = gw.poll_events();
+        assert_eq!(
+            events,
+            vec![
+                GatewayEvent::RekeyStarted { spi: SPI },
+                GatewayEvent::RekeyCompleted {
+                    spi: SPI,
+                    suite: CryptoSuite::default()
+                },
+            ]
+        );
+    }
+    // The recorded generation-0 ciphertext is dead under the new keys.
+    for w in &recorded {
+        q.push_wire(w).unwrap();
+    }
+    assert!(
+        q.poll_events()
+            .iter()
+            .all(|e| matches!(e, GatewayEvent::AuthFailed { .. })),
+        "old-generation frame authenticated after rekey"
+    );
+    // And fresh traffic interoperates from sequence 1.
+    let f = p.protect(SPI, b"gen-1").unwrap().unwrap();
+    assert_eq!(f.seq.value(), 1);
+    q.push_wire(&f.wire).unwrap();
+    assert!(matches!(
+        q.poll_events()[..],
+        [GatewayEvent::Delivered { .. }]
+    ));
+}
+
+#[test]
+fn dpd_grace_honours_recovery_but_tears_down_silence() {
+    let dpd = DpdConfig {
+        idle_timeout_ns: 1_000,
+        probe_interval_ns: 500,
+        max_probes: 2,
+        grace_period_ns: 10_000,
+    };
+    let build = || {
+        GatewayBuilder::in_memory()
+            .save_interval(10)
+            .dpd(dpd)
+            .build()
+    };
+
+    // Peer recovers within grace: the pair survives.
+    let mut a = build();
+    let mut b = GatewayBuilder::in_memory().save_interval(10).build();
+    a.add_peer(SPI, MASTER);
+    b.add_peer(SPI, MASTER);
+    drive(&mut b, &mut a, 3);
+    a.tick(100);
+    a.tick(1_500); // probe 1
+    a.tick(2_100); // probe 2
+    a.tick(2_700); // presumed down, grace opens
+    assert_eq!(a.in_grace(SPI), Some(true));
+    let probes = a
+        .poll_events()
+        .iter()
+        .filter(|e| matches!(e, GatewayEvent::ProbeDue { .. }))
+        .count();
+    assert_eq!(probes, 2);
+    // b recovers and proves liveness with authenticated traffic.
+    b.save_completed().unwrap();
+    b.reset();
+    b.recover().unwrap();
+    let f = b.protect(SPI, b"i am back").unwrap().unwrap();
+    a.push_wire(&f.wire).unwrap();
+    assert_eq!(a.in_grace(SPI), Some(false), "liveness exits grace");
+    a.tick(20_000);
+    assert!(
+        !a.poll_events()
+            .iter()
+            .any(|e| matches!(e, GatewayEvent::PeerDead { .. })),
+        "recovered peer must not be torn down"
+    );
+
+    // No recovery: grace expires and the pair dies (§6 bounded wait).
+    let mut c = build();
+    c.add_peer(SPI, MASTER);
+    c.tick(0); // first tick arms the detector
+    c.tick(1_500);
+    c.tick(2_100);
+    c.tick(2_700);
+    c.tick(20_000);
+    assert!(c
+        .poll_events()
+        .contains(&GatewayEvent::PeerDead { spi: SPI }));
+    assert!(matches!(
+        c.protect(SPI, b"gone"),
+        Err(IpsecError::UnknownSa { spi: SPI })
+    ));
+}
+
+#[test]
+fn rekey_erases_persistent_slots_so_a_crash_recovers_the_fresh_generation() {
+    // Persistent (file-backed) stores keyed by SPI only: the rekey must
+    // erase the old generation's slots, or a post-rekey crash would
+    // FETCH the stale counter and leap the new SA into the old number
+    // space — rejecting the peer's fresh seq 1, 2, 3... forever.
+    use reset_ipsec::SaDirection;
+    use reset_stable::{Durability, FileStable};
+    let dir = std::env::temp_dir().join(format!(
+        "it-gw-rekey-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let factory_dir = dir.clone();
+    let make = move |spi: u32, d: SaDirection| {
+        FileStable::open(
+            factory_dir.join(format!("{spi}-{d:?}")),
+            Durability::ProcessCrash,
+        )
+        .expect("store dir")
+    };
+    let mut gw = GatewayBuilder::with_stores(make).save_interval(10).build();
+    gw.add_peer(SPI, MASTER);
+    // Drive the counter to ~51 and make the SAVE durable.
+    for _ in 0..50 {
+        gw.protect(SPI, b"x").unwrap().unwrap();
+    }
+    gw.save_completed().unwrap();
+    gw.rekey_now(SPI);
+    gw.poll_events();
+    // Crash before the new generation performs any save, then recover.
+    gw.reset();
+    gw.recover().unwrap();
+    gw.poll_events();
+    // FETCH must find nothing (slots erased at rekey): the leap is
+    // 0 + 2K = 20. Without erasure it would be the stale 51 + 2K = 71.
+    let f = gw.protect(SPI, b"fresh").unwrap().unwrap();
+    assert_eq!(f.seq.value(), 20, "stale pre-rekey counter resurrected");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn handshake_keyed_gateways_interoperate() {
+    // Keys negotiated by real IKE drive the engine end to end.
+    use reset_crypto::toy_group;
+    use reset_ipsec::run_handshake;
+    let pair = run_handshake(toy_group(), b"psk", b"init", b"resp", 0x10, 0x20).unwrap();
+    let mut initiator = GatewayBuilder::in_memory().build();
+    let mut responder = GatewayBuilder::in_memory().build();
+    initiator.install_outbound(pair.sa_i2r.clone());
+    responder.install_inbound(pair.sa_i2r);
+    assert_eq!(responder.sadb().len(), 1);
+    for i in 0..10u32 {
+        let f = initiator
+            .protect(0x10, format!("ike-{i}").as_bytes())
+            .unwrap()
+            .unwrap();
+        responder.push_wire(&f.wire).unwrap();
+    }
+    let events = responder.poll_events();
+    assert_eq!(events.len(), 10);
+    assert!(events
+        .iter()
+        .all(|e| matches!(e, GatewayEvent::Delivered { .. })));
+}

@@ -176,7 +176,7 @@ fn recovery_after_suite_change_converges_and_blocks_stale_suite_replays() {
     // packet), while frames recorded under the old suite stay dead.
     let spi = 0x900u32;
     let keys0 = SaKeys::derive(b"rec-mig", b"gen0");
-    let sa0 = SecurityAssociation::new(spi, keys0);
+    let sa0 = SecurityAssociation::new(spi, keys0).with_suite(CryptoSuite::HmacSha256WithKeystream);
     let mut db: Sadb<MemStable> = Sadb::new();
     db.install_outbound(sa0.clone(), MemStable::new(), 10);
     db.install_inbound(sa0, MemStable::new(), 10, 64);
@@ -200,7 +200,7 @@ fn recovery_after_suite_change_converges_and_blocks_stale_suite_replays() {
         suite: CryptoSuite::ChaCha20Poly1305,
     })
     .sa;
-    assert!(db.remove(spi));
+    assert!(db.remove(spi).is_some());
     db.install_outbound(migrated.clone(), MemStable::new(), 10);
     db.install_inbound(migrated, MemStable::new(), 10, 64);
 
