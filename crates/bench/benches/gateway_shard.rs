@@ -1,0 +1,141 @@
+//! Bench: the sharded gateway's batched receive path and reset
+//! recovery, swept over worker-shard counts on a 256-SA fleet.
+//!
+//! Three benchmarks, each at shards ∈ {1, 2, 4, 8}:
+//!
+//! * `rx_fresh_4096f_256sa` — one 4096-frame NIC-queue drain of fresh
+//!   traffic interleaved round-robin across 256 SAs (full pipeline:
+//!   fan-out → per-shard batch verify → window → decrypt → event
+//!   merge). The receiver fleet is rebuilt per iteration (setup off the
+//!   clock) so every drain delivers.
+//! * `rx_replay_4096f_256sa` — the same drain in replay steady state
+//!   (authenticate + window reject, no decrypt): the in-window
+//!   duplicate path a gateway burns CPU on under a replay storm.
+//! * `recover_storm_256sa` — `reset()` + shard-parallel `recover()` of
+//!   the whole fleet (FETCH + `2K` leap + synchronous SAVE on all 256
+//!   SA directions).
+//!
+//! Shard scaling is a *core-count* lever: on an N-core host the 4-shard
+//! drain approaches 4× one shard; on a single-core host (CI containers)
+//! the sweep instead measures the fan-out + scoped-thread overhead,
+//! which must stay small. `BENCH_datapath.json` records which kind of
+//! host produced the recorded numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::Bytes;
+use reset_ipsec::{
+    CryptoSuite, Gateway, GatewayBuilder, SaKeys, SecurityAssociation, ShardedGateway,
+};
+use reset_stable::MemStable;
+
+const N_SAS: u32 = 256;
+const FRAMES: usize = 4096;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn sa_for(spi: u32) -> SecurityAssociation {
+    SecurityAssociation::new(
+        spi,
+        SaKeys::derive(b"shard-bench-master", &spi.to_be_bytes()),
+    )
+    .with_suite(CryptoSuite::default())
+}
+
+fn rx_fleet(shards: usize) -> ShardedGateway<MemStable> {
+    let mut rx = GatewayBuilder::in_memory_sharded(shards)
+        .save_interval(64)
+        .window(64)
+        .build_sharded();
+    for spi in 1..=N_SAS {
+        rx.install_inbound(sa_for(spi));
+    }
+    rx
+}
+
+/// 4096 sealed frames, 16 per SA, interleaved round-robin — the worst
+/// case for per-SA run batching, the common case for a busy gateway.
+fn sealed_frames() -> Vec<Bytes> {
+    let mut tx: Gateway<MemStable> = GatewayBuilder::in_memory().save_interval(64).build();
+    for spi in 1..=N_SAS {
+        tx.install_outbound(sa_for(spi));
+    }
+    let payload = [0x5Au8; 64];
+    (0..FRAMES)
+        .map(|i| {
+            let spi = 1 + (i as u32 % N_SAS);
+            tx.protect(spi, &payload).unwrap().expect("tx up").wire
+        })
+        .collect()
+}
+
+fn bench_rx_fresh(c: &mut Criterion) {
+    let frames = sealed_frames();
+    let mut g = c.benchmark_group("gateway_shard/rx_fresh_4096f_256sa");
+    g.throughput(Throughput::Elements(FRAMES as u64));
+    g.sample_size(10);
+    for shards in SHARD_COUNTS {
+        g.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter_batched(
+                || rx_fleet(shards),
+                |mut rx| {
+                    rx.push_wire_batch(&frames).unwrap();
+                    rx.poll_events()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_rx_replay(c: &mut Criterion) {
+    let frames = sealed_frames();
+    let mut g = c.benchmark_group("gateway_shard/rx_replay_4096f_256sa");
+    g.throughput(Throughput::Elements(FRAMES as u64));
+    for shards in SHARD_COUNTS {
+        let mut rx = rx_fleet(shards);
+        // Warm delivery pass; every timed pass is then a pure replay
+        // storm (authenticate + in-window duplicate reject).
+        rx.push_wire_batch(&frames).unwrap();
+        rx.poll_events();
+        g.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| {
+                rx.push_wire_batch(&frames).unwrap();
+                rx.poll_events()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_recover_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway_shard/recover_storm_256sa");
+    g.throughput(Throughput::Elements(N_SAS as u64));
+    g.sample_size(10);
+    for shards in SHARD_COUNTS {
+        g.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter_batched(
+                || {
+                    let mut rx = rx_fleet(shards);
+                    rx.reset();
+                    rx
+                },
+                |mut rx| {
+                    let sas = rx.recover().unwrap();
+                    assert_eq!(sas, N_SAS as usize);
+                    rx.poll_events()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rx_fresh,
+    bench_rx_replay,
+    bench_recover_storm
+);
+criterion_main!(benches);

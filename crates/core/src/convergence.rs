@@ -95,6 +95,32 @@ impl Report {
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Folds another SA's report into this one: counters sum,
+    /// violations concatenate. Fleet experiments (one [`Monitor`] per
+    /// SA) merge their per-SA reports into one aggregate this way —
+    /// the fold lives here, next to the fields, so a counter added to
+    /// [`Report`] cannot be silently dropped from aggregates.
+    pub fn merge(&mut self, other: &Report) {
+        let Report {
+            sent,
+            fresh_delivered,
+            fresh_discarded,
+            replays_accepted,
+            replays_rejected,
+            adversary_first_deliveries,
+            seqs_lost_to_leaps,
+            violations,
+        } = other;
+        self.sent += sent;
+        self.fresh_delivered += fresh_delivered;
+        self.fresh_discarded += fresh_discarded;
+        self.replays_accepted += replays_accepted;
+        self.replays_rejected += replays_rejected;
+        self.adversary_first_deliveries += adversary_first_deliveries;
+        self.seqs_lost_to_leaps += seqs_lost_to_leaps;
+        self.violations.extend(violations.iter().cloned());
+    }
 }
 
 /// Ground-truth tracker for one unidirectional SA.
@@ -228,6 +254,26 @@ mod tests {
 
     fn n(v: u64) -> SeqNum {
         SeqNum::new(v)
+    }
+
+    #[test]
+    fn merge_sums_counters_and_concatenates_violations() {
+        let mut a = Monitor::new();
+        a.on_send(MsgId(0), n(1));
+        a.on_deliver(Some(MsgId(0)), n(1), Origin::Original);
+        a.on_discard(Some(MsgId(0)), n(1), Origin::Adversary);
+        let mut b = Monitor::new();
+        b.on_send(MsgId(1), n(1));
+        b.on_deliver(Some(MsgId(1)), n(1), Origin::Original);
+        b.on_deliver(Some(MsgId(1)), n(1), Origin::Adversary); // double
+        let mut total = a.into_report();
+        total.merge(&b.into_report());
+        assert_eq!(total.sent, 2);
+        assert_eq!(total.fresh_delivered, 2);
+        assert_eq!(total.replays_rejected, 1);
+        assert_eq!(total.replays_accepted, 1);
+        assert_eq!(total.violations.len(), 1);
+        assert!(!total.clean(), "one dirty SA dirties the aggregate");
     }
 
     #[test]

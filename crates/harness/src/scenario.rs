@@ -13,7 +13,7 @@
 //! over the faulty link, so every fault/adversary/reset scenario can
 //! sweep cipher suites too.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use anti_replay::{
     BaselineReceiver, BaselineSender, Monitor, MsgId, Origin, Phase, Report, RxOutcome, SeqNum,
@@ -22,7 +22,7 @@ use anti_replay::{
 use bytes::Bytes;
 use reset_channel::{Link, LinkConfig, LinkStats, Tap};
 use reset_ipsec::{
-    CryptoSuite, Gateway, GatewayBuilder, GatewayEvent, SaKeys, SecurityAssociation,
+    CryptoSuite, GatewayBuilder, GatewayEvent, SaKeys, SecurityAssociation, ShardedGateway,
 };
 use reset_sim::{DetRng, SimDuration, SimTime, Simulator};
 use reset_stable::{MemStable, SaveLatencyModel, SlotId};
@@ -44,15 +44,58 @@ pub enum Transport {
     /// Abstract sequence numbers (the paper's model): no bytes, no
     /// crypto — fastest, and the default.
     Model,
-    /// Real ESP frames sealed under `suite` by a [`reset_ipsec::Gateway`]
-    /// pair: the adversary replays recorded *ciphertext*, resets strike
-    /// whole gateways, and recovery runs the engine's SAVE/FETCH path.
-    /// Under [`Protocol::Baseline`] a reset rebuilds the struck gateway
-    /// from scratch (the §3 naive restart: counters at 1, window empty).
+    /// Real ESP frames sealed under `suite` by a
+    /// [`reset_ipsec::ShardedGateway`] pair: the adversary replays
+    /// recorded *ciphertext*, resets strike whole gateways, and recovery
+    /// runs the engine's shard-parallel SAVE/FETCH path. Under
+    /// [`Protocol::Baseline`] a reset rebuilds the struck gateway from
+    /// scratch (the §3 naive restart: counters at 1, window empty).
+    ///
+    /// Prefer the [`Transport::esp`] / [`Transport::esp_fleet`]
+    /// constructors over writing the variant out.
     Esp {
-        /// Cipher suite the SA pair negotiates.
+        /// Cipher suite every SA of the fleet negotiates.
         suite: CryptoSuite,
+        /// How many SAs (SPIs `1..=sa_count`) the gateway pair serves;
+        /// the workload round-robins sends across them. `1` reproduces
+        /// the paper's single-tunnel experiments.
+        sa_count: u32,
+        /// Worker shards per gateway (see
+        /// [`reset_ipsec::GatewayBuilder::shards`]). `1` is the
+        /// single-threaded engine, bit-identical to
+        /// [`reset_ipsec::Gateway`].
+        shards: usize,
     },
+}
+
+impl Transport {
+    /// Single-SA, single-shard ESP transport — the paper's one-tunnel
+    /// experiments over real frames.
+    pub fn esp(suite: CryptoSuite) -> Transport {
+        Transport::Esp {
+            suite,
+            sa_count: 1,
+            shards: 1,
+        }
+    }
+
+    /// A many-SA fleet between one sharded gateway pair: reset storms
+    /// exercise `recover_all` at gateway scale, shard-parallel.
+    pub fn esp_fleet(suite: CryptoSuite, sa_count: u32, shards: usize) -> Transport {
+        Transport::Esp {
+            suite,
+            sa_count: sa_count.max(1),
+            shards: shards.max(1),
+        }
+    }
+
+    /// How many SAs the transport drives (1 for the abstract model).
+    pub fn sa_count(&self) -> u32 {
+        match self {
+            Transport::Model => 1,
+            Transport::Esp { sa_count, .. } => *sa_count,
+        }
+    }
 }
 
 /// What the adversary does during the run.
@@ -133,8 +176,13 @@ impl Default for ScenarioConfig {
 /// Everything a finished run reports.
 #[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
-    /// The monitor's ground-truth report (§5 guarantees).
+    /// The monitors' ground-truth report, aggregated across every SA of
+    /// the fleet (§5 guarantees; sums of counters, concatenated
+    /// violations).
     pub monitor: Report,
+    /// One ground-truth report per SA (index `spi - 1`) — the paper's
+    /// guarantees are per-SA, so fleet experiments assert on these.
+    pub per_sa: Vec<Report>,
     /// Messages whose delivery hit a down receiver.
     pub dropped_down: u64,
     /// Channel statistics.
@@ -159,13 +207,14 @@ enum Side {
     Q,
 }
 
-/// One message instance on the wire: the sequence number the protocol
-/// sees, the ground-truth instance identity the monitor tracks, and —
-/// under [`Transport::Esp`] — the sealed frame the adversary records
-/// and replays byte-for-byte.
+/// One message instance on the wire: the SA it belongs to, the sequence
+/// number the protocol sees, the ground-truth instance identity the
+/// monitor tracks, and — under [`Transport::Esp`] — the sealed frame
+/// the adversary records and replays byte-for-byte.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Msg {
     id: MsgId,
+    spi: u32,
     seq: SeqNum,
     wire: Option<Bytes>,
 }
@@ -192,47 +241,68 @@ enum Proto {
         p: BaselineSender,
         q: BaselineReceiver,
     },
-    /// Real ESP frames through a [`Gateway`] pair. `baseline` selects
-    /// the §3 naive restart (rebuild from scratch) over SAVE/FETCH.
+    /// Real ESP frames through a [`ShardedGateway`] pair serving SPIs
+    /// `1..=sa_count`. `baseline` selects the §3 naive restart (rebuild
+    /// from scratch) over SAVE/FETCH.
     Esp {
-        tx: Gateway<MemStable>,
-        rx: Gateway<MemStable>,
+        tx: ShardedGateway<MemStable>,
+        rx: ShardedGateway<MemStable>,
         suite: CryptoSuite,
+        sa_count: u32,
+        shards: usize,
         baseline: bool,
     },
 }
 
-/// The single SA a [`Transport::Esp`] scenario runs over.
+/// The representative SA every [`Transport::Esp`] scenario serves (SPI
+/// 1 of the fleet): phase probes and the outcome's final counters read
+/// it.
 const ESP_SPI: u32 = 1;
-/// Shared keying material both gateway halves derive the SA from.
+/// Shared keying material both gateway halves derive the fleet from.
 const ESP_MASTER: &[u8] = b"scenario-esp-master";
 /// Fixed application payload (the model transport carries none).
 const ESP_PAYLOAD: &[u8] = b"scenario payload";
 
-fn esp_sa(suite: CryptoSuite) -> SecurityAssociation {
-    let keys = SaKeys::derive(ESP_MASTER, &ESP_SPI.to_be_bytes());
-    SecurityAssociation::new(ESP_SPI, keys).with_suite(suite)
+fn esp_sa(suite: CryptoSuite, spi: u32) -> SecurityAssociation {
+    let keys = SaKeys::derive(ESP_MASTER, &spi.to_be_bytes());
+    SecurityAssociation::new(spi, keys).with_suite(suite)
 }
 
-/// The sender half: a gateway holding only the outbound SA.
-fn esp_tx_gateway(kp: u64, w: u64, suite: CryptoSuite) -> Gateway<MemStable> {
-    let mut gw = GatewayBuilder::in_memory()
+/// The sender half: a sharded gateway holding the outbound fleet.
+fn esp_tx_gateway(
+    kp: u64,
+    w: u64,
+    suite: CryptoSuite,
+    sa_count: u32,
+    shards: usize,
+) -> ShardedGateway<MemStable> {
+    let mut gw = GatewayBuilder::in_memory_sharded(shards)
         .suite(suite)
         .save_interval(kp)
         .window(w)
-        .build();
-    gw.install_outbound(esp_sa(suite));
+        .build_sharded();
+    for spi in 1..=sa_count {
+        gw.install_outbound(esp_sa(suite, spi));
+    }
     gw
 }
 
-/// The receiver half: a gateway holding only the inbound SA.
-fn esp_rx_gateway(kq: u64, w: u64, suite: CryptoSuite) -> Gateway<MemStable> {
-    let mut gw = GatewayBuilder::in_memory()
+/// The receiver half: a sharded gateway holding the inbound fleet.
+fn esp_rx_gateway(
+    kq: u64,
+    w: u64,
+    suite: CryptoSuite,
+    sa_count: u32,
+    shards: usize,
+) -> ShardedGateway<MemStable> {
+    let mut gw = GatewayBuilder::in_memory_sharded(shards)
         .suite(suite)
         .save_interval(kq)
         .window(w)
-        .build();
-    gw.install_inbound(esp_sa(suite));
+        .build_sharded();
+    for spi in 1..=sa_count {
+        gw.install_inbound(esp_sa(suite, spi));
+    }
     gw
 }
 
@@ -255,7 +325,9 @@ struct ScenarioRunner {
     cfg: ScenarioConfig,
     sim: Simulator<Ev>,
     proto: Proto,
-    monitor: Monitor,
+    /// One ground-truth monitor per SA (index `spi - 1`; the paper's
+    /// guarantees — and sequence-number identity — are per-SA).
+    monitors: Vec<Monitor>,
     tap: Tap<Msg>,
     link: Link,
     workload: Workload,
@@ -264,10 +336,18 @@ struct ScenarioRunner {
     adv_rng: DetRng,
     p_save_outstanding: bool,
     q_save_outstanding: bool,
-    buffered_meta: VecDeque<(MsgId, Origin)>,
+    /// Ground-truth identities of frames buffered during a wake-up,
+    /// keyed per SA: recovery resolves buffered frames grouped by SA
+    /// (shard-then-SPI order), so a single global FIFO would misattach
+    /// identities once more than one SA buffers.
+    buffered_meta: BTreeMap<u32, VecDeque<(MsgId, Origin)>>,
     next_msg_id: u64,
+    /// Round-robin cursor spreading sends across the fleet.
+    send_attempts: u64,
     dropped_down: u64,
-    p_next_at_reset: SeqNum,
+    /// Per-SA sender counters captured at the last reset (index
+    /// `spi - 1`).
+    p_next_at_reset: Vec<SeqNum>,
     p_resets: u64,
     q_resets: u64,
     /// Baseline both-reset bookkeeping for ReplayLatestOnRestart.
@@ -290,20 +370,37 @@ impl ScenarioRunner {
                 p: BaselineSender::new(),
                 q: BaselineReceiver::new(cfg.w),
             },
-            (protocol, Transport::Esp { suite }) => Proto::Esp {
-                tx: esp_tx_gateway(cfg.kp, cfg.w, suite),
-                rx: esp_rx_gateway(cfg.kq, cfg.w, suite),
-                suite,
-                baseline: protocol == Protocol::Baseline,
-            },
+            (
+                protocol,
+                Transport::Esp {
+                    suite,
+                    sa_count,
+                    shards,
+                },
+            ) => {
+                // The esp/esp_fleet constructors clamp these, but the
+                // variant's fields are public — clamp again here so a
+                // hand-built `Esp { sa_count: 0, .. }` degrades to the
+                // minimal fleet instead of panicking mid-run.
+                let (sa_count, shards) = (sa_count.max(1), shards.max(1));
+                Proto::Esp {
+                    tx: esp_tx_gateway(cfg.kp, cfg.w, suite, sa_count, shards),
+                    rx: esp_rx_gateway(cfg.kq, cfg.w, suite, sa_count, shards),
+                    suite,
+                    sa_count,
+                    shards,
+                    baseline: protocol == Protocol::Baseline,
+                }
+            }
         };
+        let sa_count = cfg.transport.sa_count().max(1) as usize;
         let link = Link::new(cfg.link, link_rng);
         let workload = cfg.workload.clone();
         ScenarioRunner {
             cfg,
             sim,
             proto,
-            monitor: Monitor::new(),
+            monitors: (0..sa_count).map(|_| Monitor::new()).collect(),
             tap: Tap::new(),
             link,
             workload,
@@ -312,10 +409,11 @@ impl ScenarioRunner {
             adv_rng,
             p_save_outstanding: false,
             q_save_outstanding: false,
-            buffered_meta: VecDeque::new(),
+            buffered_meta: BTreeMap::new(),
             next_msg_id: 0,
+            send_attempts: 0,
             dropped_down: 0,
-            p_next_at_reset: SeqNum::ZERO,
+            p_next_at_reset: vec![SeqNum::ZERO; sa_count],
             p_resets: 0,
             q_resets: 0,
             pending_latest_replay: false,
@@ -360,23 +458,33 @@ impl ScenarioRunner {
         }
     }
 
+    /// The monitor owning `spi`'s ground truth.
+    fn mon(&mut self, spi: u32) -> &mut Monitor {
+        &mut self.monitors[spi.saturating_sub(1) as usize]
+    }
+
     fn on_send(&mut self, now: SimTime) {
+        // Sends round-robin across the fleet (SPI 1..=sa_count); with a
+        // single SA this degenerates to the original fixed-SPI stream.
+        let spi = 1 + (self.send_attempts % self.monitors.len() as u64) as u32;
+        self.send_attempts += 1;
         let sent = match &mut self.proto {
             Proto::Sf { p, .. } => p.send_next().expect("mem store").map(|seq| (seq, None)),
             Proto::Base { p, .. } => Some((p.send_next(), None)),
             Proto::Esp { tx, .. } => tx
-                .protect(ESP_SPI, ESP_PAYLOAD)
+                .protect(spi, ESP_PAYLOAD)
                 .expect("mem store")
                 .map(|frame| (frame.seq, Some(frame.wire))),
         };
         if let Some((seq, wire)) = sent {
             let msg = Msg {
                 id: MsgId(self.next_msg_id),
+                spi,
                 seq,
                 wire,
             };
             self.next_msg_id += 1;
-            self.monitor.on_send(msg.id, seq);
+            self.mon(spi).on_send(msg.id, seq);
             self.tap.record(msg.clone());
             self.transmit(now, msg, true);
             self.maybe_schedule_save(Side::P, now);
@@ -406,19 +514,25 @@ impl ScenarioRunner {
             Proto::Sf { q, .. } => {
                 let outcome = q.receive(msg.seq).expect("mem store");
                 match outcome {
-                    RxOutcome::Delivered => self.monitor.on_deliver(Some(msg.id), msg.seq, origin),
-                    RxOutcome::DiscardedStale | RxOutcome::DiscardedDuplicate => {
-                        self.monitor.on_discard(Some(msg.id), msg.seq, origin)
+                    RxOutcome::Delivered => {
+                        self.mon(msg.spi).on_deliver(Some(msg.id), msg.seq, origin)
                     }
-                    RxOutcome::Buffered => self.buffered_meta.push_back((msg.id, origin)),
+                    RxOutcome::DiscardedStale | RxOutcome::DiscardedDuplicate => {
+                        self.mon(msg.spi).on_discard(Some(msg.id), msg.seq, origin)
+                    }
+                    RxOutcome::Buffered => self
+                        .buffered_meta
+                        .entry(msg.spi)
+                        .or_default()
+                        .push_back((msg.id, origin)),
                     RxOutcome::DroppedDown => self.dropped_down += 1,
                 }
             }
             Proto::Base { q, .. } => {
                 if q.receive(msg.seq).is_deliverable() {
-                    self.monitor.on_deliver(Some(msg.id), msg.seq, origin);
+                    self.mon(msg.spi).on_deliver(Some(msg.id), msg.seq, origin);
                 } else {
-                    self.monitor.on_discard(Some(msg.id), msg.seq, origin);
+                    self.mon(msg.spi).on_discard(Some(msg.id), msg.seq, origin);
                 }
             }
             Proto::Esp { rx, .. } => {
@@ -435,23 +549,27 @@ impl ScenarioRunner {
         self.maybe_schedule_save(Side::Q, now);
     }
 
-    /// Maps one receiver-gateway event onto the monitor's ground truth.
-    /// `msg` is the instance whose push produced the event.
+    /// Maps one receiver-gateway event onto the owning SA's ground
+    /// truth. `msg` is the instance whose push produced the event.
     fn note_gateway_event(&mut self, ev: GatewayEvent, msg: &Msg, origin: Origin) {
         match ev {
             GatewayEvent::Delivered { seq, .. } => {
-                self.monitor.on_deliver(Some(msg.id), seq, origin)
+                self.mon(msg.spi).on_deliver(Some(msg.id), seq, origin)
             }
             GatewayEvent::ReplayDropped { seq, .. } => {
-                self.monitor.on_discard(Some(msg.id), seq, origin)
+                self.mon(msg.spi).on_discard(Some(msg.id), seq, origin)
             }
-            GatewayEvent::Buffered { .. } => self.buffered_meta.push_back((msg.id, origin)),
+            GatewayEvent::Buffered { .. } => self
+                .buffered_meta
+                .entry(msg.spi)
+                .or_default()
+                .push_back((msg.id, origin)),
             GatewayEvent::DroppedDown { .. } => self.dropped_down += 1,
             // Genuine recorded frames always authenticate; reaching here
             // would be a harness bug, but count it as a discard rather
             // than corrupting the run.
             GatewayEvent::AuthFailed { .. } | GatewayEvent::UnknownSa { .. } => {
-                self.monitor.on_discard(Some(msg.id), msg.seq, origin)
+                self.mon(msg.spi).on_discard(Some(msg.id), msg.seq, origin)
             }
             // No DPD/rekey policies are configured on scenario gateways.
             _ => {}
@@ -509,7 +627,7 @@ impl ScenarioRunner {
             Proto::Sf { p, q } => match side {
                 Side::P => {
                     if p.phase() == Phase::Running {
-                        self.p_next_at_reset = p.next_seq();
+                        self.p_next_at_reset[0] = p.next_seq();
                     }
                     p.reset();
                     self.p_resets += 1;
@@ -532,8 +650,8 @@ impl ScenarioRunner {
                     self.p_resets += 1;
                     // The baseline "resumes" at 1 — the monitor records the
                     // stale resume as a violation, which t3 reports.
-                    self.monitor
-                        .on_sender_wakeup(old_next, SeqNum::FIRST, self.cfg.kp);
+                    let kp = self.cfg.kp;
+                    self.mon(1).on_sender_wakeup(old_next, SeqNum::FIRST, kp);
                     if self.cfg.adversary == AdversaryPlan::ReplayLatestOnRestart {
                         self.pending_latest_replay = true;
                         self.try_latest_replay();
@@ -556,20 +674,27 @@ impl ScenarioRunner {
                 tx,
                 rx,
                 suite,
+                sa_count,
+                shards,
                 baseline,
             } => {
-                let suite = *suite;
+                let (suite, sa_count, shards) = (*suite, *sa_count, *shards);
                 if *baseline {
                     // §3 naive restart over real frames: the struck
                     // gateway is rebuilt from scratch — counters at 1,
                     // window empty, same keys — and resumes immediately.
                     match side {
                         Side::P => {
-                            let old_next = tx.next_seq(ESP_SPI).expect("sa installed");
-                            *tx = esp_tx_gateway(self.cfg.kp, self.cfg.w, suite);
+                            let old_next: Vec<SeqNum> = (1..=sa_count)
+                                .map(|spi| tx.next_seq(spi).expect("sa installed"))
+                                .collect();
+                            *tx = esp_tx_gateway(self.cfg.kp, self.cfg.w, suite, sa_count, shards);
                             self.p_resets += 1;
-                            self.monitor
-                                .on_sender_wakeup(old_next, SeqNum::FIRST, self.cfg.kp);
+                            let kp = self.cfg.kp;
+                            for (i, old) in old_next.into_iter().enumerate() {
+                                self.mon(i as u32 + 1)
+                                    .on_sender_wakeup(old, SeqNum::FIRST, kp);
+                            }
                             if self.cfg.adversary == AdversaryPlan::ReplayLatestOnRestart {
                                 self.pending_latest_replay = true;
                                 self.try_latest_replay();
@@ -577,7 +702,7 @@ impl ScenarioRunner {
                         }
                         Side::Q => {
                             self.buffered_meta.clear();
-                            *rx = esp_rx_gateway(self.cfg.kq, self.cfg.w, suite);
+                            *rx = esp_rx_gateway(self.cfg.kq, self.cfg.w, suite, sa_count, shards);
                             self.q_resets += 1;
                             match self.cfg.adversary {
                                 AdversaryPlan::ReplayAllOnReceiverRestart => self.replay_all(),
@@ -590,13 +715,16 @@ impl ScenarioRunner {
                         }
                     }
                 } else {
-                    // SAVE/FETCH: the gateway goes down and recovers
-                    // through the engine's FETCH + 2K leap after the
-                    // configured downtime.
+                    // SAVE/FETCH: the whole fleet goes down and recovers
+                    // through the engine's shard-parallel FETCH + 2K
+                    // leap after the configured downtime.
                     match side {
                         Side::P => {
                             if tx.phase(ESP_SPI) == Some(Phase::Running) {
-                                self.p_next_at_reset = tx.next_seq(ESP_SPI).expect("sa installed");
+                                for spi in 1..=sa_count {
+                                    self.p_next_at_reset[spi as usize - 1] =
+                                        tx.next_seq(spi).expect("sa installed");
+                                }
                             }
                             tx.reset();
                             self.p_resets += 1;
@@ -685,8 +813,8 @@ impl ScenarioRunner {
                     return;
                 }
                 let resumed = p.finish_wakeup().expect("mem store");
-                self.monitor
-                    .on_sender_wakeup(self.p_next_at_reset, resumed, self.cfg.kp);
+                let (old, kp) = (self.p_next_at_reset[0], self.cfg.kp);
+                self.mon(1).on_sender_wakeup(old, resumed, kp);
             }
             (Proto::Sf { q, .. }, Side::Q) => {
                 if q.phase() != Phase::Waking {
@@ -694,27 +822,29 @@ impl ScenarioRunner {
                 }
                 let outcomes = q.finish_wakeup().expect("mem store");
                 for (seq, outcome) in outcomes {
-                    let (id, origin) = self
-                        .buffered_meta
-                        .pop_front()
-                        .map(|(i, o)| (Some(i), o))
-                        .unwrap_or((None, Origin::Original));
+                    let (id, origin) = self.pop_buffered_meta(1);
                     match outcome {
-                        RxOutcome::Delivered => self.monitor.on_deliver(id, seq, origin),
-                        _ => self.monitor.on_discard(id, seq, origin),
+                        RxOutcome::Delivered => self.mon(1).on_deliver(id, seq, origin),
+                        _ => self.mon(1).on_discard(id, seq, origin),
                     }
                 }
                 self.post_receiver_wakeup_adversary();
             }
-            (Proto::Esp { tx, .. }, Side::P) => {
+            (Proto::Esp { tx, sa_count, .. }, Side::P) => {
                 if tx.phase(ESP_SPI) != Some(Phase::Waking) {
                     return;
                 }
+                let sa_count = *sa_count;
                 tx.finish_recover().expect("mem store");
                 tx.poll_events(); // Recovered{..}: the monitor tracks senders itself
-                let resumed = tx.next_seq(ESP_SPI).expect("sa installed");
-                self.monitor
-                    .on_sender_wakeup(self.p_next_at_reset, resumed, self.cfg.kp);
+                let resumed: Vec<SeqNum> = (1..=sa_count)
+                    .map(|spi| tx.next_seq(spi).expect("sa installed"))
+                    .collect();
+                let kp = self.cfg.kp;
+                for (i, resumed) in resumed.into_iter().enumerate() {
+                    let old = self.p_next_at_reset[i];
+                    self.mon(i as u32 + 1).on_sender_wakeup(old, resumed, kp);
+                }
             }
             (Proto::Esp { rx, .. }, Side::Q) => {
                 if rx.phase(ESP_SPI) != Some(Phase::Waking) {
@@ -725,15 +855,16 @@ impl ScenarioRunner {
                 for ev in events {
                     match ev {
                         GatewayEvent::Recovered { .. } => {}
-                        // Buffered frames resolve in arrival order; their
-                        // ground-truth identities queued at buffering time.
-                        GatewayEvent::Delivered { seq, .. } => {
-                            let (id, origin) = self.pop_buffered_meta();
-                            self.monitor.on_deliver(id, seq, origin);
+                        // Buffered frames resolve grouped by SA, each
+                        // SA's in arrival order; their ground-truth
+                        // identities queued per SA at buffering time.
+                        GatewayEvent::Delivered { spi, seq, .. } => {
+                            let (id, origin) = self.pop_buffered_meta(spi);
+                            self.mon(spi).on_deliver(id, seq, origin);
                         }
-                        GatewayEvent::ReplayDropped { seq, .. } => {
-                            let (id, origin) = self.pop_buffered_meta();
-                            self.monitor.on_discard(id, seq, origin);
+                        GatewayEvent::ReplayDropped { spi, seq, .. } => {
+                            let (id, origin) = self.pop_buffered_meta(spi);
+                            self.mon(spi).on_discard(id, seq, origin);
                         }
                         other => unreachable!("unexpected recovery event {other:?}"),
                     }
@@ -744,9 +875,10 @@ impl ScenarioRunner {
         }
     }
 
-    fn pop_buffered_meta(&mut self) -> (Option<MsgId>, Origin) {
+    fn pop_buffered_meta(&mut self, spi: u32) -> (Option<MsgId>, Origin) {
         self.buffered_meta
-            .pop_front()
+            .get_mut(&spi)
+            .and_then(|q| q.pop_front())
             .map(|(i, o)| (Some(i), o))
             .unwrap_or((None, Origin::Original))
     }
@@ -782,8 +914,14 @@ impl ScenarioRunner {
                 rx.right_edge(ESP_SPI).expect("sa installed").value(),
             ),
         };
+        let per_sa: Vec<Report> = self
+            .monitors
+            .into_iter()
+            .map(Monitor::into_report)
+            .collect();
         ScenarioOutcome {
-            monitor: self.monitor.into_report(),
+            monitor: aggregate_reports(&per_sa),
+            per_sa,
             dropped_down: self.dropped_down,
             link: self.link.stats(),
             injected: self.tap.injected(),
@@ -794,6 +932,17 @@ impl ScenarioRunner {
             end_time: self.sim.now(),
         }
     }
+}
+
+/// Folds the fleet's per-SA reports into one via [`Report::merge`]
+/// (counters sum, violations concatenate in SPI order). `clean()` on
+/// the aggregate therefore means every SA's run was clean.
+fn aggregate_reports(per_sa: &[Report]) -> Report {
+    let mut total = Report::default();
+    for r in per_sa {
+        total.merge(r);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -937,7 +1086,7 @@ mod tests {
     fn esp_transport_default_run_is_clean_for_both_suites() {
         for suite in ESP_SUITES {
             let cfg = ScenarioConfig {
-                transport: Transport::Esp { suite },
+                transport: Transport::esp(suite),
                 duration: SimDuration::from_millis(5),
                 ..ScenarioConfig::default()
             };
@@ -956,7 +1105,7 @@ mod tests {
     fn esp_transport_savefetch_defeats_section3_attack_for_both_suites() {
         for suite in ESP_SUITES {
             let cfg = ScenarioConfig {
-                transport: Transport::Esp { suite },
+                transport: Transport::esp(suite),
                 receiver_resets: vec![SimTime::from_millis(4)],
                 adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
                 ..ScenarioConfig::default()
@@ -983,7 +1132,7 @@ mod tests {
         for suite in ESP_SUITES {
             let cfg = ScenarioConfig {
                 protocol: Protocol::Baseline,
-                transport: Transport::Esp { suite },
+                transport: Transport::esp(suite),
                 receiver_resets: vec![SimTime::from_millis(4)],
                 adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
                 ..ScenarioConfig::default()
@@ -1003,9 +1152,7 @@ mod tests {
     fn esp_transport_baseline_sender_reset_discards_fresh() {
         let cfg = ScenarioConfig {
             protocol: Protocol::Baseline,
-            transport: Transport::Esp {
-                suite: CryptoSuite::default(),
-            },
+            transport: Transport::esp(CryptoSuite::default()),
             sender_resets: vec![SimTime::from_millis(4)],
             ..ScenarioConfig::default()
         };
@@ -1033,9 +1180,7 @@ mod tests {
             run_scenario(cfg)
         };
         let model = run(Transport::Model);
-        let esp = run(Transport::Esp {
-            suite: CryptoSuite::default(),
-        });
+        let esp = run(Transport::esp(CryptoSuite::default()));
         for out in [&model, &esp] {
             assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
             assert_eq!(out.monitor.replays_accepted, 0);
@@ -1051,9 +1196,7 @@ mod tests {
         let run = |seed| {
             let cfg = ScenarioConfig {
                 seed,
-                transport: Transport::Esp {
-                    suite: CryptoSuite::ChaCha20Poly1305,
-                },
+                transport: Transport::esp(CryptoSuite::ChaCha20Poly1305),
                 link: LinkConfig::lossy(0.1),
                 receiver_resets: vec![SimTime::from_millis(3)],
                 adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
@@ -1085,5 +1228,80 @@ mod tests {
         assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
         assert_eq!(out.sender_resets, 2);
         assert_eq!(out.receiver_resets, 2);
+    }
+
+    #[test]
+    fn esp_fleet_reset_storm_holds_section3_invariant_per_sa() {
+        let cfg = ScenarioConfig {
+            transport: Transport::esp_fleet(CryptoSuite::default(), 96, 4),
+            receiver_resets: vec![SimTime::from_millis(4), SimTime::from_millis(7)],
+            sender_resets: vec![SimTime::from_millis(5)],
+            adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+            link: LinkConfig::lossy(0.02),
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert_eq!(out.per_sa.len(), 96);
+        assert!(out.monitor.clean(), "{:?}", out.monitor.violations);
+        assert!(out.monitor.replays_rejected > 0, "attack actually ran");
+        let resets = out.receiver_resets + out.sender_resets;
+        for (i, r) in out.per_sa.iter().enumerate() {
+            assert_eq!(r.replays_accepted, 0, "SA {}", i + 1);
+            assert!(
+                r.fresh_discarded <= resets * 2 * 25,
+                "SA {}: condition (ii) fleet-wide: {} > resets x 2K",
+                i + 1,
+                r.fresh_discarded
+            );
+        }
+        // The round-robin workload actually exercised the whole fleet.
+        assert!(out.per_sa.iter().all(|r| r.sent > 0));
+    }
+
+    #[test]
+    fn esp_fleet_verdicts_are_shard_count_invariant() {
+        // The scenario pushes one frame per link delivery, so per-SA
+        // ground truth must be *identical* at any shard count — the
+        // sharding is pure partitioning, not semantics.
+        let run = |shards: usize| {
+            let cfg = ScenarioConfig {
+                seed: 23,
+                transport: Transport::esp_fleet(CryptoSuite::default(), 32, shards),
+                receiver_resets: vec![SimTime::from_millis(3)],
+                adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+                link: LinkConfig::lossy(0.05),
+                duration: SimDuration::from_millis(6),
+                ..ScenarioConfig::default()
+            };
+            run_scenario(cfg)
+        };
+        let one = run(1);
+        let four = run(4);
+        let eight = run(8);
+        assert_eq!(one.per_sa, four.per_sa);
+        assert_eq!(one.per_sa, eight.per_sa);
+        assert_eq!(one.final_right_edge, four.final_right_edge);
+        assert!(one.monitor.clean(), "{:?}", one.monitor.violations);
+    }
+
+    #[test]
+    fn esp_fleet_baseline_falls_to_the_attack_on_every_sa_it_reaches() {
+        let cfg = ScenarioConfig {
+            protocol: Protocol::Baseline,
+            transport: Transport::esp_fleet(CryptoSuite::default(), 16, 2),
+            receiver_resets: vec![SimTime::from_millis(4)],
+            adversary: AdversaryPlan::ReplayAllOnReceiverRestart,
+            ..ScenarioConfig::default()
+        };
+        let out = run_scenario(cfg);
+        assert!(
+            out.monitor.replays_accepted > 100,
+            "the naive fleet restart accepts the replayed ciphertext wholesale: {}",
+            out.monitor.replays_accepted
+        );
+        assert!(!out.monitor.clean());
+        // The damage is fleet-wide, not confined to one SA.
+        let hit = out.per_sa.iter().filter(|r| r.replays_accepted > 0).count();
+        assert!(hit >= 8, "only {hit}/16 SAs hit by the replay storm");
     }
 }

@@ -168,13 +168,14 @@ pub enum GatewayEvent {
 /// # Ok::<(), reset_ipsec::IpsecError>(())
 /// ```
 pub struct GatewayBuilder<S> {
-    suite: CryptoSuite,
-    k: u64,
-    w: u64,
-    rekey_after: Option<SaLifetime>,
-    dpd: Option<DpdConfig>,
-    skeyid: Vec<u8>,
-    make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
+    pub(crate) suite: CryptoSuite,
+    pub(crate) k: u64,
+    pub(crate) w: u64,
+    pub(crate) rekey_after: Option<SaLifetime>,
+    pub(crate) dpd: Option<DpdConfig>,
+    pub(crate) skeyid: Vec<u8>,
+    pub(crate) shards: Option<usize>,
+    pub(crate) make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
 }
 
 impl GatewayBuilder<MemStable> {
@@ -197,6 +198,7 @@ impl<S: StableStore> GatewayBuilder<S> {
             rekey_after: None,
             dpd: None,
             skeyid: b"gateway-phase1-skeyid".to_vec(),
+            shards: None,
             make_store: Box::new(make_store),
         }
     }
@@ -247,6 +249,14 @@ impl<S: StableStore> GatewayBuilder<S> {
         self
     }
 
+    /// Worker-shard count for [`GatewayBuilder::build_sharded`] (clamped
+    /// to ≥ 1). Ignored by [`GatewayBuilder::build`]. Default: the
+    /// host's available parallelism.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
     /// Builds the engine (no SAs installed yet).
     pub fn build(self) -> Gateway<S> {
         Gateway {
@@ -275,6 +285,7 @@ impl<S> fmt::Debug for GatewayBuilder<S> {
             .field("w", &self.w)
             .field("rekey_after", &self.rekey_after)
             .field("dpd", &self.dpd)
+            .field("shards", &self.shards)
             .finish_non_exhaustive()
     }
 }

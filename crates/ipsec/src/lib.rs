@@ -38,6 +38,22 @@
 //! # Ok::<(), reset_ipsec::IpsecError>(())
 //! ```
 //!
+//! # Scaling out: the `ShardedGateway`
+//!
+//! The paper's SAVE/FETCH guarantees are per-SA, so a gateway serving a
+//! large SA fleet parallelizes without any cross-SA coordination.
+//! [`ShardedGateway`] (built via [`GatewayBuilder::build_sharded`] /
+//! [`GatewayBuilder::shards`]) partitions the SADB by SPI hash
+//! ([`reset_wire::spi_shard`]) across N worker shards — each shard a
+//! full [`Gateway`] owning its SAs' counters, windows, store slots and
+//! timers — and runs the batched receive path and reset recovery one
+//! scoped thread per shard, merging events in stable
+//! shard-then-arrival order. Determinism is part of the contract:
+//! single-shard output is bit-identical to [`Gateway`], and at any
+//! shard count the per-SPI event subsequences (the unit the paper's
+//! guarantees are stated in) are identical too — see the
+//! [`shard`](ShardedGateway) module docs and `tests/it_sharded.rs`.
+//!
 //! ## Migrating from the free-standing style
 //!
 //! Earlier revisions of this crate were driven by hand-wiring the layer
@@ -87,6 +103,7 @@ mod recovery;
 mod rekey;
 mod sa;
 mod sadb;
+mod shard;
 
 pub use dpd::{DpdAction, DpdConfig, DpdDetector};
 pub use error::IpsecError;
@@ -100,3 +117,4 @@ pub use recovery::{IpsecPeer, PeerEvent};
 pub use rekey::{rekey, rekey_auth_tag, rekey_due, RekeyOutcome, RekeyRequest};
 pub use sa::{CryptoSuite, SaKeys, SaLifetime, SaUsage, SecurityAssociation};
 pub use sadb::{RemovedSa, Sadb};
+pub use shard::ShardedGateway;

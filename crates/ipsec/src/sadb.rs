@@ -364,6 +364,21 @@ impl<S: StableStore> Sadb<S> {
         Ok((n, buffered))
     }
 
+    /// Every installed SPI (either direction), ascending and deduplicated
+    /// — the sweep order fleet-wide operations (sharded recovery
+    /// accounting, per-SA scenario bookkeeping) iterate in.
+    pub fn spis(&self) -> Vec<u32> {
+        let mut spis: Vec<u32> = self
+            .outbound
+            .keys()
+            .chain(self.inbound.keys())
+            .copied()
+            .collect();
+        spis.sort_unstable();
+        spis.dedup();
+        spis
+    }
+
     /// Iterates over outbound `(spi, next_seq)` pairs.
     pub fn outbound_seqs(&self) -> impl Iterator<Item = (u32, SeqNum)> + '_ {
         self.outbound
@@ -536,6 +551,17 @@ mod tests {
         assert_eq!(seqs.len(), 3);
         assert_eq!(seqs[&1], SeqNum::new(2));
         assert_eq!(seqs[&2], SeqNum::new(1));
+    }
+
+    #[test]
+    fn spis_unions_both_directions_sorted_deduped() {
+        let mut db: Sadb<MemStable> = Sadb::new();
+        db.install_outbound(sa(9), MemStable::new(), 10);
+        db.install_outbound(sa(3), MemStable::new(), 10);
+        db.install_inbound(sa(3), MemStable::new(), 10, 64);
+        db.install_inbound(sa(7), MemStable::new(), 10, 64);
+        assert_eq!(db.spis(), vec![3, 7, 9]);
+        assert!(Sadb::<MemStable>::new().spis().is_empty());
     }
 
     #[test]

@@ -1,0 +1,772 @@
+//! The sharded gateway: one engine, N worker shards, zero shared locks.
+//!
+//! The paper's SAVE/FETCH guarantees are *per SA* — nothing in the §4
+//! protocol couples one SA's counters to another's — so a gateway
+//! serving a large SA fleet is embarrassingly parallel. A
+//! [`ShardedGateway`] exploits exactly that: the SADB is partitioned by
+//! SPI hash ([`reset_wire::spi_shard`]) across N inner [`Gateway`]
+//! shards, each shard owning its SAs outright — counters, replay
+//! windows, persistent-store slots, DPD detectors and rekey generations
+//! all live inside one shard and are never touched by another. There is
+//! no cross-shard lock on any datapath; the only shared state is the
+//! builder's store factory, consulted (briefly, behind a mutex) when an
+//! SA is installed or rekeyed, never per packet.
+//!
+//! # Threading model
+//!
+//! Shards are plain owned values; parallelism is *scoped*: the batched
+//! verbs ([`ShardedGateway::push_wire_batch`],
+//! [`ShardedGateway::reset`], [`ShardedGateway::begin_recover`] /
+//! [`ShardedGateway::finish_recover`]) fan work out to one scoped
+//! thread per non-idle shard and join before returning. Between calls
+//! no thread exists and no shard is borrowed, so the type needs no
+//! interior mutability and no `unsafe`. Single-frame verbs
+//! ([`ShardedGateway::protect`], [`ShardedGateway::push_wire`]) route
+//! directly to the owning shard on the caller's thread.
+//!
+//! # Determinism: why single-shard ≡ [`Gateway`]
+//!
+//! Every mutating verb ends by draining the shards' event queues into
+//! one merged queue in **stable shard-then-arrival order**: shard 0's
+//! events first (in the order that shard produced them), then shard
+//! 1's, and so on. Thread scheduling can reorder *execution*, but never
+//! the merge — the merged stream is a pure function of the inputs, so
+//! seeded experiments stay bit-for-bit reproducible at any shard count.
+//! Two consequences, both locked by `tests/it_sharded.rs`:
+//!
+//! * with one shard the merge is the identity, so a
+//!   `ShardedGateway` built with `.shards(1)` emits **exactly** the
+//!   event stream a plain [`Gateway`] would — same events, same order;
+//! * with N shards the *global* interleaving across SPIs changes (one
+//!   batch's events appear grouped by shard), but the **per-SPI
+//!   subsequence is identical** to the single-gateway stream: an SPI
+//!   lives in exactly one shard and each shard preserves arrival order,
+//!   so per-SA verdict sequences — the unit the paper's guarantees are
+//!   stated in — cannot differ. Global verdict *counts* are therefore
+//!   also identical.
+//!
+//! The one deliberate event rewrite: [`ShardedGateway::finish_recover`]
+//! coalesces the shards' per-shard [`GatewayEvent::Recovered`] events
+//! into a single fleet-wide `Recovered { sas }` (summed), placed before
+//! the buffered-frame verdicts, matching the single-gateway shape.
+//!
+//! # Reset storms
+//!
+//! [`ShardedGateway::reset`] and the recovery halves run shard-parallel
+//! so a reset storm's FETCH + `2K` leap + synchronous SAVE cost is
+//! amortized across cores — the multi-core analogue of the paper's §3
+//! argument that SAVE/FETCH beats per-SA renegotiation on a gateway
+//! with "multiple SAs existing at the same time".
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use bytes::Bytes;
+use reset_stable::{MemStable, StableError, StableStore};
+
+use anti_replay::{Phase, SeqNum};
+
+use crate::gateway::{Gateway, GatewayBuilder, GatewayEvent, SaDirection, SentFrame};
+use crate::sa::SecurityAssociation;
+use crate::sadb::Sadb;
+use crate::IpsecError;
+
+/// The builder's store factory, shared across shards behind a mutex
+/// (consulted at install/rekey time only — never on a datapath).
+type SharedStoreFactory<S> = Arc<Mutex<Box<dyn FnMut(u32, SaDirection) -> S + Send>>>;
+
+impl GatewayBuilder<MemStable> {
+    /// [`GatewayBuilder::in_memory`] pre-set to `shards` worker shards —
+    /// shorthand for the common test/bench fleet setup.
+    pub fn in_memory_sharded(shards: usize) -> Self {
+        GatewayBuilder::in_memory().shards(shards)
+    }
+}
+
+impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
+    /// Builds a [`ShardedGateway`] with the builder's shard count (or
+    /// the host's available parallelism when unset). All engine-wide
+    /// policy — suite, window, save interval, rekey/DPD, skeyid — is
+    /// replicated into every shard; the store factory is shared (SAs
+    /// are installed from the caller's thread, so the factory mutex is
+    /// uncontended).
+    pub fn build_sharded(self) -> ShardedGateway<S> {
+        let n = self
+            .shards
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        let factory: SharedStoreFactory<S> = Arc::new(Mutex::new(self.make_store));
+        let shards = (0..n)
+            .map(|_| {
+                let f = Arc::clone(&factory);
+                GatewayBuilder {
+                    suite: self.suite,
+                    k: self.k,
+                    w: self.w,
+                    rekey_after: self.rekey_after,
+                    dpd: self.dpd,
+                    skeyid: self.skeyid.clone(),
+                    shards: None,
+                    make_store: Box::new(move |spi, dir| {
+                        (f.lock().expect("store factory poisoned"))(spi, dir)
+                    }),
+                }
+                .build()
+            })
+            .collect();
+        ShardedGateway {
+            shards,
+            events: VecDeque::new(),
+        }
+    }
+}
+
+/// N-shard wrapper over [`Gateway`]: same verbs, same events, SA fleet
+/// partitioned by SPI hash, batch datapath and reset recovery running
+/// shard-parallel. See the [module docs](self) for the threading and
+/// determinism model.
+///
+/// # Examples
+///
+/// ```
+/// use reset_ipsec::{GatewayBuilder, GatewayEvent};
+///
+/// let mut p = GatewayBuilder::in_memory_sharded(4).build_sharded();
+/// let mut q = GatewayBuilder::in_memory_sharded(4).build_sharded();
+/// for spi in 1..=64 {
+///     p.add_peer(spi, b"fleet-master");
+///     q.add_peer(spi, b"fleet-master");
+/// }
+/// let frames: Vec<_> = (1..=64)
+///     .map(|spi| p.protect(spi, b"hello").unwrap().expect("up").wire)
+///     .collect();
+/// q.push_wire_batch(&frames)?; // shards drain their queues in parallel
+/// let events = q.poll_events();
+/// assert_eq!(events.len(), 64);
+/// assert!(events.iter().all(|e| matches!(e, GatewayEvent::Delivered { .. })));
+/// # Ok::<(), reset_ipsec::IpsecError>(())
+/// ```
+pub struct ShardedGateway<S> {
+    shards: Vec<Gateway<S>>,
+    /// The merged event queue, filled in stable shard-then-arrival
+    /// order after every mutating verb.
+    events: VecDeque<GatewayEvent>,
+}
+
+impl<S> std::fmt::Debug for ShardedGateway<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedGateway")
+            .field("shards", &self.shards.len())
+            .field("pending_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: StableStore + Send> ShardedGateway<S> {
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `spi` — [`reset_wire::spi_shard`], the one
+    /// routing definition install and dispatch share.
+    pub fn shard_of(&self, spi: u32) -> usize {
+        reset_wire::spi_shard(spi, self.shards.len())
+    }
+
+    /// Read access to one shard's inner engine (diagnostics, tests).
+    pub fn shard(&self, idx: usize) -> &Gateway<S> {
+        &self.shards[idx]
+    }
+
+    /// Every installed SPI across all shards, ascending.
+    pub fn spis(&self) -> Vec<u32> {
+        let mut spis: Vec<u32> = self.shards.iter().flat_map(|g| g.sadb().spis()).collect();
+        spis.sort_unstable();
+        spis
+    }
+
+    /// Total installed SA endpoints across all shards (both directions).
+    pub fn sa_endpoints(&self) -> usize {
+        self.shards.iter().map(|g| g.sadb().len()).sum()
+    }
+
+    /// Read access to the SADB shard that owns `spi` (fault injection,
+    /// occupancy inspection).
+    pub fn sadb_of(&self, spi: u32) -> &Sadb<S> {
+        self.shards[self.shard_of(spi)].sadb()
+    }
+
+    fn owner_mut(&mut self, spi: u32) -> &mut Gateway<S> {
+        let idx = self.shard_of(spi);
+        &mut self.shards[idx]
+    }
+
+    /// Appends every shard's pending events to the merged queue, shard
+    /// index order first, each shard's events in its arrival order.
+    fn drain_shards(&mut self) {
+        for g in &mut self.shards {
+            self.events.extend(g.poll_events());
+        }
+    }
+
+    /// Runs `f` over every shard, one scoped thread per shard (inline
+    /// when only one shard exists — no thread is spawned, keeping the
+    /// single-shard path identical in side effects *and* cost profile).
+    /// Results come back in shard index order regardless of scheduling.
+    fn on_all_shards<R: Send>(&mut self, f: impl Fn(&mut Gateway<S>) -> R + Sync) -> Vec<R> {
+        if self.shards.len() == 1 {
+            return vec![f(&mut self.shards[0])];
+        }
+        let f = &f;
+        // Shards 1..n get their own scoped threads; shard 0 runs on the
+        // caller's thread while they work — one fewer spawn per call.
+        let (first, rest) = self.shards.split_at_mut(1);
+        thread::scope(|scope| {
+            let handles: Vec<_> = rest.iter_mut().map(|g| scope.spawn(move || f(g))).collect();
+            let mut results = vec![f(&mut first[0])];
+            results.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked")),
+            );
+            results
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // SA installation (routed to the owning shard)
+    // ------------------------------------------------------------------
+
+    /// [`Gateway::add_peer`] on the shard owning `spi`.
+    pub fn add_peer(&mut self, spi: u32, master: &[u8]) {
+        self.owner_mut(spi).add_peer(spi, master);
+    }
+
+    /// [`Gateway::add_peer_between`] on the shard owning `spi`.
+    pub fn add_peer_between(&mut self, spi: u32, master: &[u8], local: &[u8], remote: &[u8]) {
+        self.owner_mut(spi)
+            .add_peer_between(spi, master, local, remote);
+    }
+
+    /// [`Gateway::install_pair`] on the shard owning the SA's SPI.
+    pub fn install_pair(&mut self, sa: SecurityAssociation) {
+        self.owner_mut(sa.spi()).install_pair(sa);
+    }
+
+    /// [`Gateway::install_outbound`] on the shard owning the SA's SPI.
+    pub fn install_outbound(&mut self, sa: SecurityAssociation) {
+        self.owner_mut(sa.spi()).install_outbound(sa);
+    }
+
+    /// [`Gateway::install_inbound`] on the shard owning the SA's SPI.
+    pub fn install_inbound(&mut self, sa: SecurityAssociation) {
+        self.owner_mut(sa.spi()).install_inbound(sa);
+    }
+
+    /// [`Gateway::remove_peer`] on the shard owning `spi`.
+    pub fn remove_peer(&mut self, spi: u32) -> bool {
+        self.owner_mut(spi).remove_peer(spi)
+    }
+
+    // ------------------------------------------------------------------
+    // Datapath
+    // ------------------------------------------------------------------
+
+    /// Seals `payload` on the outbound SA `spi` (routed; see
+    /// [`Gateway::protect`]).
+    ///
+    /// # Errors
+    ///
+    /// [`IpsecError::UnknownSa`], lifetime exhaustion, or store
+    /// failures.
+    pub fn protect(&mut self, spi: u32, payload: &[u8]) -> Result<Option<SentFrame>, IpsecError> {
+        self.owner_mut(spi).protect(spi, payload)
+    }
+
+    /// Feeds one received frame to the shard owning its SPI. Frames too
+    /// short to carry an SPI route to the shard owning SPI 0, which
+    /// reports them as [`GatewayEvent::AuthFailed`] with `spi: 0` —
+    /// exactly what a plain [`Gateway`] reports.
+    ///
+    /// # Errors
+    ///
+    /// Store failures only; per-packet failures are events.
+    pub fn push_wire(&mut self, wire: &Bytes) -> Result<(), IpsecError> {
+        let spi = reset_wire::peek_spi(wire).unwrap_or(0);
+        let r = self.owner_mut(spi).push_wire(wire);
+        self.drain_shards();
+        r
+    }
+
+    /// Feeds a burst of frames through the fleet: frames fan out to
+    /// their owning shards by [`reset_wire::peek_spi`] (arrival order
+    /// preserved within each shard), every non-idle shard drains its
+    /// queue through [`Gateway::push_wire_batch`] on its own thread, and
+    /// the shards' event streams are merged in stable shard-then-arrival
+    /// order. One event per frame; per-SPI event order is identical to
+    /// pushing the same burst through one [`Gateway`].
+    ///
+    /// # Errors
+    ///
+    /// First shard store failure (other shards' events are still
+    /// merged).
+    pub fn push_wire_batch(&mut self, wires: &[Bytes]) -> Result<(), IpsecError> {
+        let n = self.shards.len();
+        let r = if n == 1 {
+            // No fan-out copy, no thread: byte-identical to Gateway.
+            self.shards[0].push_wire_batch(wires)
+        } else {
+            let mut queues: Vec<Vec<Bytes>> = vec![Vec::new(); n];
+            for wire in wires {
+                let spi = reset_wire::peek_spi(wire).unwrap_or(0);
+                queues[reset_wire::spi_shard(spi, n)].push(wire.clone());
+            }
+            let results = thread::scope(|scope| {
+                // The first non-idle shard drains on the caller's
+                // thread; the rest get scoped threads.
+                let mut work = self
+                    .shards
+                    .iter_mut()
+                    .zip(&queues)
+                    .filter(|(_, q)| !q.is_empty());
+                let local = work.next();
+                let handles: Vec<_> = work
+                    .map(|(g, q)| scope.spawn(move || g.push_wire_batch(q)))
+                    .collect();
+                let mut results = Vec::with_capacity(handles.len() + 1);
+                if let Some((g, q)) = local {
+                    results.push(g.push_wire_batch(q));
+                }
+                results.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked")),
+                );
+                results
+            });
+            results.into_iter().find(|r| r.is_err()).unwrap_or(Ok(()))
+        };
+        self.drain_shards();
+        r
+    }
+
+    /// Drains the merged event queue (see the [module docs](self) for
+    /// the merge order).
+    pub fn poll_events(&mut self) -> Vec<GatewayEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Merged events queued but not yet polled.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Clock-driven policies
+    // ------------------------------------------------------------------
+
+    /// Advances every shard's clock in shard index order (DPD and rekey
+    /// work is negligible next to the datapath, so ticks stay
+    /// sequential and trivially deterministic).
+    pub fn tick(&mut self, now_ns: u64) {
+        for g in &mut self.shards {
+            g.tick(now_ns);
+        }
+        self.drain_shards();
+    }
+
+    /// [`Gateway::rekey_now`] on the shard owning `spi`.
+    pub fn rekey_now(&mut self, spi: u32) {
+        self.owner_mut(spi).rekey_now(spi);
+        self.drain_shards();
+    }
+
+    // ------------------------------------------------------------------
+    // Reset and recovery (shard-parallel)
+    // ------------------------------------------------------------------
+
+    /// The host crashes: every SA in every shard loses its volatile
+    /// counters, in parallel.
+    pub fn reset(&mut self) {
+        self.on_all_shards(|g| g.reset());
+    }
+
+    /// SAVE/FETCH recovery of the whole fleet: both halves, shard-
+    /// parallel. Emits one coalesced [`GatewayEvent::Recovered`].
+    /// Returns the number of SA directions recovered.
+    ///
+    /// # Errors
+    ///
+    /// First shard store failure.
+    pub fn recover(&mut self) -> Result<usize, IpsecError> {
+        self.begin_recover()?;
+        self.finish_recover()
+    }
+
+    /// First recovery half on every shard in parallel: FETCH + leap +
+    /// issue the synchronous SAVE on every down SA. Frames pushed until
+    /// [`ShardedGateway::finish_recover`] are buffered per SA.
+    ///
+    /// # Errors
+    ///
+    /// First shard store failure (its shard stays down; others may
+    /// already be waking — retry, exactly as with [`Gateway`]).
+    pub fn begin_recover(&mut self) -> Result<(), IpsecError> {
+        self.on_all_shards(|g| g.begin_recover())
+            .into_iter()
+            .find(|r| r.is_err())
+            .unwrap_or(Ok(()))
+    }
+
+    /// Second recovery half on every shard in parallel. The shards'
+    /// individual `Recovered` events are coalesced into one fleet-wide
+    /// `Recovered { sas }` (summed), followed by the buffered-frame
+    /// verdicts in shard-then-SPI order — the same shape a single
+    /// [`Gateway`] emits. Returns the recovered direction count.
+    ///
+    /// # Errors
+    ///
+    /// First shard store failure (successful shards' events are still
+    /// merged after the coalesced `Recovered`).
+    pub fn finish_recover(&mut self) -> Result<usize, IpsecError> {
+        let results = self.on_all_shards(|g| g.finish_recover());
+        let mut total = 0usize;
+        let mut first_err = None;
+        let mut verdicts: Vec<GatewayEvent> = Vec::new();
+        for (g, r) in self.shards.iter_mut().zip(results) {
+            match r {
+                Ok(sas) => total += sas,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            for ev in g.poll_events() {
+                match ev {
+                    GatewayEvent::Recovered { .. } => {} // re-emitted coalesced below
+                    other => verdicts.push(other),
+                }
+            }
+        }
+        // On a partial failure the successful shards' recovery is still
+        // *reported* (their counts would otherwise be lost — a retried
+        // finish_recover returns 0 for already-woken shards), keeping
+        // the Recovered-before-verdicts shape; the caller retries the
+        // failed shard via another finish_recover, which emits a second
+        // Recovered for the remainder.
+        if total > 0 || first_err.is_none() {
+            self.events
+                .push_back(GatewayEvent::Recovered { sas: total });
+        }
+        self.events.extend(verdicts);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Background-save plumbing and introspection (routed / swept)
+    // ------------------------------------------------------------------
+
+    /// True iff any SA in any shard has a background SAVE in flight.
+    pub fn pending_save(&self) -> bool {
+        self.shards.iter().any(|g| g.pending_save())
+    }
+
+    /// Completes every in-flight background SAVE across all shards.
+    ///
+    /// # Errors
+    ///
+    /// First store failure (pending saves are retained for retry).
+    pub fn save_completed(&mut self) -> Result<(), StableError> {
+        for g in &mut self.shards {
+            g.save_completed()?;
+        }
+        Ok(())
+    }
+
+    /// The next sequence number the outbound SA `spi` would send.
+    pub fn next_seq(&self, spi: u32) -> Option<SeqNum> {
+        self.shards[self.shard_of(spi)].next_seq(spi)
+    }
+
+    /// The inbound SA's anti-replay right edge.
+    pub fn right_edge(&self, spi: u32) -> Option<SeqNum> {
+        self.shards[self.shard_of(spi)].right_edge(spi)
+    }
+
+    /// The SA's liveness phase (see [`Gateway::phase`]).
+    pub fn phase(&self, spi: u32) -> Option<Phase> {
+        self.shards[self.shard_of(spi)].phase(spi)
+    }
+
+    /// Whether `spi`'s DPD detector is inside the §6 grace window.
+    pub fn in_grace(&self, spi: u32) -> Option<bool> {
+        self.shards[self.shard_of(spi)].in_grace(spi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::CryptoSuite;
+
+    fn fleet(shards: usize, sas: u32) -> (ShardedGateway<MemStable>, ShardedGateway<MemStable>) {
+        let mut p = GatewayBuilder::in_memory_sharded(shards)
+            .save_interval(10)
+            .build_sharded();
+        let mut q = GatewayBuilder::in_memory_sharded(shards)
+            .save_interval(10)
+            .build_sharded();
+        for spi in 1..=sas {
+            p.add_peer(spi, b"shard-test-master");
+            q.add_peer(spi, b"shard-test-master");
+        }
+        (p, q)
+    }
+
+    #[test]
+    fn installs_route_by_spi_hash_and_cover_all_shards() {
+        let (p, _) = fleet(4, 64);
+        assert_eq!(p.shard_count(), 4);
+        assert_eq!(p.spis().len(), 64);
+        assert_eq!(p.sa_endpoints(), 128);
+        for idx in 0..4 {
+            assert!(
+                !p.shard(idx).sadb().is_empty(),
+                "shard {idx} owns no SA out of 64"
+            );
+        }
+        for spi in 1..=64 {
+            assert!(p.sadb_of(spi).outbound(spi).is_some());
+        }
+    }
+
+    #[test]
+    fn fleet_traffic_flows_on_every_sa() {
+        let (mut p, mut q) = fleet(3, 32);
+        let frames: Vec<Bytes> = (1..=32)
+            .map(|spi| p.protect(spi, b"data").unwrap().unwrap().wire)
+            .collect();
+        q.push_wire_batch(&frames).unwrap();
+        let events = q.poll_events();
+        assert_eq!(events.len(), 32);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, GatewayEvent::Delivered { .. })));
+        // Merged in shard-then-arrival order: each SPI appears once, and
+        // SPIs of the same shard keep their arrival order.
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        for e in &events {
+            if let GatewayEvent::Delivered { spi, .. } = e {
+                per_shard[q.shard_of(*spi)].push(*spi);
+            }
+        }
+        let mut arrival: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        for spi in 1..=32 {
+            arrival[q.shard_of(spi)].push(spi);
+        }
+        assert_eq!(per_shard, arrival);
+    }
+
+    #[test]
+    fn single_shard_stream_is_bit_identical_to_gateway() {
+        let mut reference = GatewayBuilder::in_memory().save_interval(10).build();
+        let (mut p, mut q) = fleet(1, 8);
+        for spi in 1..=8 {
+            reference.add_peer(spi, b"shard-test-master");
+        }
+        let mut wires: Vec<Bytes> = Vec::new();
+        for round in 0..5u32 {
+            for spi in 1..=8 {
+                wires.push(
+                    p.protect(spi, format!("r{round}").as_bytes())
+                        .unwrap()
+                        .unwrap()
+                        .wire,
+                );
+            }
+        }
+        wires.push(wires[3].clone()); // replay
+        wires.push(Bytes::copy_from_slice(&[9, 9])); // runt
+        reference.push_wire_batch(&wires).unwrap();
+        q.push_wire_batch(&wires).unwrap();
+        assert_eq!(reference.poll_events(), q.poll_events());
+    }
+
+    #[test]
+    fn reset_storm_recovers_shard_parallel_with_coalesced_event() {
+        for shards in [1usize, 4] {
+            let (mut p, mut q) = fleet(shards, 24);
+            let mut recorded: Vec<Bytes> = Vec::new();
+            for _ in 0..12 {
+                for spi in 1..=24 {
+                    let f = p.protect(spi, b"pre").unwrap().unwrap();
+                    recorded.push(f.wire);
+                }
+            }
+            q.push_wire_batch(&recorded).unwrap();
+            q.save_completed().unwrap();
+            q.poll_events();
+            q.reset();
+            assert_eq!(q.phase(1), Some(Phase::Down));
+            let sas = q.recover().unwrap();
+            assert_eq!(sas, 48, "24 SAs x 2 directions, shards={shards}");
+            let events = q.poll_events();
+            assert_eq!(
+                events[0],
+                GatewayEvent::Recovered { sas: 48 },
+                "one coalesced Recovered, shards={shards}"
+            );
+            // The §3 replay of the entire fleet history: nothing lands.
+            q.push_wire_batch(&recorded).unwrap();
+            assert!(
+                q.poll_events()
+                    .iter()
+                    .all(|e| matches!(e, GatewayEvent::ReplayDropped { .. })),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_frames_resolve_after_parallel_finish() {
+        let (mut p, mut q) = fleet(4, 16);
+        for spi in 1..=16 {
+            for _ in 0..12 {
+                let f = p.protect(spi, b"pre").unwrap().unwrap();
+                q.push_wire(&f.wire).unwrap();
+            }
+        }
+        q.save_completed().unwrap();
+        q.poll_events();
+        q.reset();
+        q.begin_recover().unwrap();
+        // Push the senders past the leap, then one fresh frame per SA
+        // arrives mid-wake-up.
+        let fresh: Vec<Bytes> = (1..=16)
+            .map(|spi| {
+                for _ in 0..25 {
+                    p.protect(spi, b"skip").unwrap();
+                }
+                p.protect(spi, b"fresh").unwrap().unwrap().wire
+            })
+            .collect();
+        q.push_wire_batch(&fresh).unwrap();
+        let buffered = q.poll_events();
+        assert_eq!(buffered.len(), 16);
+        assert!(buffered
+            .iter()
+            .all(|e| matches!(e, GatewayEvent::Buffered { .. })));
+        q.finish_recover().unwrap();
+        let events = q.poll_events();
+        assert!(matches!(events[0], GatewayEvent::Recovered { sas: 32 }));
+        assert_eq!(events.len(), 17, "Recovered + one verdict per buffered");
+        assert!(events[1..]
+            .iter()
+            .all(|e| matches!(e, GatewayEvent::Delivered { .. })));
+    }
+
+    #[test]
+    fn rekey_routes_to_owner_and_stays_in_lockstep() {
+        let (mut p, mut q) = fleet(4, 8);
+        let old = p.protect(5, b"old").unwrap().unwrap();
+        q.push_wire(&old.wire).unwrap();
+        q.poll_events();
+        p.rekey_now(5);
+        q.rekey_now(5);
+        assert!(p
+            .poll_events()
+            .contains(&GatewayEvent::RekeyStarted { spi: 5 }));
+        q.poll_events();
+        q.push_wire(&old.wire).unwrap();
+        assert_eq!(
+            q.poll_events(),
+            vec![GatewayEvent::AuthFailed { spi: 5 }],
+            "old generation died with the rekey"
+        );
+        let fresh = p.protect(5, b"new").unwrap().unwrap();
+        assert_eq!(fresh.seq.value(), 1);
+        q.push_wire(&fresh.wire).unwrap();
+        assert!(matches!(
+            q.poll_events()[..],
+            [GatewayEvent::Delivered { .. }]
+        ));
+    }
+
+    #[test]
+    fn default_shard_count_is_available_parallelism() {
+        let gw: ShardedGateway<MemStable> = GatewayBuilder::in_memory().build_sharded();
+        let expect = thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(gw.shard_count(), expect);
+    }
+
+    #[test]
+    fn unknown_and_runt_frames_become_events_on_any_shard_count() {
+        for shards in [1usize, 2, 8] {
+            let (mut p, mut q) = fleet(shards, 4);
+            let good = p.protect(2, b"ok").unwrap().unwrap().wire;
+            let mut foreign = good.to_vec();
+            foreign[0..4].copy_from_slice(&0xDEAD_BEEFu32.to_be_bytes());
+            let wires = vec![
+                good.clone(),
+                Bytes::from(foreign),
+                Bytes::new(),
+                Bytes::copy_from_slice(&[1, 2, 3]),
+            ];
+            q.push_wire_batch(&wires).unwrap();
+            let mut events = q.poll_events();
+            assert_eq!(events.len(), 4, "shards={shards}");
+            // Global order varies with the shard count; verdict
+            // multiset must not.
+            events.sort_by_key(|e| match e {
+                GatewayEvent::Delivered { .. } => 0,
+                GatewayEvent::UnknownSa { .. } => 1,
+                GatewayEvent::AuthFailed { .. } => 2,
+                _ => 3,
+            });
+            assert!(matches!(events[0], GatewayEvent::Delivered { spi: 2, .. }));
+            assert!(matches!(
+                events[1],
+                GatewayEvent::UnknownSa { spi: 0xDEAD_BEEF }
+            ));
+            assert!(matches!(events[2], GatewayEvent::AuthFailed { spi: 0 }));
+            assert!(matches!(events[3], GatewayEvent::AuthFailed { spi: 0 }));
+        }
+    }
+
+    #[test]
+    fn suites_sweep_through_the_sharded_path() {
+        for &suite in CryptoSuite::ALL {
+            let mut p = GatewayBuilder::in_memory_sharded(2)
+                .suite(suite)
+                .build_sharded();
+            let mut q = GatewayBuilder::in_memory_sharded(2)
+                .suite(suite)
+                .build_sharded();
+            for spi in 1..=6 {
+                p.add_peer(spi, b"suite-master");
+                q.add_peer(spi, b"suite-master");
+            }
+            let frames: Vec<Bytes> = (1..=6)
+                .map(|spi| p.protect(spi, b"x").unwrap().unwrap().wire)
+                .collect();
+            q.push_wire_batch(&frames).unwrap();
+            assert_eq!(q.poll_events().len(), 6, "{suite:?}");
+        }
+    }
+}

@@ -404,6 +404,28 @@ pub fn peek_spi(wire: &[u8]) -> Option<u32> {
         .map(|b| u32::from_be_bytes(b.try_into().expect("fixed")))
 }
 
+/// Maps an SPI onto one of `shards` receive queues — the RSS-style
+/// dispatch a multi-queue gateway performs right after [`peek_spi`].
+/// The SPI is mixed through a SplitMix64-style finalizer first, so
+/// sequentially allocated SPIs (the common negotiation pattern) still
+/// spread evenly instead of landing on `spi % shards` stripes.
+///
+/// One definition on purpose: the sharded SADB's install path and its
+/// per-frame routing must agree bit-for-bit, or a frame would be
+/// dispatched to a shard that does not own its SA.
+///
+/// # Panics
+///
+/// Panics if `shards` is 0 (a gateway with no receive queues).
+pub fn spi_shard(spi: u32, shards: usize) -> usize {
+    assert!(shards > 0, "spi_shard: shards must be non-zero");
+    let mut x = spi as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
 /// Reconstructs the full 64-bit sequence number from the wire's low
 /// half and the implicit ESN high half — the one definition every
 /// verification and decryption site shares.
@@ -750,5 +772,32 @@ mod tests {
             );
             assert!(open_zc(&bad, &hk, None).is_err());
         }
+    }
+
+    #[test]
+    fn spi_shard_is_stable_in_range_and_spreads_sequential_spis() {
+        for shards in [1usize, 2, 3, 4, 8, 16] {
+            let mut occupancy = vec![0u32; shards];
+            for spi in 0..1024u32 {
+                let s = spi_shard(spi, shards);
+                assert!(s < shards);
+                assert_eq!(s, spi_shard(spi, shards), "routing must be stable");
+                occupancy[s] += 1;
+            }
+            // Sequential SPIs must not stripe onto a subset of shards:
+            // every shard owns a meaningful share of a 1024-SA fleet.
+            let min = *occupancy.iter().min().unwrap();
+            let expect = 1024 / shards as u32;
+            assert!(
+                min >= expect / 2,
+                "shards={shards}: occupancy {occupancy:?} too skewed"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn spi_shard_rejects_zero_shards() {
+        spi_shard(1, 0);
     }
 }

@@ -46,6 +46,6 @@ pub use error::WireError;
 pub use esn::{infer_esn, EsnTracker};
 pub use esp::{
     check_frame_length, esn_seq, frame_overhead, open, open_frame, open_with, open_zc, peek_spi,
-    seal, seal_frame, seal_frame_into, seal_into, seal_with, verify_frame, verify_frame_with,
-    EspPacket, HEADER_LEN, ICV_LEN,
+    seal, seal_frame, seal_frame_into, seal_into, seal_with, spi_shard, verify_frame,
+    verify_frame_with, EspPacket, HEADER_LEN, ICV_LEN,
 };
