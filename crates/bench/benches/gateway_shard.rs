@@ -1,25 +1,42 @@
 //! Bench: the sharded gateway's batched receive path and reset
-//! recovery, swept over worker-shard counts on a 256-SA fleet.
+//! recovery on the persistent worker-pool runtime, swept over
+//! worker-shard counts on a 256-SA fleet.
 //!
-//! Three benchmarks, each at shards ∈ {1, 2, 4, 8}:
+//! Four benchmarks, each at shards ∈ {1, 2, 4, 8} plus a
+//! `plain_gateway` baseline (the unsharded [`Gateway`], same fleet —
+//! the parity bar the pool must meet on one core):
 //!
 //! * `rx_fresh_4096f_256sa` — one 4096-frame NIC-queue drain of fresh
 //!   traffic interleaved round-robin across 256 SAs (full pipeline:
 //!   fan-out → per-shard batch verify → window → decrypt → event
-//!   merge). The receiver fleet is rebuilt per iteration (setup off the
-//!   clock) so every drain delivers.
+//!   merge). The receiver fleet and its worker pool are built **once,
+//!   outside the measured closure**; each iteration's input is a
+//!   freshly sealed batch with advancing sequence numbers (sealed in
+//!   the setup half of `iter_batched`, off the clock), so every timed
+//!   drain delivers without ever reconstructing — or re-spawning — the
+//!   pool.
 //! * `rx_replay_4096f_256sa` — the same drain in replay steady state
 //!   (authenticate + window reject, no decrypt): the in-window
 //!   duplicate path a gateway burns CPU on under a replay storm.
 //! * `recover_storm_256sa` — `reset()` + shard-parallel `recover()` of
 //!   the whole fleet (FETCH + `2K` leap + synchronous SAVE on all 256
-//!   SA directions).
+//!   SA directions) on the persistent pool. Before the pool this group
+//!   isolated the scoped spawn-per-verb cost (~30 µs/thread on the CI
+//!   kernel); now it must sit at parity or better vs `plain_gateway`
+//!   even on one core.
+//! * `pipeline_8x512f_256sa` — seal-then-drain of eight 512-frame
+//!   chunks: `sync_push` seals each chunk and then blocks in
+//!   `push_wire_batch`; `submit_drain` overlaps sealing chunk *i+1*
+//!   with the shards draining chunk *i* via `submit_batch` /
+//!   `drain_events`. On a multi-core host the overlap hides the seal
+//!   cost; on one core it measures the queueing overhead of the split.
 //!
 //! Shard scaling is a *core-count* lever: on an N-core host the 4-shard
 //! drain approaches 4× one shard; on a single-core host (CI containers)
-//! the sweep instead measures the fan-out + scoped-thread overhead,
-//! which must stay small. `BENCH_datapath.json` records which kind of
-//! host produced the recorded numbers.
+//! the sweep instead measures the pool machinery — fan-out, queue
+//! round-trips, deterministic event merge — which must stay small.
+//! `BENCH_datapath.json` records `cores` with every entry so readers
+//! know which kind of host produced the numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -52,15 +69,32 @@ fn rx_fleet(shards: usize) -> ShardedGateway<MemStable> {
     rx
 }
 
-/// 4096 sealed frames, 16 per SA, interleaved round-robin — the worst
-/// case for per-SA run batching, the common case for a busy gateway.
-fn sealed_frames() -> Vec<Bytes> {
+fn plain_rx_fleet() -> Gateway<MemStable> {
+    let mut rx = GatewayBuilder::in_memory()
+        .save_interval(64)
+        .window(64)
+        .build();
+    for spi in 1..=N_SAS {
+        rx.install_inbound(sa_for(spi));
+    }
+    rx
+}
+
+fn tx_fleet() -> Gateway<MemStable> {
     let mut tx: Gateway<MemStable> = GatewayBuilder::in_memory().save_interval(64).build();
     for spi in 1..=N_SAS {
         tx.install_outbound(sa_for(spi));
     }
+    tx
+}
+
+/// Seals the next `n` frames from the persistent sender fleet,
+/// round-robin across the 256 SAs — sequence numbers keep advancing,
+/// so consecutive batches are always fresh to any receiver that has
+/// seen the earlier ones.
+fn seal_batch(tx: &mut Gateway<MemStable>, n: usize) -> Vec<Bytes> {
     let payload = [0x5Au8; 64];
-    (0..FRAMES)
+    (0..n)
         .map(|i| {
             let spi = 1 + (i as u32 % N_SAS);
             tx.protect(spi, &payload).unwrap().expect("tx up").wire
@@ -69,15 +103,32 @@ fn sealed_frames() -> Vec<Bytes> {
 }
 
 fn bench_rx_fresh(c: &mut Criterion) {
-    let frames = sealed_frames();
     let mut g = c.benchmark_group("gateway_shard/rx_fresh_4096f_256sa");
     g.throughput(Throughput::Elements(FRAMES as u64));
     g.sample_size(10);
+    {
+        let mut tx = tx_fleet();
+        let mut rx = plain_rx_fleet();
+        g.bench_function("plain_gateway", |b| {
+            b.iter_batched(
+                || seal_batch(&mut tx, FRAMES),
+                |frames| {
+                    rx.push_wire_batch(&frames).unwrap();
+                    rx.poll_events()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
     for shards in SHARD_COUNTS {
+        // The pool spawns here, once; only seal (setup, off the clock)
+        // and drain (routine) happen per iteration.
+        let mut tx = tx_fleet();
+        let mut rx = rx_fleet(shards);
         g.bench_function(BenchmarkId::from_parameter(shards), |b| {
             b.iter_batched(
-                || rx_fleet(shards),
-                |mut rx| {
+                || seal_batch(&mut tx, FRAMES),
+                |frames| {
                     rx.push_wire_batch(&frames).unwrap();
                     rx.poll_events()
                 },
@@ -89,9 +140,20 @@ fn bench_rx_fresh(c: &mut Criterion) {
 }
 
 fn bench_rx_replay(c: &mut Criterion) {
-    let frames = sealed_frames();
+    let frames = seal_batch(&mut tx_fleet(), FRAMES);
     let mut g = c.benchmark_group("gateway_shard/rx_replay_4096f_256sa");
     g.throughput(Throughput::Elements(FRAMES as u64));
+    {
+        let mut rx = plain_rx_fleet();
+        rx.push_wire_batch(&frames).unwrap();
+        rx.poll_events();
+        g.bench_function("plain_gateway", |b| {
+            b.iter(|| {
+                rx.push_wire_batch(&frames).unwrap();
+                rx.poll_events()
+            })
+        });
+    }
     for shards in SHARD_COUNTS {
         let mut rx = rx_fleet(shards);
         // Warm delivery pass; every timed pass is then a pure replay
@@ -112,22 +174,69 @@ fn bench_recover_storm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gateway_shard/recover_storm_256sa");
     g.throughput(Throughput::Elements(N_SAS as u64));
     g.sample_size(10);
-    for shards in SHARD_COUNTS {
-        g.bench_function(BenchmarkId::from_parameter(shards), |b| {
-            b.iter_batched(
-                || {
-                    let mut rx = rx_fleet(shards);
-                    rx.reset();
-                    rx
-                },
-                |mut rx| {
-                    let sas = rx.recover().unwrap();
-                    assert_eq!(sas, N_SAS as usize);
-                    rx.poll_events()
-                },
-                criterion::BatchSize::LargeInput,
-            )
+    {
+        let mut rx = plain_rx_fleet();
+        g.bench_function("plain_gateway", |b| {
+            b.iter(|| {
+                rx.reset();
+                let sas = rx.recover().unwrap();
+                assert_eq!(sas, N_SAS as usize);
+                rx.poll_events()
+            })
         });
+    }
+    for shards in SHARD_COUNTS {
+        // Built once: reset + recover cycle on the persistent pool is
+        // the entire measured region — no construction, no spawn, no
+        // drop inside the closure.
+        let mut rx = rx_fleet(shards);
+        g.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| {
+                rx.reset();
+                let sas = rx.recover().unwrap();
+                assert_eq!(sas, N_SAS as usize);
+                rx.poll_events()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    const CHUNK: usize = 512;
+    const CHUNKS: usize = 8;
+    let mut g = c.benchmark_group("gateway_shard/pipeline_8x512f_256sa");
+    g.throughput(Throughput::Elements((CHUNK * CHUNKS) as u64));
+    g.sample_size(10);
+    for shards in [1usize, 4] {
+        {
+            let mut tx = tx_fleet();
+            let mut rx = rx_fleet(shards);
+            g.bench_function(BenchmarkId::new("sync_push", shards), |b| {
+                b.iter(|| {
+                    for _ in 0..CHUNKS {
+                        let chunk = seal_batch(&mut tx, CHUNK);
+                        rx.push_wire_batch(&chunk).unwrap();
+                    }
+                    rx.poll_events()
+                })
+            });
+        }
+        {
+            let mut tx = tx_fleet();
+            let mut rx = rx_fleet(shards);
+            g.bench_function(BenchmarkId::new("submit_drain", shards), |b| {
+                b.iter(|| {
+                    // Seal chunk i+1 while the shards drain chunk i;
+                    // one barrier at the end collects everything.
+                    for _ in 0..CHUNKS {
+                        let chunk = seal_batch(&mut tx, CHUNK);
+                        rx.submit_batch(&chunk);
+                    }
+                    rx.drain_events().unwrap()
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -136,6 +245,7 @@ criterion_group!(
     benches,
     bench_rx_fresh,
     bench_rx_replay,
-    bench_recover_storm
+    bench_recover_storm,
+    bench_pipeline
 );
 criterion_main!(benches);

@@ -9,9 +9,19 @@
 //!
 //! Two [`Transport`]s drive the same experiment matrix: the abstract
 //! sequence-number model (fast, crypto-free) and the real ESP datapath —
-//! a [`reset_ipsec::Gateway`] pair exchanging suite-framed wire bytes
-//! over the faulty link, so every fault/adversary/reset scenario can
-//! sweep cipher suites too.
+//! a [`reset_ipsec::ShardedGateway`] pair exchanging suite-framed wire
+//! bytes over the faulty link, so every fault/adversary/reset scenario
+//! can sweep cipher suites too. Fleet transports
+//! ([`Transport::esp_fleet`] with `shards > 1`) run on the engine's
+//! persistent worker-pool runtime: the pool's threads are spawned once
+//! when the scenario builds its gateways, every `protect`/`push_wire`
+//! routes as a job to the owning shard's long-lived worker, and the
+//! timed wake-up hooks (`Ev::Wake` → `begin_recover`,
+//! `Ev::FinishWake` → `finish_recover`) submit the recovery halves
+//! shard-parallel while the simulator models the SAVE device latency
+//! between them. With `shards == 1` (the default) the pool is
+//! degenerate — zero threads, jobs run inline — so single-tunnel
+//! scenarios cost exactly what a plain [`reset_ipsec::Gateway`] would.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -45,11 +55,14 @@ pub enum Transport {
     /// crypto — fastest, and the default.
     Model,
     /// Real ESP frames sealed under `suite` by a
-    /// [`reset_ipsec::ShardedGateway`] pair: the adversary replays
-    /// recorded *ciphertext*, resets strike whole gateways, and recovery
-    /// runs the engine's shard-parallel SAVE/FETCH path. Under
-    /// [`Protocol::Baseline`] a reset rebuilds the struck gateway from
-    /// scratch (the §3 naive restart: counters at 1, window empty).
+    /// [`reset_ipsec::ShardedGateway`] pair on the persistent
+    /// worker-pool runtime: the adversary replays recorded
+    /// *ciphertext*, resets strike whole gateways, and recovery runs
+    /// the engine's shard-parallel SAVE/FETCH path on the pool's
+    /// long-lived workers. Under [`Protocol::Baseline`] a reset
+    /// rebuilds the struck gateway from scratch (the §3 naive restart:
+    /// counters at 1, window empty — tearing down and respawning the
+    /// whole pool, which is exactly what a naive restart costs).
     ///
     /// Prefer the [`Transport::esp`] / [`Transport::esp_fleet`]
     /// constructors over writing the variant out.

@@ -35,6 +35,16 @@ pub enum IpsecError {
     HandshakeAuthFailed,
     /// The endpoint is down (reset and not yet woken up).
     EndpointDown,
+    /// A [`ShardedGateway`](crate::ShardedGateway) worker job panicked.
+    /// The panic is reported here instead of hanging or killing the
+    /// caller; the shard's worker thread survives and keeps serving,
+    /// with its state left exactly as the interrupted operation left it.
+    WorkerPanicked {
+        /// Index of the shard whose job panicked.
+        shard: usize,
+        /// The panic message, best-effort stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for IpsecError {
@@ -51,6 +61,9 @@ impl fmt::Display for IpsecError {
             }
             IpsecError::HandshakeAuthFailed => write!(f, "handshake authentication failed"),
             IpsecError::EndpointDown => write!(f, "endpoint is down after a reset"),
+            IpsecError::WorkerPanicked { shard, message } => {
+                write!(f, "shard {shard} worker job panicked: {message}")
+            }
         }
     }
 }

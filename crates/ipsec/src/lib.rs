@@ -45,14 +45,23 @@
 //! [`ShardedGateway`] (built via [`GatewayBuilder::build_sharded`] /
 //! [`GatewayBuilder::shards`]) partitions the SADB by SPI hash
 //! ([`reset_wire::spi_shard`]) across N worker shards — each shard a
-//! full [`Gateway`] owning its SAs' counters, windows, store slots and
-//! timers — and runs the batched receive path and reset recovery one
-//! scoped thread per shard, merging events in stable
-//! shard-then-arrival order. Determinism is part of the contract:
-//! single-shard output is bit-identical to [`Gateway`], and at any
-//! shard count the per-SPI event subsequences (the unit the paper's
-//! guarantees are stated in) are identical too — see the
-//! [`shard`](ShardedGateway) module docs and `tests/it_sharded.rs`.
+//! full [`Gateway`] owned **permanently by a long-lived worker
+//! thread** spawned once at build time. Verbs are jobs on the owning
+//! shard's work queue: the batched receive path, `tick`, `reset` and
+//! recovery fan one job out per shard and wait on the completions in
+//! shard index order, merging events in stable shard-then-arrival
+//! order (no thread is ever spawned per call); the pipelined
+//! [`ShardedGateway::submit_batch`] / [`ShardedGateway::drain_events`]
+//! pair lets a driver overlap frame generation with shard processing.
+//! Dropping the value closes the queues and joins the workers — a
+//! clean, bounded shutdown even with jobs still queued — and a
+//! panicking shard job surfaces on the caller (as
+//! [`IpsecError::WorkerPanicked`] from fallible verbs), never as a
+//! hang. Determinism is part of the contract: single-shard output is
+//! bit-identical to [`Gateway`], and at any shard count the per-SPI
+//! event subsequences (the unit the paper's guarantees are stated in)
+//! are identical too — see the [`shard`](ShardedGateway) module docs
+//! and `tests/it_sharded.rs`.
 //!
 //! ## Migrating from the free-standing style
 //!
@@ -99,6 +108,7 @@ mod error;
 mod esp;
 mod gateway;
 mod ike;
+mod pool;
 mod recovery;
 mod rekey;
 mod sa;

@@ -1,4 +1,5 @@
-//! The sharded gateway: one engine, N worker shards, zero shared locks.
+//! The sharded gateway: one engine, N persistent worker shards, zero
+//! shared locks on any datapath.
 //!
 //! The paper's SAVE/FETCH guarantees are *per SA* — nothing in the §4
 //! protocol couples one SA's counters to another's — so a gateway
@@ -7,32 +8,49 @@
 //! SPI hash ([`reset_wire::spi_shard`]) across N inner [`Gateway`]
 //! shards, each shard owning its SAs outright — counters, replay
 //! windows, persistent-store slots, DPD detectors and rekey generations
-//! all live inside one shard and are never touched by another. There is
-//! no cross-shard lock on any datapath; the only shared state is the
-//! builder's store factory, consulted (briefly, behind a mutex) when an
-//! SA is installed or rekeyed, never per packet.
+//! all live inside one shard and are never touched by another. The only
+//! shared state is the builder's store factory, consulted (briefly,
+//! behind a mutex) when an SA is installed or rekeyed, never per packet.
 //!
-//! # Threading model
+//! # Threading model: a persistent worker pool
 //!
-//! Shards are plain owned values; parallelism is *scoped*: the batched
-//! verbs ([`ShardedGateway::push_wire_batch`],
-//! [`ShardedGateway::reset`], [`ShardedGateway::begin_recover`] /
-//! [`ShardedGateway::finish_recover`]) fan work out to one scoped
-//! thread per non-idle shard and join before returning. Between calls
-//! no thread exists and no shard is borrowed, so the type needs no
-//! interior mutability and no `unsafe`. Single-frame verbs
-//! ([`ShardedGateway::protect`], [`ShardedGateway::push_wire`]) route
-//! directly to the owning shard on the caller's thread.
+//! [`GatewayBuilder::build_sharded`] spawns one long-lived worker
+//! thread per shard and moves that shard's [`Gateway`] into it
+//! permanently (see [`crate::pool`]'s internals). Every verb on
+//! [`ShardedGateway`] is a *job* submitted over the owning shard's
+//! work queue:
+//!
+//! * Routed verbs ([`ShardedGateway::protect`],
+//!   [`ShardedGateway::push_wire`], installs, the read accessors) are
+//!   one job on the owning shard, awaited synchronously.
+//! * Fleet verbs ([`ShardedGateway::push_wire_batch`],
+//!   [`ShardedGateway::tick`], [`ShardedGateway::reset`], the recovery
+//!   halves) submit one job to every (non-idle) shard and then wait on
+//!   the completions **in shard index order** — the completion barrier
+//!   that makes the event merge deterministic, below.
+//! * The pipelined pair [`ShardedGateway::submit_batch`] /
+//!   [`ShardedGateway::drain_events`] splits `push_wire_batch` into its
+//!   fan-out and its barrier, so a driver can seal the *next* batch
+//!   while the shards chew on the current one.
+//!
+//! No thread is spawned per call anywhere — the per-batch scoped-spawn
+//! model this replaced paid ~30 µs per thread per verb on the CI
+//! kernel, which swamped the per-shard work at realistic batch sizes.
+//! Each shard's queue is single-producer single-consumer and processed
+//! strictly in submission order, so per-shard sequencing is a property
+//! of the queue; no interior mutability, no `unsafe`, no datapath lock.
 //!
 //! # Determinism: why single-shard ≡ [`Gateway`]
 //!
-//! Every mutating verb ends by draining the shards' event queues into
-//! one merged queue in **stable shard-then-arrival order**: shard 0's
-//! events first (in the order that shard produced them), then shard
-//! 1's, and so on. Thread scheduling can reorder *execution*, but never
-//! the merge — the merged stream is a pure function of the inputs, so
-//! seeded experiments stay bit-for-bit reproducible at any shard count.
-//! Two consequences, both locked by `tests/it_sharded.rs`:
+//! Every event-producing job ends by draining its own shard's event
+//! queue and shipping those events back with the completion; the
+//! caller appends them to one merged queue in **stable
+//! shard-then-arrival order** (shard 0's events first, in the order
+//! that shard produced them, then shard 1's, and so on). Thread
+//! scheduling can reorder *execution*, but never the merge — the
+//! merged stream is a pure function of the inputs, so seeded
+//! experiments stay bit-for-bit reproducible at any shard count. Two
+//! consequences, both locked by `tests/it_sharded.rs`:
 //!
 //! * with one shard the merge is the identity, so a
 //!   `ShardedGateway` built with `.shards(1)` emits **exactly** the
@@ -49,6 +67,18 @@
 //! coalesces the shards' per-shard [`GatewayEvent::Recovered`] events
 //! into a single fleet-wide `Recovered { sas }` (summed), placed before
 //! the buffered-frame verdicts, matching the single-gateway shape.
+//!
+//! # Shutdown and failure semantics
+//!
+//! Dropping a [`ShardedGateway`] closes every shard's work queue and
+//! joins the workers; jobs already queued are drained first, so a drop
+//! with work in flight is a clean, bounded shutdown. A job that
+//! *panics* is caught on the worker, and the panic surfaces on the
+//! caller — as [`IpsecError::WorkerPanicked`] from the fallible verbs,
+//! or re-raised as a panic from the infallible ones — never as a hang.
+//! The shard's worker survives a job panic and keeps serving; its
+//! state is whatever the interrupted operation left, exactly as a
+//! panic mid-call leaves a plain [`Gateway`].
 //!
 //! # Reset storms
 //!
@@ -68,13 +98,21 @@ use reset_stable::{MemStable, StableError, StableStore};
 use anti_replay::{Phase, SeqNum};
 
 use crate::gateway::{Gateway, GatewayBuilder, GatewayEvent, SaDirection, SentFrame};
+use crate::pool::{Completion, ShardWorker};
 use crate::sa::SecurityAssociation;
-use crate::sadb::Sadb;
 use crate::IpsecError;
 
 /// The builder's store factory, shared across shards behind a mutex
 /// (consulted at install/rekey time only — never on a datapath).
 type SharedStoreFactory<S> = Arc<Mutex<Box<dyn FnMut(u32, SaDirection) -> S + Send>>>;
+
+/// What one shard reports back for a batch job: the verb's result plus
+/// the events the shard produced, in arrival order.
+type BatchDone = (Result<(), IpsecError>, Vec<GatewayEvent>);
+
+/// What one shard reports back for a recovery job: recovered direction
+/// count plus the shard's events.
+type RecoverDone = (Result<usize, IpsecError>, Vec<GatewayEvent>);
 
 impl GatewayBuilder<MemStable> {
     /// [`GatewayBuilder::in_memory`] pre-set to `shards` worker shards —
@@ -86,11 +124,12 @@ impl GatewayBuilder<MemStable> {
 
 impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
     /// Builds a [`ShardedGateway`] with the builder's shard count (or
-    /// the host's available parallelism when unset). All engine-wide
-    /// policy — suite, window, save interval, rekey/DPD, skeyid — is
-    /// replicated into every shard; the store factory is shared (SAs
-    /// are installed from the caller's thread, so the factory mutex is
-    /// uncontended).
+    /// the host's available parallelism when unset), spawning the
+    /// persistent worker threads that own the shards for the value's
+    /// whole lifetime. All engine-wide policy — suite, window, save
+    /// interval, rekey/DPD, skeyid — is replicated into every shard;
+    /// the store factory is shared behind a mutex (contended only when
+    /// several shards install or rekey SAs at the same instant).
     pub fn build_sharded(self) -> ShardedGateway<S> {
         let n = self
             .shards
@@ -101,10 +140,10 @@ impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
             })
             .max(1);
         let factory: SharedStoreFactory<S> = Arc::new(Mutex::new(self.make_store));
-        let shards = (0..n)
-            .map(|_| {
+        let workers = (0..n)
+            .map(|idx| {
                 let f = Arc::clone(&factory);
-                GatewayBuilder {
+                let gateway = GatewayBuilder {
                     suite: self.suite,
                     k: self.k,
                     w: self.w,
@@ -116,20 +155,30 @@ impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
                         (f.lock().expect("store factory poisoned"))(spi, dir)
                     }),
                 }
-                .build()
+                .build();
+                if n == 1 {
+                    // The degenerate pool: one shard spawns no thread —
+                    // jobs run inline, keeping `shards(1)` identical to
+                    // a plain `Gateway` in cost as well as output.
+                    ShardWorker::inline(idx, gateway)
+                } else {
+                    ShardWorker::spawn(idx, gateway)
+                }
             })
             .collect();
         ShardedGateway {
-            shards,
+            in_flight: VecDeque::new(),
+            stashed_error: None,
             events: VecDeque::new(),
+            workers,
         }
     }
 }
 
 /// N-shard wrapper over [`Gateway`]: same verbs, same events, SA fleet
 /// partitioned by SPI hash, batch datapath and reset recovery running
-/// shard-parallel. See the [module docs](self) for the threading and
-/// determinism model.
+/// on a persistent worker pool. See the [module docs](self) for the
+/// threading, determinism and shutdown model.
 ///
 /// # Examples
 ///
@@ -145,102 +194,153 @@ impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
 /// let frames: Vec<_> = (1..=64)
 ///     .map(|spi| p.protect(spi, b"hello").unwrap().expect("up").wire)
 ///     .collect();
-/// q.push_wire_batch(&frames)?; // shards drain their queues in parallel
+/// q.push_wire_batch(&frames)?; // the worker shards drain their queues in parallel
 /// let events = q.poll_events();
 /// assert_eq!(events.len(), 64);
 /// assert!(events.iter().all(|e| matches!(e, GatewayEvent::Delivered { .. })));
 /// # Ok::<(), reset_ipsec::IpsecError>(())
 /// ```
 pub struct ShardedGateway<S> {
-    shards: Vec<Gateway<S>>,
+    /// Batch submissions not yet waited on, FIFO. Each entry is one
+    /// `submit_batch` call's per-shard completions in shard index
+    /// order. (Declared before `workers` so pending completions drop
+    /// before the workers are joined.)
+    in_flight: VecDeque<Vec<Completion<BatchDone>>>,
+    /// An error observed while flushing in-flight work from a verb
+    /// with no error channel; returned by the next fallible verb.
+    stashed_error: Option<IpsecError>,
     /// The merged event queue, filled in stable shard-then-arrival
-    /// order after every mutating verb.
+    /// order as completions are waited on.
     events: VecDeque<GatewayEvent>,
+    /// One persistent worker per shard, each owning its `Gateway`.
+    workers: Vec<ShardWorker<S>>,
 }
 
 impl<S> std::fmt::Debug for ShardedGateway<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedGateway")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.workers.len())
             .field("pending_events", &self.events.len())
+            .field("in_flight_batches", &self.in_flight.len())
             .finish_non_exhaustive()
     }
 }
 
-impl<S: StableStore + Send> ShardedGateway<S> {
+impl<S: StableStore + Send + 'static> ShardedGateway<S> {
     // ------------------------------------------------------------------
     // Routing
     // ------------------------------------------------------------------
 
     /// Number of worker shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.workers.len()
     }
 
     /// Which shard owns `spi` — [`reset_wire::spi_shard`], the one
     /// routing definition install and dispatch share.
     pub fn shard_of(&self, spi: u32) -> usize {
-        reset_wire::spi_shard(spi, self.shards.len())
+        reset_wire::spi_shard(spi, self.workers.len())
     }
 
-    /// Read access to one shard's inner engine (diagnostics, tests).
-    pub fn shard(&self, idx: usize) -> &Gateway<S> {
-        &self.shards[idx]
+    /// Runs `f` against one shard's inner engine on that shard's worker
+    /// thread and returns its result (diagnostics, tests, occupancy
+    /// inspection). The replacement for handing out `&Gateway`
+    /// references, which cannot outlive a worker-owned shard.
+    pub fn with_shard<R: Send + 'static>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&Gateway<S>) -> R + Send + 'static,
+    ) -> R {
+        self.workers[idx].run(move |g| f(&*g))
     }
 
     /// Every installed SPI across all shards, ascending.
     pub fn spis(&self) -> Vec<u32> {
-        let mut spis: Vec<u32> = self.shards.iter().flat_map(|g| g.sadb().spis()).collect();
+        let mut spis: Vec<u32> = self
+            .gather(|g| g.sadb().spis())
+            .into_iter()
+            .flatten()
+            .collect();
         spis.sort_unstable();
         spis
     }
 
     /// Total installed SA endpoints across all shards (both directions).
     pub fn sa_endpoints(&self) -> usize {
-        self.shards.iter().map(|g| g.sadb().len()).sum()
+        self.gather(|g| g.sadb().len()).into_iter().sum()
     }
 
-    /// Read access to the SADB shard that owns `spi` (fault injection,
-    /// occupancy inspection).
-    pub fn sadb_of(&self, spi: u32) -> &Sadb<S> {
-        self.shards[self.shard_of(spi)].sadb()
+    /// Submits a read job to every shard in parallel and returns the
+    /// results in shard index order.
+    fn gather<R: Send + 'static>(
+        &self,
+        f: impl Fn(&mut Gateway<S>) -> R + Clone + Send + 'static,
+    ) -> Vec<R> {
+        let completions: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let f = f.clone();
+                w.submit(move |g| f(g))
+            })
+            .collect();
+        completions
+            .into_iter()
+            .map(|c| c.wait().unwrap_or_else(|p| p.resume()))
+            .collect()
     }
 
-    fn owner_mut(&mut self, spi: u32) -> &mut Gateway<S> {
-        let idx = self.shard_of(spi);
-        &mut self.shards[idx]
+    /// Waits on one fleet submission's completions in shard index
+    /// order, appending each shard's events to the merged queue.
+    /// Returns the first error (a shard's verb error, or a job panic
+    /// mapped to [`IpsecError::WorkerPanicked`]).
+    fn barrier(&mut self, completions: Vec<Completion<BatchDone>>) -> Option<IpsecError> {
+        let mut first = None;
+        for completion in completions {
+            match completion.wait() {
+                Ok((result, events)) => {
+                    self.events.extend(events);
+                    if let Err(e) = result {
+                        first.get_or_insert(e);
+                    }
+                }
+                Err(panic) => {
+                    first.get_or_insert(panic.into_error());
+                }
+            }
+        }
+        first
     }
 
-    /// Appends every shard's pending events to the merged queue, shard
-    /// index order first, each shard's events in its arrival order.
-    fn drain_shards(&mut self) {
-        for g in &mut self.shards {
-            self.events.extend(g.poll_events());
+    /// Completes every in-flight `submit_batch`, oldest first, merging
+    /// events. Returns the first error (including one stashed by an
+    /// earlier infallible verb).
+    fn flush_in_flight(&mut self) -> Option<IpsecError> {
+        let mut first = self.stashed_error.take();
+        while let Some(group) = self.in_flight.pop_front() {
+            if let Some(e) = self.barrier(group) {
+                first.get_or_insert(e);
+            }
+        }
+        first
+    }
+
+    /// [`ShardedGateway::flush_in_flight`] for verbs that can return
+    /// the error to the caller.
+    fn flushed(&mut self) -> Result<(), IpsecError> {
+        match self.flush_in_flight() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
-    /// Runs `f` over every shard, one scoped thread per shard (inline
-    /// when only one shard exists — no thread is spawned, keeping the
-    /// single-shard path identical in side effects *and* cost profile).
-    /// Results come back in shard index order regardless of scheduling.
-    fn on_all_shards<R: Send>(&mut self, f: impl Fn(&mut Gateway<S>) -> R + Sync) -> Vec<R> {
-        if self.shards.len() == 1 {
-            return vec![f(&mut self.shards[0])];
+    /// [`ShardedGateway::flush_in_flight`] for verbs with no error
+    /// channel: an error is stashed and surfaces from the next
+    /// fallible verb instead of being dropped.
+    fn flush_stashing(&mut self) {
+        if let Some(e) = self.flush_in_flight() {
+            self.stashed_error = Some(e);
         }
-        let f = &f;
-        // Shards 1..n get their own scoped threads; shard 0 runs on the
-        // caller's thread while they work — one fewer spawn per call.
-        let (first, rest) = self.shards.split_at_mut(1);
-        thread::scope(|scope| {
-            let handles: Vec<_> = rest.iter_mut().map(|g| scope.spawn(move || f(g))).collect();
-            let mut results = vec![f(&mut first[0])];
-            results.extend(
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked")),
-            );
-            results
-        })
     }
 
     // ------------------------------------------------------------------
@@ -249,48 +349,61 @@ impl<S: StableStore + Send> ShardedGateway<S> {
 
     /// [`Gateway::add_peer`] on the shard owning `spi`.
     pub fn add_peer(&mut self, spi: u32, master: &[u8]) {
-        self.owner_mut(spi).add_peer(spi, master);
+        let master = master.to_vec();
+        self.workers[self.shard_of(spi)].run(move |g| g.add_peer(spi, &master));
     }
 
     /// [`Gateway::add_peer_between`] on the shard owning `spi`.
     pub fn add_peer_between(&mut self, spi: u32, master: &[u8], local: &[u8], remote: &[u8]) {
-        self.owner_mut(spi)
-            .add_peer_between(spi, master, local, remote);
+        let (master, local, remote) = (master.to_vec(), local.to_vec(), remote.to_vec());
+        self.workers[self.shard_of(spi)]
+            .run(move |g| g.add_peer_between(spi, &master, &local, &remote));
     }
 
     /// [`Gateway::install_pair`] on the shard owning the SA's SPI.
     pub fn install_pair(&mut self, sa: SecurityAssociation) {
-        self.owner_mut(sa.spi()).install_pair(sa);
+        self.workers[self.shard_of(sa.spi())].run(move |g| g.install_pair(sa));
     }
 
     /// [`Gateway::install_outbound`] on the shard owning the SA's SPI.
     pub fn install_outbound(&mut self, sa: SecurityAssociation) {
-        self.owner_mut(sa.spi()).install_outbound(sa);
+        self.workers[self.shard_of(sa.spi())].run(move |g| g.install_outbound(sa));
     }
 
     /// [`Gateway::install_inbound`] on the shard owning the SA's SPI.
     pub fn install_inbound(&mut self, sa: SecurityAssociation) {
-        self.owner_mut(sa.spi()).install_inbound(sa);
+        self.workers[self.shard_of(sa.spi())].run(move |g| g.install_inbound(sa));
     }
 
     /// [`Gateway::remove_peer`] on the shard owning `spi`.
     pub fn remove_peer(&mut self, spi: u32) -> bool {
-        self.owner_mut(spi).remove_peer(spi)
+        self.workers[self.shard_of(spi)].run(move |g| g.remove_peer(spi))
     }
 
     // ------------------------------------------------------------------
     // Datapath
     // ------------------------------------------------------------------
 
-    /// Seals `payload` on the outbound SA `spi` (routed; see
-    /// [`Gateway::protect`]).
+    /// Seals `payload` on the outbound SA `spi` (one job on the owning
+    /// shard; see [`Gateway::protect`]).
     ///
     /// # Errors
     ///
-    /// [`IpsecError::UnknownSa`], lifetime exhaustion, or store
-    /// failures.
+    /// [`IpsecError::UnknownSa`], lifetime exhaustion, store failures,
+    /// or [`IpsecError::WorkerPanicked`] — including an error stashed
+    /// by an earlier infallible verb, surfaced here like from every
+    /// other fallible verb.
     pub fn protect(&mut self, spi: u32, payload: &[u8]) -> Result<Option<SentFrame>, IpsecError> {
-        self.owner_mut(spi).protect(spi, payload)
+        self.flushed()?;
+        let worker = &self.workers[self.shard_of(spi)];
+        if let Some(result) = worker.run_borrowed(|g| g.protect(spi, payload)) {
+            return result; // single-shard inline: no copy, no queue
+        }
+        let payload = payload.to_vec();
+        worker
+            .submit(move |g| g.protect(spi, &payload))
+            .wait()
+            .unwrap_or_else(|p| Err(p.into_error()))
     }
 
     /// Feeds one received frame to the shard owning its SPI. Frames too
@@ -300,73 +413,111 @@ impl<S: StableStore + Send> ShardedGateway<S> {
     ///
     /// # Errors
     ///
-    /// Store failures only; per-packet failures are events.
+    /// Store failures or [`IpsecError::WorkerPanicked`]; per-packet
+    /// failures are events.
     pub fn push_wire(&mut self, wire: &Bytes) -> Result<(), IpsecError> {
+        self.flushed()?;
         let spi = reset_wire::peek_spi(wire).unwrap_or(0);
-        let r = self.owner_mut(spi).push_wire(wire);
-        self.drain_shards();
-        r
+        let idx = self.shard_of(spi);
+        if let Some((result, events)) =
+            self.workers[idx].run_borrowed(|g| (g.push_wire(wire), g.poll_events()))
+        {
+            // Single-shard inline: no frame clone, no queue round-trip.
+            self.events.extend(events);
+            return result;
+        }
+        let wire = wire.clone();
+        let done = self.workers[idx]
+            .submit(move |g| (g.push_wire(&wire), g.poll_events()))
+            .wait();
+        match done {
+            Ok((result, events)) => {
+                self.events.extend(events);
+                result
+            }
+            Err(panic) => Err(panic.into_error()),
+        }
     }
 
-    /// Feeds a burst of frames through the fleet: frames fan out to
-    /// their owning shards by [`reset_wire::peek_spi`] (arrival order
-    /// preserved within each shard), every non-idle shard drains its
-    /// queue through [`Gateway::push_wire_batch`] on its own thread, and
-    /// the shards' event streams are merged in stable shard-then-arrival
+    /// Feeds a burst of frames through the fleet and waits for every
+    /// shard: frames fan out to their owning shards by
+    /// [`reset_wire::peek_spi`] (arrival order preserved within each
+    /// shard), every non-idle shard drains its queue through
+    /// [`Gateway::push_wire_batch`] on its persistent worker, and the
+    /// shards' event streams are merged in stable shard-then-arrival
     /// order. One event per frame; per-SPI event order is identical to
-    /// pushing the same burst through one [`Gateway`].
+    /// pushing the same burst through one [`Gateway`]. Equivalent to
+    /// [`ShardedGateway::submit_batch`] + [`ShardedGateway::drain_events`].
     ///
     /// # Errors
     ///
-    /// First shard store failure (other shards' events are still
-    /// merged).
+    /// First shard store failure or worker panic (other shards' events
+    /// are still merged).
     pub fn push_wire_batch(&mut self, wires: &[Bytes]) -> Result<(), IpsecError> {
-        let n = self.shards.len();
-        let r = if n == 1 {
-            // No fan-out copy, no thread: byte-identical to Gateway.
-            self.shards[0].push_wire_batch(wires)
-        } else {
-            let mut queues: Vec<Vec<Bytes>> = vec![Vec::new(); n];
-            for wire in wires {
-                let spi = reset_wire::peek_spi(wire).unwrap_or(0);
-                queues[reset_wire::spi_shard(spi, n)].push(wire.clone());
-            }
-            let results = thread::scope(|scope| {
-                // The first non-idle shard drains on the caller's
-                // thread; the rest get scoped threads.
-                let mut work = self
-                    .shards
-                    .iter_mut()
-                    .zip(&queues)
-                    .filter(|(_, q)| !q.is_empty());
-                let local = work.next();
-                let handles: Vec<_> = work
-                    .map(|(g, q)| scope.spawn(move || g.push_wire_batch(q)))
-                    .collect();
-                let mut results = Vec::with_capacity(handles.len() + 1);
-                if let Some((g, q)) = local {
-                    results.push(g.push_wire_batch(q));
-                }
-                results.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard worker panicked")),
-                );
-                results
-            });
-            results.into_iter().find(|r| r.is_err()).unwrap_or(Ok(()))
-        };
-        self.drain_shards();
-        r
+        self.flushed()?;
+        if let Some((result, events)) =
+            self.workers[0].run_borrowed(|g| (g.push_wire_batch(wires), g.poll_events()))
+        {
+            // Single-shard inline: the burst is borrowed straight into
+            // the engine — no fan-out clone, byte-identical in cost to
+            // a plain `Gateway` drain.
+            self.events.extend(events);
+            return result;
+        }
+        self.submit_batch(wires);
+        self.flushed()
+    }
+
+    /// First half of a pipelined [`ShardedGateway::push_wire_batch`]:
+    /// fans `wires` out to the owning shards' work queues and returns
+    /// **without waiting**. The shards process while the caller does
+    /// other work (sealing the next batch, generating traffic);
+    /// [`ShardedGateway::drain_events`] is the matching barrier.
+    /// Submissions queue FIFO — submitting twice before draining is
+    /// fine, and the merged event order is the same as two sequential
+    /// `push_wire_batch` calls.
+    pub fn submit_batch(&mut self, wires: &[Bytes]) {
+        let n = self.workers.len();
+        let mut queues: Vec<Vec<Bytes>> = vec![Vec::new(); n];
+        for wire in wires {
+            let spi = reset_wire::peek_spi(wire).unwrap_or(0);
+            queues[reset_wire::spi_shard(spi, n)].push(wire.clone());
+        }
+        let group: Vec<Completion<BatchDone>> = self
+            .workers
+            .iter()
+            .zip(queues)
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(w, q)| w.submit(move |g| (g.push_wire_batch(&q), g.poll_events())))
+            .collect();
+        self.in_flight.push_back(group);
+    }
+
+    /// Barrier for [`ShardedGateway::submit_batch`]: waits for every
+    /// in-flight submission (oldest first, shards in index order),
+    /// merges their events, and drains the merged queue.
+    ///
+    /// # Errors
+    ///
+    /// First shard store failure or worker panic across the flushed
+    /// submissions (all completed shards' events are still returned on
+    /// the next call).
+    pub fn drain_events(&mut self) -> Result<Vec<GatewayEvent>, IpsecError> {
+        self.flushed()?;
+        Ok(self.events.drain(..).collect())
     }
 
     /// Drains the merged event queue (see the [module docs](self) for
-    /// the merge order).
+    /// the merge order). Completes any in-flight
+    /// [`ShardedGateway::submit_batch`] first; an error discovered
+    /// while doing so is deferred to the next fallible verb.
     pub fn poll_events(&mut self) -> Vec<GatewayEvent> {
+        self.flush_stashing();
         self.events.drain(..).collect()
     }
 
-    /// Merged events queued but not yet polled.
+    /// Merged events queued but not yet polled (does not count events
+    /// still inside in-flight batch submissions).
     pub fn pending_events(&self) -> usize {
         self.events.len()
     }
@@ -375,20 +526,37 @@ impl<S: StableStore + Send> ShardedGateway<S> {
     // Clock-driven policies
     // ------------------------------------------------------------------
 
-    /// Advances every shard's clock in shard index order (DPD and rekey
-    /// work is negligible next to the datapath, so ticks stay
-    /// sequential and trivially deterministic).
+    /// Advances every shard's clock (one job per shard, events merged
+    /// in shard index order — DPD and rekey work is independent per
+    /// shard, so parallel execution with an index-ordered barrier is
+    /// indistinguishable from the sequential sweep).
     pub fn tick(&mut self, now_ns: u64) {
-        for g in &mut self.shards {
-            g.tick(now_ns);
+        self.flush_stashing();
+        let group: Vec<Completion<BatchDone>> = self
+            .workers
+            .iter()
+            .map(|w| {
+                w.submit(move |g| {
+                    g.tick(now_ns);
+                    (Ok(()), g.poll_events())
+                })
+            })
+            .collect();
+        if let Some(e) = self.barrier(group) {
+            // Keep the *first* stashed error (an earlier flush may
+            // already hold one the caller hasn't seen yet).
+            self.stashed_error.get_or_insert(e);
         }
-        self.drain_shards();
     }
 
     /// [`Gateway::rekey_now`] on the shard owning `spi`.
     pub fn rekey_now(&mut self, spi: u32) {
-        self.owner_mut(spi).rekey_now(spi);
-        self.drain_shards();
+        self.flush_stashing();
+        let events = self.workers[self.shard_of(spi)].run(move |g| {
+            g.rekey_now(spi);
+            g.poll_events()
+        });
+        self.events.extend(events);
     }
 
     // ------------------------------------------------------------------
@@ -398,19 +566,50 @@ impl<S: StableStore + Send> ShardedGateway<S> {
     /// The host crashes: every SA in every shard loses its volatile
     /// counters, in parallel.
     pub fn reset(&mut self) {
-        self.on_all_shards(|g| g.reset());
+        self.flush_stashing();
+        let group: Vec<Completion<BatchDone>> = self
+            .workers
+            .iter()
+            .map(|w| {
+                w.submit(|g| {
+                    g.reset();
+                    (Ok(()), Vec::new())
+                })
+            })
+            .collect();
+        if let Some(e) = self.barrier(group) {
+            // Keep the *first* stashed error, as in `tick`.
+            self.stashed_error.get_or_insert(e);
+        }
     }
 
-    /// SAVE/FETCH recovery of the whole fleet: both halves, shard-
-    /// parallel. Emits one coalesced [`GatewayEvent::Recovered`].
-    /// Returns the number of SA directions recovered.
+    /// SAVE/FETCH recovery of the whole fleet: both halves fused into
+    /// **one job per shard** (half the completion barriers of calling
+    /// the halves separately — this is the reset-storm hot verb).
+    /// Emits one coalesced [`GatewayEvent::Recovered`]. Returns the
+    /// number of SA directions recovered.
     ///
     /// # Errors
     ///
-    /// First shard store failure.
+    /// First shard store failure or worker panic. On a partial failure
+    /// the *other* shards complete both halves (with the split calls a
+    /// begin-error would leave them merely begun); retrying `recover`
+    /// wakes the failed shard and re-runs no-op halves on the rest.
     pub fn recover(&mut self) -> Result<usize, IpsecError> {
-        self.begin_recover()?;
-        self.finish_recover()
+        self.flushed()?;
+        let completions: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                w.submit(|g| {
+                    (
+                        g.begin_recover().and_then(|()| g.finish_recover()),
+                        g.poll_events(),
+                    )
+                })
+            })
+            .collect();
+        self.coalesce_recovered(completions)
     }
 
     /// First recovery half on every shard in parallel: FETCH + leap +
@@ -422,10 +621,16 @@ impl<S: StableStore + Send> ShardedGateway<S> {
     /// First shard store failure (its shard stays down; others may
     /// already be waking — retry, exactly as with [`Gateway`]).
     pub fn begin_recover(&mut self) -> Result<(), IpsecError> {
-        self.on_all_shards(|g| g.begin_recover())
-            .into_iter()
-            .find(|r| r.is_err())
-            .unwrap_or(Ok(()))
+        self.flushed()?;
+        let group: Vec<Completion<BatchDone>> = self
+            .workers
+            .iter()
+            .map(|w| w.submit(|g| (g.begin_recover(), Vec::new())))
+            .collect();
+        match self.barrier(group) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Second recovery half on every shard in parallel. The shards'
@@ -436,26 +641,46 @@ impl<S: StableStore + Send> ShardedGateway<S> {
     ///
     /// # Errors
     ///
-    /// First shard store failure (successful shards' events are still
-    /// merged after the coalesced `Recovered`).
+    /// First shard store failure or worker panic (successful shards'
+    /// events are still merged after the coalesced `Recovered`).
     pub fn finish_recover(&mut self) -> Result<usize, IpsecError> {
-        let results = self.on_all_shards(|g| g.finish_recover());
+        self.flushed()?;
+        let completions: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| w.submit(|g| (g.finish_recover(), g.poll_events())))
+            .collect();
+        self.coalesce_recovered(completions)
+    }
+
+    /// Waits (shard index order) on per-shard recovery completions,
+    /// coalescing their `Recovered` events into one fleet-wide event
+    /// placed before the buffered-frame verdicts.
+    fn coalesce_recovered(
+        &mut self,
+        completions: Vec<Completion<RecoverDone>>,
+    ) -> Result<usize, IpsecError> {
         let mut total = 0usize;
         let mut first_err = None;
         let mut verdicts: Vec<GatewayEvent> = Vec::new();
-        for (g, r) in self.shards.iter_mut().zip(results) {
-            match r {
-                Ok(sas) => total += sas,
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+        for completion in completions {
+            match completion.wait() {
+                Ok((result, events)) => {
+                    match result {
+                        Ok(sas) => total += sas,
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                    for ev in events {
+                        match ev {
+                            GatewayEvent::Recovered { .. } => {} // re-emitted coalesced below
+                            other => verdicts.push(other),
+                        }
                     }
                 }
-            }
-            for ev in g.poll_events() {
-                match ev {
-                    GatewayEvent::Recovered { .. } => {} // re-emitted coalesced below
-                    other => verdicts.push(other),
+                Err(panic) => {
+                    first_err.get_or_insert(panic.into_error());
                 }
             }
         }
@@ -481,40 +706,45 @@ impl<S: StableStore + Send> ShardedGateway<S> {
     // ------------------------------------------------------------------
 
     /// True iff any SA in any shard has a background SAVE in flight.
+    /// (Queries ride the same per-shard queues as mutations, so the
+    /// answer reflects every previously submitted job.)
     pub fn pending_save(&self) -> bool {
-        self.shards.iter().any(|g| g.pending_save())
+        self.gather(|g| g.pending_save()).into_iter().any(|p| p)
     }
 
-    /// Completes every in-flight background SAVE across all shards.
+    /// Completes every in-flight background SAVE across all shards, in
+    /// parallel.
     ///
     /// # Errors
     ///
-    /// First store failure (pending saves are retained for retry).
+    /// First store failure in shard index order (pending saves are
+    /// retained for retry).
     pub fn save_completed(&mut self) -> Result<(), StableError> {
-        for g in &mut self.shards {
-            g.save_completed()?;
-        }
-        Ok(())
+        self.flush_stashing();
+        self.gather(|g| g.save_completed())
+            .into_iter()
+            .find(|r| r.is_err())
+            .unwrap_or(Ok(()))
     }
 
     /// The next sequence number the outbound SA `spi` would send.
     pub fn next_seq(&self, spi: u32) -> Option<SeqNum> {
-        self.shards[self.shard_of(spi)].next_seq(spi)
+        self.workers[self.shard_of(spi)].run(move |g| g.next_seq(spi))
     }
 
     /// The inbound SA's anti-replay right edge.
     pub fn right_edge(&self, spi: u32) -> Option<SeqNum> {
-        self.shards[self.shard_of(spi)].right_edge(spi)
+        self.workers[self.shard_of(spi)].run(move |g| g.right_edge(spi))
     }
 
     /// The SA's liveness phase (see [`Gateway::phase`]).
     pub fn phase(&self, spi: u32) -> Option<Phase> {
-        self.shards[self.shard_of(spi)].phase(spi)
+        self.workers[self.shard_of(spi)].run(move |g| g.phase(spi))
     }
 
     /// Whether `spi`'s DPD detector is inside the §6 grace window.
     pub fn in_grace(&self, spi: u32) -> Option<bool> {
-        self.shards[self.shard_of(spi)].in_grace(spi)
+        self.workers[self.shard_of(spi)].run(move |g| g.in_grace(spi))
     }
 }
 
@@ -545,12 +775,12 @@ mod tests {
         assert_eq!(p.sa_endpoints(), 128);
         for idx in 0..4 {
             assert!(
-                !p.shard(idx).sadb().is_empty(),
+                !p.with_shard(idx, |g| g.sadb().is_empty()),
                 "shard {idx} owns no SA out of 64"
             );
         }
         for spi in 1..=64 {
-            assert!(p.sadb_of(spi).outbound(spi).is_some());
+            assert!(p.with_shard(p.shard_of(spi), move |g| g.sadb().outbound(spi).is_some()));
         }
     }
 
@@ -604,6 +834,35 @@ mod tests {
         reference.push_wire_batch(&wires).unwrap();
         q.push_wire_batch(&wires).unwrap();
         assert_eq!(reference.poll_events(), q.poll_events());
+    }
+
+    #[test]
+    fn submit_drain_split_matches_push_wire_batch() {
+        let (mut p, mut q_sync) = fleet(4, 16);
+        let (_, mut q_pipelined) = fleet(4, 16);
+        let chunks: Vec<Vec<Bytes>> = (0..4)
+            .map(|round| {
+                (1..=16)
+                    .map(|spi| {
+                        p.protect(spi, format!("c{round}").as_bytes())
+                            .unwrap()
+                            .unwrap()
+                            .wire
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut sync_events = Vec::new();
+        for chunk in &chunks {
+            q_sync.push_wire_batch(chunk).unwrap();
+            sync_events.extend(q_sync.poll_events());
+        }
+        // Pipelined: all four chunks in flight before the one barrier.
+        for chunk in &chunks {
+            q_pipelined.submit_batch(chunk);
+        }
+        let pipelined_events = q_pipelined.drain_events().unwrap();
+        assert_eq!(sync_events, pipelined_events);
     }
 
     #[test]
@@ -768,5 +1027,23 @@ mod tests {
             q.push_wire_batch(&frames).unwrap();
             assert_eq!(q.poll_events().len(), 6, "{suite:?}");
         }
+    }
+
+    #[test]
+    fn drop_with_batches_in_flight_shuts_down_cleanly() {
+        let (mut p, mut q) = fleet(4, 32);
+        let frames: Vec<Bytes> = (0..8)
+            .flat_map(|_| {
+                (1..=32)
+                    .map(|spi| p.protect(spi, b"queued").unwrap().unwrap().wire)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for chunk in frames.chunks(64) {
+            q.submit_batch(chunk);
+        }
+        // Dropped with four workers' queues full: the pool must drain
+        // and join without hanging or panicking.
+        drop(q);
     }
 }

@@ -48,9 +48,11 @@ fn main() {
         Transport::Model,
         Transport::esp(CryptoSuite::HmacSha256WithKeystream),
         Transport::esp(CryptoSuite::ChaCha20Poly1305),
-        // The same attack against a 64-SA fleet on a 4-shard gateway:
-        // the adversary's history spans every SA, the reset strikes the
-        // whole fleet, and the verdict must not change.
+        // The same attack against a 64-SA fleet on a 4-shard gateway
+        // (four persistent pool workers per side, spawned once at
+        // scenario start): the adversary's history spans every SA, the
+        // reset strikes the whole fleet, and the verdict must not
+        // change.
         Transport::esp_fleet(CryptoSuite::ChaCha20Poly1305, 64, 4),
     ];
     for transport in transports {

@@ -7,13 +7,16 @@
 //!
 //! Stress-cases the convergence theorem on the sharded `Gateway`
 //! engine: a 64-SA fleet on a 4-shard [`reset_ipsec::ShardedGateway`]
-//! pair, eight resets (both sides, overlapping), 5% loss, 5%
-//! duplication, and an adversary injecting recorded ciphertext every
-//! 200 µs — including the §4 "double reset before the first SAVE"
-//! pattern (two resets back to back). Every reset strikes the whole
-//! fleet, so each wake-up runs the engine's shard-parallel
-//! `recover_all` over all 64 SAs. The monitor checks after every event
-//! that no replay is accepted on any SA and all losses stay bounded.
+//! pair — four persistent pool workers per side, spawned once when the
+//! scenario builds its gateways and serving every frame and recovery
+//! job of the run — eight resets (both sides, overlapping), 5% loss,
+//! 5% duplication, and an adversary injecting recorded ciphertext
+//! every 200 µs — including the §4 "double reset before the first
+//! SAVE" pattern (two resets back to back). Every reset strikes the
+//! whole fleet, so each wake-up submits the shard-parallel recovery
+//! halves to all four workers over their work queues. The monitor
+//! checks after every event that no replay is accepted on any SA and
+//! all losses stay bounded.
 
 use reset_channel::LinkConfig;
 use reset_harness::{run_scenario, AdversaryPlan, Protocol, ScenarioConfig, Transport};

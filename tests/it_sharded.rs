@@ -17,6 +17,17 @@
 //! Both cipher suites run the whole matrix, seeded; failures print the
 //! seed and diverging SPI.
 //!
+//! Since the persistent worker-pool runtime landed, the sharded side of
+//! every differential runs on long-lived worker threads fed over
+//! per-shard work queues — the same differential therefore also locks
+//! the pool's completion-barrier event merge. Additional lifecycle
+//! coverage here: drop-with-work-in-flight shuts down cleanly, a
+//! panicking shard job surfaces as [`reset_ipsec::IpsecError`]
+//! (`WorkerPanicked`) on the caller instead of hanging, and the
+//! env-gated `shard_scaling_meets_multicore_floor` measures the ≥1.5×
+//! 4-shard throughput floor on hosts with ≥4 cores (the CI scaling
+//! lane sets `IT_SHARD_SCALING=1` after checking `nproc`).
+//!
 //! Set `IT_SHARDED_SOAK=<n>` to multiply the frame count (the CI soak
 //! lane runs the suite at 5× with the thread-heavy 8-shard config).
 
@@ -474,4 +485,195 @@ fn cross_suite_frames_fail_authentication_through_shard_routing() {
     assert!(events
         .iter()
         .all(|e| matches!(e, GatewayEvent::AuthFailed { .. })));
+}
+
+// ----------------------------------------------------------------------
+// Worker-pool lifecycle
+// ----------------------------------------------------------------------
+
+/// Dropping a pooled fleet with whole batches still queued on the
+/// workers must drain and join cleanly — no hang (the test would time
+/// out), no panic, no abort.
+#[test]
+fn dropping_fleet_with_queued_batches_shuts_down_cleanly() {
+    let suite = CryptoSuite::default();
+    let mut tx = tx_gateway(suite);
+    let spis = fleet_spis();
+    let frames: Vec<Bytes> = (0..6)
+        .flat_map(|_| {
+            spis.iter()
+                .map(|&spi| tx.protect(spi, b"in flight").unwrap().unwrap().wire)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for shards in [1usize, 4, 8] {
+        let mut rx = rx_sharded(suite, shards);
+        // Pipeline several submissions and drop without draining.
+        for chunk in frames.chunks(96) {
+            rx.submit_batch(chunk);
+        }
+        drop(rx);
+    }
+}
+
+/// A store that FETCHes normally until armed, then panics — injected
+/// through the public `GatewayBuilder::with_stores` factory so the
+/// panic fires *inside a shard worker's job* during `begin_recover`.
+struct PanicOnLoad {
+    inner: MemStable,
+    armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl reset_stable::StableStore for PanicOnLoad {
+    fn store(
+        &mut self,
+        slot: reset_stable::SlotId,
+        value: u64,
+    ) -> Result<(), reset_stable::StableError> {
+        self.inner.store(slot, value)
+    }
+    fn load(&self, slot: reset_stable::SlotId) -> Result<Option<u64>, reset_stable::StableError> {
+        if self.armed.load(std::sync::atomic::Ordering::Relaxed) {
+            panic!("injected store panic on FETCH of {slot}");
+        }
+        self.inner.load(slot)
+    }
+    fn erase(&mut self, slot: reset_stable::SlotId) -> Result<(), reset_stable::StableError> {
+        self.inner.erase(slot)
+    }
+}
+
+/// A panicking shard job must come back to the caller as
+/// `IpsecError::WorkerPanicked` — an error, not a hang and not a
+/// caller-side abort — and the pool must still shut down cleanly
+/// afterwards.
+#[test]
+fn panicking_shard_job_surfaces_as_error_not_hang() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let armed = Arc::new(AtomicBool::new(false));
+    let factory_armed = Arc::clone(&armed);
+    let mut rx = reset_ipsec::GatewayBuilder::with_stores(move |_, _| PanicOnLoad {
+        inner: MemStable::new(),
+        armed: Arc::clone(&factory_armed),
+    })
+    .shards(4)
+    .save_interval(10)
+    .build_sharded();
+    let suite = CryptoSuite::default();
+    let mut tx = tx_gateway(suite);
+    for spi in fleet_spis() {
+        rx.install_inbound(sa_for(suite, spi));
+    }
+    let frames: Vec<Bytes> = fleet_spis()
+        .iter()
+        .map(|&spi| tx.protect(spi, b"healthy traffic").unwrap().unwrap().wire)
+        .collect();
+    rx.push_wire_batch(&frames).unwrap();
+    assert_eq!(rx.poll_events().len(), frames.len());
+
+    // Arm the trap: the next FETCH — executed by the shard workers
+    // inside begin_recover jobs — panics.
+    armed.store(true, Ordering::Relaxed);
+    rx.reset();
+    let err = rx.begin_recover().expect_err("armed FETCH must fail");
+    match &err {
+        reset_ipsec::IpsecError::WorkerPanicked { message, .. } => {
+            assert!(
+                message.contains("injected store panic"),
+                "panic message lost: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // The workers caught the panic and keep serving; disarm and the
+    // fleet recovers normally, then drops cleanly.
+    armed.store(false, Ordering::Relaxed);
+    rx.begin_recover().unwrap();
+    rx.finish_recover().unwrap();
+    assert!(matches!(
+        rx.poll_events()[..],
+        [GatewayEvent::Recovered { .. }]
+    ));
+}
+
+// ----------------------------------------------------------------------
+// Multi-core scaling floor (env-gated: the CI scaling lane)
+// ----------------------------------------------------------------------
+
+/// Measured wall-clock for draining `batches` pre-sealed 4096-frame
+/// NIC-queue bursts through a 256-SA fleet at `shards` shards.
+fn drain_elapsed(shards: usize, batches: &[Vec<Bytes>]) -> std::time::Duration {
+    let mut rx = reset_ipsec::GatewayBuilder::in_memory_sharded(shards)
+        .save_interval(64)
+        .window(64)
+        .build_sharded();
+    for spi in 1..=256u32 {
+        let keys = SaKeys::derive(b"scaling-master", &spi.to_be_bytes());
+        rx.install_inbound(SecurityAssociation::new(spi, keys).with_suite(CryptoSuite::default()));
+    }
+    // Warm up on the first two batches (pool queues, caches, arenas).
+    for batch in &batches[..2] {
+        rx.push_wire_batch(batch).unwrap();
+        rx.poll_events();
+    }
+    let t = std::time::Instant::now();
+    for batch in &batches[2..] {
+        rx.push_wire_batch(batch).unwrap();
+        rx.poll_events();
+    }
+    t.elapsed()
+}
+
+/// The assertion PR 4's one-core container could never run: on a host
+/// with ≥4 cores, 4 worker shards must deliver ≥1.5× the aggregate
+/// receive throughput of 1 shard on a 256-SA fleet. Gated on
+/// `IT_SHARD_SCALING=1` — the CI scaling lane sets it after checking
+/// `nproc`, so single-core runners skip with a notice instead of
+/// recording a physically impossible failure.
+#[test]
+fn shard_scaling_meets_multicore_floor() {
+    if std::env::var("IT_SHARD_SCALING").is_err() {
+        eprintln!(
+            "shard_scaling_meets_multicore_floor: SKIPPED (set IT_SHARD_SCALING=1 on a \
+             >=4-core host to run the 4-shard >=1.5x throughput assertion)"
+        );
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    assert!(
+        cores >= 4,
+        "IT_SHARD_SCALING set on a {cores}-core host: the 4-shard speedup floor needs >=4 cores"
+    );
+    // Pre-seal everything so only the receive path is on the clock:
+    // 26 batches x 4096 frames, 16 per SA per batch, seqs advancing so
+    // every batch delivers fresh.
+    let mut tx: Gateway<MemStable> = GatewayBuilder::in_memory().save_interval(64).build();
+    for spi in 1..=256u32 {
+        let keys = SaKeys::derive(b"scaling-master", &spi.to_be_bytes());
+        tx.install_outbound(SecurityAssociation::new(spi, keys).with_suite(CryptoSuite::default()));
+    }
+    let payload = [0x5Au8; 64];
+    let batches: Vec<Vec<Bytes>> = (0..26)
+        .map(|_| {
+            (0..4096)
+                .map(|i| {
+                    let spi = 1 + (i as u32 % 256);
+                    tx.protect(spi, &payload).unwrap().expect("tx up").wire
+                })
+                .collect()
+        })
+        .collect();
+    let one = drain_elapsed(1, &batches);
+    let four = drain_elapsed(4, &batches);
+    let speedup = one.as_nanos() as f64 / four.as_nanos().max(1) as f64;
+    eprintln!(
+        "shard scaling on {cores} cores: 1 shard {one:?}, 4 shards {four:?} => {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 1.5,
+        "4 shards on {cores} cores delivered only {speedup:.2}x over 1 shard \
+         (floor: 1.5x); 1 shard {one:?}, 4 shards {four:?}"
+    );
 }

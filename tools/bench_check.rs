@@ -1,0 +1,414 @@
+//! CI bench-regression gate.
+//!
+//! Compares a criterion run (the vendored shim's `CRITERION_JSON` line
+//! output) against the recorded baselines in `BENCH_datapath.json` and
+//! fails when any *fast-group* benchmark regressed by more than the
+//! threshold (default 25%, absorbing the box-to-box variance the
+//! baseline file documents at ~15–20%).
+//!
+//! ```text
+//! bench_check <BENCH_datapath.json> <criterion-results.json> [--threshold 25]
+//! ```
+//!
+//! Gated groups (cheap enough to run timed on every push):
+//!
+//! * `datapath/suite_rx` — the batched cipher-suite receive pipeline;
+//! * `window/in_order` — the anti-replay window fast path;
+//! * `gateway_shard/recover_storm_256sa` — the pooled reset-storm
+//!   recovery (the spawn-overhead sentinel).
+//!
+//! Core-count awareness: baseline entries record the `cores` of the
+//! host that produced them. Multi-shard entries of the
+//! parallelism-sensitive `gateway_shard/` group are compared
+//! **advisorily** (reported, never failing) when the runner's core
+//! count differs from the baseline's — a 4-shard time measured on one
+//! core is not comparable to one measured on four. The group's
+//! single-threaded members (`/plain_gateway`, the inline `/1`) and
+//! all other groups gate regardless of cores.
+//!
+//! Escape hatch: set `BENCH_REGRESSION_OK=1` to report regressions
+//! without failing the lane — for intentional re-records, with the new
+//! numbers landing in `BENCH_datapath.json` in the same change.
+//!
+//! No dependencies: both inputs are line-oriented enough for the tiny
+//! field extractors below (unit-tested), keeping this tool buildable
+//! in the offline container.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Benchmark-id prefixes the gate enforces.
+const FAST_GROUPS: [&str; 3] = [
+    "datapath/suite_rx",
+    "window/in_order",
+    "gateway_shard/recover_storm_256sa",
+];
+
+/// Groups whose timings depend on the host's parallelism: advisory
+/// when baseline and runner core counts differ. The single-threaded
+/// members of the group — the `plain_gateway` baseline and the
+/// inline zero-thread `1`-shard variant — are carved out below and
+/// gate on any host: a reintroduced per-verb spawn or a slowed
+/// recovery path must not hide behind the multi-shard advisory.
+const CORE_SENSITIVE: [&str; 1] = ["gateway_shard/"];
+
+/// Benchmark-id suffixes that are single-threaded even inside a
+/// core-sensitive group.
+const SINGLE_THREADED_SUFFIXES: [&str; 2] = ["/plain_gateway", "/1"];
+
+#[derive(Debug, Clone, PartialEq)]
+struct Baseline {
+    mean_ns: f64,
+    cores: Option<u64>,
+}
+
+/// Extracts `"key": <number>` from a JSON-ish line (the shim and the
+/// baseline file both keep one entry per line).
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": "value"` from a JSON-ish line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start().strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// Parses the `"benchmarks": { ... }` block of `BENCH_datapath.json`:
+/// one `"group/bench/param": { "mean_ns": N, ..., "cores": C }` entry
+/// per line. Entries outside that block (acceptance records, the
+/// pre-change reference) are ignored.
+fn parse_baseline(text: &str) -> BTreeMap<String, Baseline> {
+    let mut out = BTreeMap::new();
+    let mut in_block = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"benchmarks\"") {
+            in_block = true;
+            continue;
+        }
+        if in_block {
+            if trimmed == "}," || trimmed == "}" {
+                break;
+            }
+            let Some(id) = trimmed.strip_prefix('"').and_then(|r| r.split('"').next()) else {
+                continue;
+            };
+            let Some(mean_ns) = field_f64(trimmed, "mean_ns") else {
+                continue;
+            };
+            out.insert(
+                id.to_string(),
+                Baseline {
+                    mean_ns,
+                    cores: field_f64(trimmed, "cores").map(|c| c as u64),
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Parses the shim's `CRITERION_JSON` output: one
+/// `{"id":"...","mean_ns":N,...}` line per benchmark. A re-run appends,
+/// so later lines win.
+fn parse_results(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if let (Some(id), Some(mean)) = (field_str(line, "id"), field_f64(line, "mean_ns")) {
+            out.insert(id.to_string(), mean);
+        }
+    }
+    out
+}
+
+fn in_fast_groups(id: &str) -> bool {
+    FAST_GROUPS.iter().any(|g| id.starts_with(g))
+}
+
+fn core_sensitive(id: &str) -> bool {
+    CORE_SENSITIVE.iter().any(|g| id.starts_with(g))
+        && !SINGLE_THREADED_SUFFIXES.iter().any(|s| id.ends_with(s))
+}
+
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+    Advisory,
+}
+
+/// Judges one benchmark against its baseline.
+fn judge(id: &str, measured: f64, base: &Baseline, threshold_pct: f64, cores: u64) -> Verdict {
+    let ratio = measured / base.mean_ns;
+    let mismatched_cores = base.cores.is_some_and(|c| c != cores);
+    if ratio > 1.0 + threshold_pct / 100.0 {
+        if core_sensitive(id) && mismatched_cores {
+            Verdict::Advisory
+        } else {
+            Verdict::Regressed
+        }
+    } else if ratio < 1.0 - threshold_pct / 100.0 {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn run(baseline_path: &str, results_path: &str, threshold_pct: f64) -> Result<ExitCode, String> {
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let results_text = std::fs::read_to_string(results_path)
+        .map_err(|e| format!("cannot read results {results_path}: {e}"))?;
+    let baselines = parse_baseline(&baseline_text);
+    let results = parse_results(&results_text);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get()) as u64;
+    let allow = std::env::var("BENCH_REGRESSION_OK").is_ok();
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    let mut seen_groups = vec![false; FAST_GROUPS.len()];
+    for (id, measured) in results.iter().filter(|(id, _)| in_fast_groups(id)) {
+        for (i, g) in FAST_GROUPS.iter().enumerate() {
+            if id.starts_with(g) {
+                seen_groups[i] = true;
+            }
+        }
+        let Some(base) = baselines.get(id) else {
+            println!("NEW        {id}: {measured:.0} ns (no baseline recorded)");
+            continue;
+        };
+        compared += 1;
+        let ratio = measured / base.mean_ns;
+        match judge(id, *measured, base, threshold_pct, cores) {
+            Verdict::Regressed => {
+                regressions += 1;
+                println!(
+                    "REGRESSED  {id}: {measured:.0} ns vs baseline {:.0} ns ({:+.1}%)",
+                    base.mean_ns,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            Verdict::Advisory => println!(
+                "ADVISORY   {id}: {measured:.0} ns vs baseline {:.0} ns ({:+.1}%) — \
+                 baseline recorded on {} core(s), runner has {cores}; not gating",
+                base.mean_ns,
+                (ratio - 1.0) * 100.0,
+                base.cores.unwrap_or(0)
+            ),
+            Verdict::Improved => println!(
+                "IMPROVED   {id}: {measured:.0} ns vs baseline {:.0} ns ({:+.1}%)",
+                base.mean_ns,
+                (ratio - 1.0) * 100.0
+            ),
+            Verdict::Ok => println!(
+                "OK         {id}: {measured:.0} ns vs baseline {:.0} ns ({:+.1}%)",
+                base.mean_ns,
+                (ratio - 1.0) * 100.0
+            ),
+        }
+    }
+    // Every gated group must have contributed: a renamed group or a
+    // drifted ci.yml filter silently losing coverage is itself a
+    // failure, not a pass.
+    for (i, g) in FAST_GROUPS.iter().enumerate() {
+        if !seen_groups[i] {
+            return Err(format!(
+                "gated group {g:?} produced no results in {results_path} — did its \
+                 bench filter in ci.yml drift, or the group get renamed? (run with \
+                 CRITERION_JSON set to an absolute path)"
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no fast-group benchmarks matched a recorded baseline in {results_path}"
+        ));
+    }
+    println!(
+        "bench_check: {compared} compared, {regressions} regression(s), threshold {threshold_pct}%"
+    );
+    if regressions > 0 {
+        if allow {
+            println!(
+                "BENCH_REGRESSION_OK is set: letting {regressions} regression(s) through \
+                 (intentional re-record — update BENCH_datapath.json in this change)"
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        println!(
+            "bench gate FAILED; if this change intentionally trades this performance, \
+             re-record BENCH_datapath.json and set BENCH_REGRESSION_OK=1 on the lane"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 25.0f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            threshold = it.next().and_then(|v| v.parse().ok()).unwrap_or(threshold);
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_check <BENCH_datapath.json> <criterion-results.json> [--threshold PCT]"
+        );
+        return ExitCode::FAILURE;
+    }
+    match run(&paths[0], &paths[1], threshold) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bench_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "description": "x",
+  "acceptance": {
+    "thing": { "before_ns": 10.0, "after_ns": 5.0 }
+  },
+  "benchmarks": {
+    "datapath/suite_rx/process_batch_64B/chacha20-poly1305": { "mean_ns": 500000.0, "cores": 1 },
+    "window/in_order/1024": { "mean_ns": 24000.0, "cores": 1 },
+    "gateway_shard/recover_storm_256sa/4": { "mean_ns": 40000.0, "cores": 1 },
+    "datapath/wire_64B/seal": { "mean_ns": 1590.0, "cores": 1 }
+  },
+  "pre_change_reference": {
+    "window/in_order/1024": { "mean_ns": 53860.0 }
+  }
+}"#;
+
+    #[test]
+    fn baseline_parser_scopes_to_the_benchmarks_block() {
+        let b = parse_baseline(BASELINE);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b["window/in_order/1024"].mean_ns, 24000.0);
+        assert_eq!(b["window/in_order/1024"].cores, Some(1));
+        // The pre-change reference's identically named entry must not
+        // clobber the live baseline.
+        assert_ne!(b["window/in_order/1024"].mean_ns, 53860.0);
+    }
+
+    #[test]
+    fn results_parser_takes_the_last_line_per_id() {
+        let text = "\
+{\"id\":\"window/in_order/1024\",\"mean_ns\":25000.00,\"median_ns\":24900.00,\"elements\":10000}\n\
+not json at all\n\
+{\"id\":\"window/in_order/1024\",\"mean_ns\":23000.00,\"median_ns\":22900.00}\n";
+        let r = parse_results(text);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r["window/in_order/1024"], 23000.0);
+    }
+
+    #[test]
+    fn fast_group_filter() {
+        assert!(in_fast_groups("window/in_order/64"));
+        assert!(in_fast_groups(
+            "gateway_shard/recover_storm_256sa/plain_gateway"
+        ));
+        assert!(!in_fast_groups("gateway_shard/rx_fresh_4096f_256sa/4"));
+        assert!(!in_fast_groups("datapath/wire_64B/seal"));
+    }
+
+    #[test]
+    fn regression_vs_improvement_vs_ok() {
+        let base = Baseline {
+            mean_ns: 1000.0,
+            cores: Some(1),
+        };
+        let id = "window/in_order/64";
+        assert_eq!(judge(id, 1400.0, &base, 25.0, 1), Verdict::Regressed);
+        assert_eq!(judge(id, 1200.0, &base, 25.0, 1), Verdict::Ok);
+        assert_eq!(judge(id, 700.0, &base, 25.0, 1), Verdict::Improved);
+    }
+
+    #[test]
+    fn core_sensitive_groups_go_advisory_on_core_mismatch() {
+        let base = Baseline {
+            mean_ns: 1000.0,
+            cores: Some(1),
+        };
+        // Parallelism-sensitive id on a 4-core runner vs 1-core record.
+        assert_eq!(
+            judge(
+                "gateway_shard/recover_storm_256sa/4",
+                1500.0,
+                &base,
+                25.0,
+                4
+            ),
+            Verdict::Advisory
+        );
+        // Same mismatch still gates a single-threaded group.
+        assert_eq!(
+            judge("window/in_order/64", 1500.0, &base, 25.0, 4),
+            Verdict::Regressed
+        );
+        // ...and the single-threaded members of the sensitive group:
+        // the plain-Gateway baseline and the inline 1-shard variant
+        // run no pool thread, so core count is irrelevant to them.
+        assert_eq!(
+            judge(
+                "gateway_shard/recover_storm_256sa/plain_gateway",
+                1500.0,
+                &base,
+                25.0,
+                4
+            ),
+            Verdict::Regressed
+        );
+        assert_eq!(
+            judge(
+                "gateway_shard/recover_storm_256sa/1",
+                1500.0,
+                &base,
+                25.0,
+                4
+            ),
+            Verdict::Regressed
+        );
+        // Matching cores gate everything.
+        assert_eq!(
+            judge(
+                "gateway_shard/recover_storm_256sa/4",
+                1500.0,
+                &base,
+                25.0,
+                1
+            ),
+            Verdict::Regressed
+        );
+    }
+
+    #[test]
+    fn field_extractors() {
+        let line = r#"{"id":"a/b","mean_ns":123.45,"elements":10}"#;
+        assert_eq!(field_str(line, "id"), Some("a/b"));
+        assert_eq!(field_f64(line, "mean_ns"), Some(123.45));
+        assert_eq!(field_f64(line, "elements"), Some(10.0));
+        assert_eq!(field_f64(line, "missing"), None);
+    }
+}
