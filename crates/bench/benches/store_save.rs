@@ -1,0 +1,73 @@
+//! Bench: fleet-wide SAVE cost — one file per slot vs a shared WAL.
+//!
+//! A gateway fleet with 1k+ SAs issues a SAVE for every slot each time
+//! its background savers come due. With [`FileStable`] that is a
+//! write-temp + rename per slot; with [`WalStable`] it is a single
+//! append to one shared log (plus an amortized compaction). This group
+//! measures a full 1024-slot save round per iteration — the per-slot
+//! gap is the reason the shard-shared WAL backend exists.
+//!
+//! Both backends run at `Durability::ProcessCrash` (the paper's reset
+//! model); `PowerLoss` adds an fsync to either and does not change the
+//! *relative* claim.
+
+use std::fs;
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use reset_stable::{Durability, FileStable, SlotId, StableStore, WalStable};
+
+const SLOTS: u64 = 1024;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "reset-bench-store-save-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).expect("mkdir scratch");
+    d
+}
+
+fn bench_fleet_save(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_save");
+    g.throughput(Throughput::Elements(SLOTS));
+    // Full file-per-slot rounds are slow; keep CI wall-clock bounded.
+    g.sample_size(10);
+
+    let file_dir = scratch("file");
+    let mut files = FileStable::open(&file_dir, Durability::ProcessCrash).expect("open file store");
+    let mut round: u64 = 0;
+    g.bench_function("fleet_save_1024sa/file_per_slot", |b| {
+        b.iter(|| {
+            round += 1;
+            for slot in 0..SLOTS {
+                files
+                    .store(SlotId::raw(slot), round * SLOTS + slot)
+                    .expect("file SAVE");
+            }
+        })
+    });
+
+    let wal_dir = scratch("wal");
+    let mut wal =
+        WalStable::open(wal_dir.join("fleet.wal"), Durability::ProcessCrash).expect("open wal");
+    let mut round: u64 = 0;
+    g.bench_function("fleet_save_1024sa/wal_shared", |b| {
+        b.iter(|| {
+            round += 1;
+            for slot in 0..SLOTS {
+                wal.store(SlotId::raw(slot), round * SLOTS + slot)
+                    .expect("wal SAVE");
+            }
+        })
+    });
+
+    g.finish();
+    let _ = fs::remove_dir_all(&file_dir);
+    let _ = fs::remove_dir_all(&wal_dir);
+}
+
+criterion_group!(benches, bench_fleet_save);
+criterion_main!(benches);

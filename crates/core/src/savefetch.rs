@@ -190,16 +190,22 @@ impl<S: StableStore> SfSender<S> {
     /// counter. The sender stays unable to send until
     /// [`finish_wakeup`](Self::finish_wakeup).
     ///
+    /// The FETCH is generation-checked: a store serving an *older*
+    /// snapshot than the last acknowledged SAVE (rollback) fails the
+    /// wake-up instead of leaping from a resurrected counter.
+    ///
     /// # Errors
     ///
-    /// Propagates FETCH failures (the process stays `Down`).
+    /// Propagates FETCH failures — including [`StableError::Rollback`] and
+    /// [`StableError::Corrupt`] — and the process stays `Down`; the layer
+    /// above must fail closed (replace the SA) rather than retry blindly.
     ///
     /// # Panics
     ///
     /// Panics if the process is not `Down`.
     pub fn begin_wakeup(&mut self) -> Result<SeqNum, StableError> {
         assert_eq!(self.phase, Phase::Down, "wake_up requires a prior reset");
-        let fetched = self.saver.fetch(self.slot)?.unwrap_or(0);
+        let fetched = self.saver.fetch_checked(self.slot)?.unwrap_or(0);
         let leaped = SeqNum::new(fetched).leap(2 * self.k);
         self.saver.issue(self.slot, leaped.value());
         self.waking_target = Some(leaped);
@@ -467,16 +473,23 @@ impl<S: StableStore, W: ReplayWindow> SfReceiver<S, W> {
     /// SAVE. Arrivals from now until [`finish_wakeup`](Self::finish_wakeup)
     /// are buffered, exactly as §4 prescribes.
     ///
+    /// The FETCH is generation-checked (see
+    /// [`BackgroundSaver::fetch_checked`]): a rolled-back store would
+    /// resume the replay window below sequence numbers already accepted,
+    /// so it fails the wake-up instead.
+    ///
     /// # Errors
     ///
-    /// Propagates FETCH failures (stays `Down`).
+    /// Propagates FETCH failures — including [`StableError::Rollback`] and
+    /// [`StableError::Corrupt`] — and the process stays `Down`; the layer
+    /// above must fail closed (replace the SA) rather than retry blindly.
     ///
     /// # Panics
     ///
     /// Panics if the process is not `Down`.
     pub fn begin_wakeup(&mut self) -> Result<SeqNum, StableError> {
         assert_eq!(self.phase, Phase::Down, "wake_up requires a prior reset");
-        let fetched = self.saver.fetch(self.slot)?.unwrap_or(0);
+        let fetched = self.saver.fetch_checked(self.slot)?.unwrap_or(0);
         let leaped = SeqNum::new(fetched).leap(2 * self.k);
         self.saver.issue(self.slot, leaped.value());
         self.waking_target = Some(leaped);

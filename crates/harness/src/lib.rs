@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 mod report;
 mod scenario;
 mod workload;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
 pub use report::Table;
 pub use scenario::{
     run_scenario, AdversaryPlan, Protocol, ScenarioConfig, ScenarioOutcome, Transport,

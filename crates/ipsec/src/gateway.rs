@@ -147,6 +147,21 @@ pub enum GatewayEvent {
         /// SA directions recovered.
         sas: usize,
     },
+    /// An SA's wake-up FETCH hit untrusted persistent state — a torn or
+    /// corrupt record, or a store serving an *older* generation than the
+    /// SA last acknowledged durable (rollback) — and recovery **failed
+    /// closed**: no window leaped from that state is safe, so instead of
+    /// resurrecting replayable counters the gateway replaced the SA with
+    /// a fresh generation (fresh keys, fresh counters; recorded replays
+    /// die at authentication). A peer gateway sharing the builder's
+    /// `skeyid` re-synchronizes by performing the same rekey generation
+    /// ([`Gateway::rekey_now`]).
+    FailedClosed {
+        /// The replaced SA.
+        spi: u32,
+        /// The store error that made the persisted state untrusted.
+        reason: String,
+    },
 }
 
 /// Builds a [`Gateway`]: engine-wide policy is fixed here, SAs are
@@ -271,6 +286,7 @@ impl<S: StableStore> GatewayBuilder<S> {
             dpd: BTreeMap::new(),
             dpd_unarmed: BTreeSet::new(),
             rekey_generation: BTreeMap::new(),
+            pending_fail_closed: Vec::new(),
             events: VecDeque::new(),
             now_ns: 0,
         }
@@ -335,6 +351,10 @@ pub struct Gateway<S> {
     /// Rekey generation per SPI: folded into the deterministic nonces so
     /// each generation derives fresh key material.
     rekey_generation: BTreeMap<u32, u32>,
+    /// SAs whose wake-up FETCH failed in [`Gateway::begin_recover`],
+    /// carried to [`Gateway::finish_recover`] where they are replaced
+    /// (fail closed) after the healthy SAs' recovery is reported.
+    pending_fail_closed: Vec<(u32, String)>,
     events: VecDeque<GatewayEvent>,
     /// Wall clock as of the last [`Gateway::tick`]; timestamps DPD
     /// liveness evidence from pushed frames.
@@ -676,28 +696,56 @@ impl<S: StableStore> Gateway<S> {
     /// on every down SA. Frames pushed until [`Gateway::finish_recover`]
     /// are buffered ([`GatewayEvent::Buffered`]).
     ///
+    /// A FETCH that hits untrusted state — a corrupt record or a
+    /// generation rollback — does **not** abort the sweep or resurrect
+    /// the SA: the failing SA is noted, stays down through
+    /// [`Gateway::finish_recover`], and is then replaced (fail closed;
+    /// see [`GatewayEvent::FailedClosed`]). Healthy SAs wake normally.
+    ///
     /// # Errors
     ///
-    /// Store failures (the gateway stays down).
+    /// Reserved for infrastructure failures; per-SA store failures are
+    /// handled by failing the SA closed, not returned.
     pub fn begin_recover(&mut self) -> Result<(), IpsecError> {
-        self.sadb.begin_recover_all().map_err(IpsecError::from)
+        let failed = self.sadb.begin_recover_all();
+        self.pending_fail_closed
+            .extend(failed.into_iter().map(|(spi, e)| (spi, e.to_string())));
+        Ok(())
     }
 
     /// Second recovery half: the wake-up SAVEs completed. Emits
     /// `Recovered { sas }` followed by one `Delivered`/`ReplayDropped`
     /// event per frame buffered during the wake-up (the §3 test: a
     /// replay stream spanning the reset must surface as `ReplayDropped`
-    /// here, never `Delivered`). Returns the recovered direction count.
+    /// here, never `Delivered`). Finally, every SA whose FETCH failed in
+    /// [`Gateway::begin_recover`] is **failed closed**: one
+    /// [`GatewayEvent::FailedClosed`] followed by its replacement rekey's
+    /// events. Returns the recovered direction count.
     ///
     /// # Errors
     ///
-    /// Store failures (the gateway stays waking; retry).
+    /// Store failures completing the wake-up SAVEs (the gateway stays
+    /// waking; retry — the paper's SAVE device is merely slow, not
+    /// untrusted, so retrying the completion is safe).
     pub fn finish_recover(&mut self) -> Result<usize, IpsecError> {
         let (sas, buffered) = self.sadb.finish_recover_all()?;
         self.events.push_back(GatewayEvent::Recovered { sas });
         for (spi, result) in buffered {
             let ev = self.event_from_rx(spi, result);
             self.events.push_back(ev);
+        }
+        // Replace every SA that woke into untrusted state. Dedupe: both
+        // directions of one SPI may have failed, but the SA is replaced
+        // (and the peer must resynchronize) exactly once.
+        let failed = std::mem::take(&mut self.pending_fail_closed);
+        let mut replaced = BTreeSet::new();
+        for (spi, reason) in failed {
+            if !replaced.insert(spi) {
+                continue;
+            }
+            self.events
+                .push_back(GatewayEvent::FailedClosed { spi, reason });
+            self.rekey_now(spi);
         }
         Ok(sas)
     }
@@ -1029,6 +1077,79 @@ mod tests {
                 .any(|e| matches!(e, GatewayEvent::ProbeDue { .. })),
             "traffic within the idle timeout must suppress probes"
         );
+    }
+
+    #[test]
+    fn corrupt_fetch_fails_closed_and_replaces_the_sa() {
+        use reset_stable::{Fault, FaultyStable};
+        let mut p = GatewayBuilder::in_memory().save_interval(10).build();
+        let mut q = GatewayBuilder::with_stores(|_, _| FaultyStable::new(MemStable::new()))
+            .save_interval(10)
+            .build();
+        p.add_peer(0x55, b"fail-closed-master");
+        q.add_peer(0x55, b"fail-closed-master");
+
+        let mut recorded = Vec::new();
+        for i in 0..30u32 {
+            let f = p
+                .protect(0x55, format!("m{i}").as_bytes())
+                .unwrap()
+                .unwrap();
+            recorded.push(f.wire.clone());
+            q.push_wire(&f.wire).unwrap();
+        }
+        q.save_completed().unwrap();
+        q.poll_events();
+
+        // The reset strikes, and the receiver's persisted window record
+        // comes back corrupt on FETCH.
+        q.reset();
+        q.sadb_mut()
+            .inbound_mut(0x55)
+            .unwrap()
+            .store_mut()
+            .push_fault(Fault::CorruptLoad);
+        let sas = q.recover().unwrap();
+        assert_eq!(sas, 1, "only the healthy outbound direction woke");
+        let events = q.poll_events();
+        assert!(matches!(events[0], GatewayEvent::Recovered { sas: 1 }));
+        assert!(
+            matches!(events[1], GatewayEvent::FailedClosed { spi: 0x55, .. }),
+            "{events:?}"
+        );
+        assert!(matches!(
+            events[2],
+            GatewayEvent::RekeyStarted { spi: 0x55 }
+        ));
+        assert!(matches!(
+            events[3],
+            GatewayEvent::RekeyCompleted { spi: 0x55, .. }
+        ));
+
+        // The peer resynchronizes by performing the same rekey generation.
+        p.rekey_now(0x55);
+        p.poll_events();
+
+        // The recorded history died with the old keys: 0 post-FETCH
+        // replays, provably — they cannot even authenticate.
+        for w in &recorded {
+            q.push_wire(w).unwrap();
+        }
+        assert!(
+            q.poll_events()
+                .iter()
+                .all(|e| matches!(e, GatewayEvent::AuthFailed { spi: 0x55 })),
+            "replays against a replaced SA must fail authentication"
+        );
+
+        // Fresh traffic flows on the replacement.
+        let f = p.protect(0x55, b"fresh start").unwrap().unwrap();
+        assert_eq!(f.seq.value(), 1);
+        q.push_wire(&f.wire).unwrap();
+        assert!(matches!(
+            q.poll_events()[..],
+            [GatewayEvent::Delivered { .. }]
+        ));
     }
 
     #[test]

@@ -12,6 +12,16 @@
 //! than all sequence numbers used before the reset". A replayed notify
 //! therefore bounces off the window, defeating the attack the paper warns
 //! about for naive "let's both reset to 1" schemes.
+//!
+//! The whole scheme leans on the paper's assumption that persistent
+//! memory is trustworthy. [`IpsecPeer::recover`] therefore runs the
+//! generation-checked FETCH: when the store serves a corrupt record or an
+//! *older* snapshot than the peer last acknowledged durable (a rollback —
+//! the state that would leap *below* sequence numbers already used),
+//! recovery errors out and the peer **stays down**. No recovery notify is
+//! emitted from untrusted state; the operator (or the gateway layer's
+//! [`crate::GatewayEvent::FailedClosed`] machinery) must replace the SA
+//! pair instead.
 
 use bytes::Bytes;
 use reset_stable::{StableError, StableStore};
@@ -112,6 +122,16 @@ impl<S: StableStore> IpsecPeer<S> {
     /// Mutable DPD access (for polling).
     pub fn dpd_mut(&mut self) -> &mut DpdDetector {
         &mut self.dpd
+    }
+
+    /// Mutable outbound access — escape hatch for store fault injection.
+    pub fn outbound_mut(&mut self) -> &mut Outbound<S> {
+        &mut self.out
+    }
+
+    /// Mutable inbound access — escape hatch for store fault injection.
+    pub fn inbound_mut(&mut self) -> &mut Inbound<S> {
+        &mut self.inb
     }
 
     /// Protects application data. `None` while down/waking.
@@ -335,6 +355,43 @@ mod tests {
         for w in &recorded {
             assert_eq!(a.handle_wire(w, 200).unwrap(), PeerEvent::Rejected);
         }
+    }
+
+    #[test]
+    fn rolled_back_store_keeps_the_peer_down() {
+        use reset_stable::{Fault, FaultyStable};
+        let keys_ab = SaKeys::derive(b"master", b"a->b");
+        let keys_ba = SaKeys::derive(b"master", b"b->a");
+        let mut b = IpsecPeer::new(
+            "B",
+            SecurityAssociation::new(0xB2A, keys_ba),
+            SecurityAssociation::new(0xA2B, keys_ab),
+            FaultyStable::new(MemStable::new()),
+            FaultyStable::new(MemStable::new()),
+            10,
+            64,
+            DpdConfig::default(),
+        );
+        // Two SAVE generations become durable for the send counter.
+        for _ in 0..15 {
+            b.send_data(b"x").unwrap().unwrap();
+        }
+        b.save_completed_out().unwrap();
+        for _ in 0..10 {
+            b.send_data(b"x").unwrap().unwrap();
+        }
+        b.save_completed_out().unwrap();
+        b.reset();
+        // The disk was restored from backup: FETCH serves the *first*
+        // generation. Leaping from it would re-use live sequence numbers,
+        // so recovery must fail closed — no notify, peer stays down.
+        b.outbound_mut().store_mut().push_fault(Fault::RollbackLoad);
+        let err = b.recover().expect_err("rollback must fail recovery");
+        assert!(err.to_string().contains("rollback"), "{err}");
+        assert!(
+            b.send_data(b"still down").unwrap().is_none(),
+            "no traffic from untrusted recovery state"
+        );
     }
 
     #[test]

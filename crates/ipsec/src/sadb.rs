@@ -317,22 +317,30 @@ impl<S: StableStore> Sadb<S> {
     /// down. Inbound traffic arriving before
     /// [`Sadb::finish_recover_all`] is buffered per SA.
     ///
-    /// # Errors
-    ///
-    /// First store failure aborts the sweep (already-begun SAs stay
-    /// `Waking`; the sweep may be retried).
-    pub fn begin_recover_all(&mut self) -> Result<(), StableError> {
-        for o in self.outbound.values_mut() {
+    /// A FETCH failure — a corrupt record, or a generation rollback
+    /// caught by the store witness — no longer aborts the sweep: the
+    /// failing SA direction stays `Down` and is reported in the returned
+    /// list, while every healthy SA proceeds with its wake-up. The layer
+    /// above ([`crate::Gateway`]) **fails the reported SAs closed**:
+    /// no window leaped from untrusted state is safe, so the SA is
+    /// replaced rather than resumed.
+    pub fn begin_recover_all(&mut self) -> Vec<(u32, StableError)> {
+        let mut failed = Vec::new();
+        for (&spi, o) in self.outbound.iter_mut() {
             if o.phase() == Phase::Down {
-                o.begin_wakeup()?;
+                if let Err(e) = o.begin_wakeup() {
+                    failed.push((spi, e));
+                }
             }
         }
-        for i in self.inbound.values_mut() {
+        for (&spi, i) in self.inbound.iter_mut() {
             if i.phase() == Phase::Down {
-                i.begin_wakeup()?;
+                if let Err(e) = i.begin_wakeup() {
+                    failed.push((spi, e));
+                }
             }
         }
-        Ok(())
+        failed
     }
 
     /// Second half of [`Sadb::recover_all`]: completes the wake-up SAVE
@@ -578,6 +586,37 @@ mod tests {
     }
 
     #[test]
+    fn begin_recover_collects_failures_and_wakes_the_rest() {
+        use reset_stable::{Fault, FaultyStable};
+        let mut db: Sadb<FaultyStable<MemStable>> = Sadb::new();
+        for spi in 1..=3u32 {
+            db.install_outbound(sa(spi), FaultyStable::new(MemStable::new()), 10);
+            db.install_inbound(sa(spi), FaultyStable::new(MemStable::new()), 10, 64);
+        }
+        for spi in 1..=3u32 {
+            for _ in 0..15 {
+                let w = db.protect(spi, b"data").unwrap().unwrap();
+                db.process(&w).unwrap();
+            }
+            db.outbound_mut(spi).unwrap().save_completed().unwrap();
+            db.inbound_mut(spi).unwrap().save_completed().unwrap();
+        }
+        db.reset_all();
+        // SA 2's inbound FETCH will come back corrupt.
+        db.inbound_mut(2)
+            .unwrap()
+            .store_mut()
+            .push_fault(Fault::CorruptLoad);
+        let failed = db.begin_recover_all();
+        assert_eq!(failed.len(), 1, "{failed:?}");
+        assert_eq!(failed[0].0, 2);
+        // The sweep did not abort: the other five directions woke.
+        let (recovered, _) = db.finish_recover_all().unwrap();
+        assert_eq!(recovered, 5, "3 outbound + 2 healthy inbound");
+        assert_eq!(db.inbound(2).unwrap().phase(), Phase::Down);
+    }
+
+    #[test]
     fn split_recovery_matches_atomic_recover_all() {
         let mut db = sadb_with(4);
         for spi in 1..=4u32 {
@@ -589,7 +628,7 @@ mod tests {
             db.inbound_mut(spi).unwrap().save_completed().unwrap();
         }
         db.reset_all();
-        db.begin_recover_all().unwrap();
+        assert!(db.begin_recover_all().is_empty(), "healthy stores");
         // A packet arriving mid-recovery is buffered, then classified.
         let w = {
             let mut other = sadb_with(4);

@@ -16,6 +16,18 @@ pub enum StableError {
         /// What the integrity check found.
         reason: &'static str,
     },
+    /// The store served an *older* generation than the caller had already
+    /// witnessed as durable — a stale-snapshot rollback. Accepting the
+    /// served value would resurrect a replayable anti-replay window, so
+    /// recovery must fail closed instead.
+    Rollback {
+        /// Which slot rolled back.
+        slot: crate::SlotId,
+        /// Generation the store served (`0` when it served nothing).
+        served: u64,
+        /// Newest generation the caller had witnessed as durable.
+        acked: u64,
+    },
     /// A fault injector deliberately failed the operation.
     Injected(&'static str),
 }
@@ -26,6 +38,17 @@ impl fmt::Display for StableError {
             StableError::Io(e) => write!(f, "stable store i/o failure: {e}"),
             StableError::Corrupt { slot, reason } => {
                 write!(f, "corrupt record in slot {slot}: {reason}")
+            }
+            StableError::Rollback {
+                slot,
+                served,
+                acked,
+            } => {
+                write!(
+                    f,
+                    "rollback in slot {slot}: store served generation {served} \
+                     but generation {acked} was already durable"
+                )
             }
             StableError::Injected(what) => write!(f, "injected fault: {what}"),
         }
@@ -68,6 +91,18 @@ mod tests {
         let e = StableError::from(io::Error::other("disk on fire"));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn rollback_display_names_generations() {
+        let e = StableError::Rollback {
+            slot: SlotId::raw(7),
+            served: 3,
+            acked: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rollback"));
+        assert!(s.contains('3') && s.contains('9'));
     }
 
     #[test]

@@ -50,12 +50,23 @@ pub struct FileStable {
 impl FileStable {
     /// Opens (creating if needed) a store rooted at `dir`.
     ///
+    /// Orphaned `.tmp` files — the residue of a crash between the write and
+    /// the rename — are removed: they hold at best a record the crash made
+    /// non-durable, and leaving them around would leak one file per
+    /// interrupted SAVE forever.
+    ///
     /// # Errors
     ///
-    /// Returns an error if the directory cannot be created.
+    /// Returns an error if the directory cannot be created or scanned.
     pub fn open(dir: impl AsRef<Path>, durability: Durability) -> Result<Self, StableError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
         Ok(FileStable { dir, durability })
     }
 
@@ -78,19 +89,28 @@ impl StableStore for FileStable {
         let tmp = self.tmp_path(slot);
         let dst = self.slot_path(slot);
         let rec = encode_record(slot, value);
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&rec)?;
-            if self.durability == Durability::PowerLoss {
-                f.sync_all()?;
+        // A concurrent `open()` of the same directory sweeps `.tmp` files
+        // and can race away this write's temp between the write and the
+        // rename. Each open sweeps once, so redoing the write converges;
+        // the bound only guards against a pathological open() storm.
+        for attempt in 0..16 {
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(&rec)?;
+                if self.durability == Durability::PowerLoss {
+                    f.sync_all()?;
+                }
+            }
+            match fs::rename(&tmp, &dst) {
+                Ok(()) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound && attempt < 15 => continue,
+                Err(e) => return Err(e.into()),
             }
         }
-        fs::rename(&tmp, &dst)?;
         if self.durability == Durability::PowerLoss {
-            // Persist the rename itself.
-            if let Ok(d) = fs::File::open(&self.dir) {
-                let _ = d.sync_all();
-            }
+            // Persist the rename itself: `PowerLoss` promises the new value
+            // survives, so a failed directory fsync must fail the SAVE.
+            fs::File::open(&self.dir)?.sync_all()?;
         }
         Ok(())
     }
@@ -192,6 +212,47 @@ mod tests {
             s.store(SlotId::raw(5), v).unwrap();
         }
         assert_eq!(s.load(SlotId::raw(5)).unwrap(), Some(3));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn open_cleans_orphaned_tmp_files() {
+        let dir = tmpdir("orphan");
+        let mut s = FileStable::open(&dir, Durability::ProcessCrash).unwrap();
+        s.store(SlotId::raw(6), 11).unwrap();
+        // Simulate a crash between write and rename: a stray .tmp remains.
+        let orphan = s.tmp_path(SlotId::raw(7));
+        fs::write(&orphan, b"partial record from a crashed SAVE").unwrap();
+        drop(s);
+        let s2 = FileStable::open(&dir, Durability::ProcessCrash).unwrap();
+        assert!(!orphan.exists(), "reopen must sweep orphaned .tmp files");
+        assert_eq!(
+            s2.load(SlotId::raw(6)).unwrap(),
+            Some(11),
+            "durable slots survive the sweep"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn open_sweep_does_not_break_concurrent_writers() {
+        // open() sweeps `.tmp` residue; a handle mid-store must survive
+        // having its in-flight temp raced away (store redoes the write).
+        let dir = tmpdir("sweep-race");
+        let dir2 = dir.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut s = FileStable::open(&dir2, Durability::ProcessCrash).unwrap();
+                for v in 0..500u64 {
+                    s.store(SlotId::raw(1), v).unwrap();
+                }
+            });
+            for _ in 0..200 {
+                let _ = FileStable::open(&dir, Durability::ProcessCrash).unwrap();
+            }
+        });
+        let s = FileStable::open(&dir, Durability::ProcessCrash).unwrap();
+        assert_eq!(s.load(SlotId::raw(1)).unwrap(), Some(499));
         let _ = fs::remove_dir_all(dir);
     }
 

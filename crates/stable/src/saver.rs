@@ -109,6 +109,14 @@ pub struct BackgroundSaver<S> {
     issued: u64,
     completed: u64,
     superseded: u64,
+    /// Newest store generation witnessed as durable, per slot. This is
+    /// the rollback witness: it survives [`crash`](BackgroundSaver::crash)
+    /// the same way the store handle itself does (think TPM-style
+    /// monotonic counter living next to the persistent memory), so a
+    /// FETCH served an older generation is caught by
+    /// [`fetch_checked`](BackgroundSaver::fetch_checked). Plain stores
+    /// witness generation 0 and the check is vacuous.
+    acked: std::collections::HashMap<SlotId, u64>,
 }
 
 impl<S: StableStore> BackgroundSaver<S> {
@@ -120,6 +128,17 @@ impl<S: StableStore> BackgroundSaver<S> {
             issued: 0,
             completed: 0,
             superseded: 0,
+            acked: std::collections::HashMap::new(),
+        }
+    }
+
+    fn note_acked(&mut self, slot: SlotId, generation: u64) {
+        if generation == 0 {
+            return;
+        }
+        let e = self.acked.entry(slot).or_insert(0);
+        if generation > *e {
+            *e = generation;
         }
     }
 
@@ -148,7 +167,8 @@ impl<S: StableStore> BackgroundSaver<S> {
         let Some(p) = self.pending else {
             return Ok(None);
         };
-        self.store.store(p.slot, p.value)?;
+        let generation = self.store.store_witnessed(p.slot, p.value)?;
+        self.note_acked(p.slot, generation);
         self.pending = None;
         self.completed += 1;
         Ok(Some(p))
@@ -167,7 +187,8 @@ impl<S: StableStore> BackgroundSaver<S> {
     ///
     /// Propagates the underlying store error.
     pub fn save_now(&mut self, slot: SlotId, value: u64) -> Result<(), StableError> {
-        self.store.store(slot, value)?;
+        let generation = self.store.store_witnessed(slot, value)?;
+        self.note_acked(slot, generation);
         self.issued += 1;
         self.completed += 1;
         Ok(())
@@ -180,6 +201,51 @@ impl<S: StableStore> BackgroundSaver<S> {
     /// Propagates the underlying store error (e.g. a corrupt record).
     pub fn fetch(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
         self.store.load(slot)
+    }
+
+    /// FETCH with rollback detection: like
+    /// [`fetch`](BackgroundSaver::fetch), but compares the generation the
+    /// store serves against the newest generation this saver witnessed as
+    /// durable for `slot`. A store serving an older generation — or
+    /// nothing at all after a witnessed save — has rolled back, and the
+    /// caller must fail closed rather than resume from the stale counter.
+    ///
+    /// # Errors
+    ///
+    /// [`StableError::Rollback`] on a detected rollback; otherwise the
+    /// underlying store error (e.g. a corrupt record).
+    pub fn fetch_checked(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
+        let acked = self.acked_generation(slot);
+        match self.store.load_witnessed(slot)? {
+            Some((value, served)) => {
+                if served < acked {
+                    Err(StableError::Rollback {
+                        slot,
+                        served,
+                        acked,
+                    })
+                } else {
+                    Ok(Some(value))
+                }
+            }
+            None => {
+                if acked > 0 {
+                    Err(StableError::Rollback {
+                        slot,
+                        served: 0,
+                        acked,
+                    })
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// The newest generation witnessed as durable for `slot` (0 when no
+    /// witnessed save completed, or the store doesn't track generations).
+    pub fn acked_generation(&self, slot: SlotId) -> u64 {
+        self.acked.get(&slot).copied().unwrap_or(0)
     }
 
     /// The SAVE currently in flight, if any.
@@ -318,6 +384,92 @@ mod tests {
                                                 // 100 us save / 4 us per message = 25 messages per save: the
                                                 // paper's minimum save interval.
         assert_eq!(m.worst_case_ns() / 4_000, 25);
+    }
+
+    /// A store whose served generation the test scripts directly.
+    #[derive(Debug, Default)]
+    struct GenStore {
+        inner: MemStable,
+        next_gen: u64,
+        serve_gen: std::cell::Cell<Option<u64>>,
+    }
+
+    impl StableStore for GenStore {
+        fn store(&mut self, slot: SlotId, value: u64) -> Result<(), StableError> {
+            self.inner.store(slot, value)
+        }
+        fn load(&self, slot: SlotId) -> Result<Option<u64>, StableError> {
+            self.inner.load(slot)
+        }
+        fn erase(&mut self, slot: SlotId) -> Result<(), StableError> {
+            self.inner.erase(slot)
+        }
+        fn store_witnessed(&mut self, slot: SlotId, value: u64) -> Result<u64, StableError> {
+            self.inner.store(slot, value)?;
+            self.next_gen += 1;
+            Ok(self.next_gen)
+        }
+        fn load_witnessed(&self, slot: SlotId) -> Result<Option<(u64, u64)>, StableError> {
+            let gen = self.serve_gen.get().unwrap_or(self.next_gen);
+            Ok(self.inner.load(slot)?.map(|v| (v, gen)))
+        }
+    }
+
+    #[test]
+    fn fetch_checked_passes_on_current_generation() {
+        let mut s = BackgroundSaver::new(GenStore::default());
+        s.save_now(SLOT, 100).unwrap();
+        s.issue(SLOT, 125);
+        s.complete().unwrap();
+        assert_eq!(s.acked_generation(SLOT), 2);
+        s.crash();
+        assert_eq!(s.fetch_checked(SLOT).unwrap(), Some(125));
+    }
+
+    #[test]
+    fn fetch_checked_flags_stale_generation_as_rollback() {
+        let mut s = BackgroundSaver::new(GenStore::default());
+        s.save_now(SLOT, 100).unwrap();
+        s.save_now(SLOT, 125).unwrap();
+        // The store rolls back: it serves generation 1 after acking 2.
+        s.store().serve_gen.set(Some(1));
+        let err = s.fetch_checked(SLOT).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StableError::Rollback {
+                    served: 1,
+                    acked: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Plain fetch stays oblivious — the witness is what catches it.
+        assert_eq!(s.fetch(SLOT).unwrap(), Some(125));
+    }
+
+    #[test]
+    fn fetch_checked_flags_vanished_slot_as_rollback() {
+        let mut s = BackgroundSaver::new(GenStore::default());
+        s.save_now(SLOT, 100).unwrap();
+        s.store_mut().inner.erase(SLOT).unwrap(); // data loss behind our back
+        let err = s.fetch_checked(SLOT).unwrap_err();
+        assert!(
+            matches!(err, StableError::Rollback { served: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fetch_checked_is_vacuous_for_plain_stores() {
+        let mut s = BackgroundSaver::new(MemStable::new());
+        s.save_now(SLOT, 77).unwrap();
+        assert_eq!(s.acked_generation(SLOT), 0);
+        assert_eq!(s.fetch_checked(SLOT).unwrap(), Some(77));
+        s.store_mut().erase(SLOT).unwrap();
+        // A plain store can't witness, so a vanished slot reads as None.
+        assert_eq!(s.fetch_checked(SLOT).unwrap(), None);
     }
 
     #[test]

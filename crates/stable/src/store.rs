@@ -112,6 +112,35 @@ pub trait StableStore {
     ///
     /// Returns [`StableError`] if the device fails.
     fn erase(&mut self, slot: SlotId) -> Result<(), StableError>;
+
+    /// Like [`store`](StableStore::store), but additionally returns the
+    /// **generation number** under which the store durably recorded the
+    /// write. Generation-aware backends ([`WalStable`](crate::WalStable))
+    /// return a per-store monotonically increasing value; plain backends
+    /// keep the default, which returns `0` — making the rollback check in
+    /// [`BackgroundSaver::fetch_checked`](crate::BackgroundSaver::fetch_checked)
+    /// vacuous for them.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`store`](StableStore::store).
+    fn store_witnessed(&mut self, slot: SlotId, value: u64) -> Result<u64, StableError> {
+        self.store(slot, value)?;
+        Ok(0)
+    }
+
+    /// Like [`load`](StableStore::load), but pairs the value with the
+    /// generation it was recorded under (`0` for backends without
+    /// generation tracking). A caller holding a newer witnessed generation
+    /// than the one served has observed a **rollback** and must fail
+    /// closed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`load`](StableStore::load).
+    fn load_witnessed(&self, slot: SlotId) -> Result<Option<(u64, u64)>, StableError> {
+        Ok(self.load(slot)?.map(|v| (v, 0)))
+    }
 }
 
 impl<S: StableStore + ?Sized> StableStore for &mut S {
@@ -124,6 +153,12 @@ impl<S: StableStore + ?Sized> StableStore for &mut S {
     fn erase(&mut self, slot: SlotId) -> Result<(), StableError> {
         (**self).erase(slot)
     }
+    fn store_witnessed(&mut self, slot: SlotId, value: u64) -> Result<u64, StableError> {
+        (**self).store_witnessed(slot, value)
+    }
+    fn load_witnessed(&self, slot: SlotId) -> Result<Option<(u64, u64)>, StableError> {
+        (**self).load_witnessed(slot)
+    }
 }
 
 impl<S: StableStore + ?Sized> StableStore for Box<S> {
@@ -135,6 +170,12 @@ impl<S: StableStore + ?Sized> StableStore for Box<S> {
     }
     fn erase(&mut self, slot: SlotId) -> Result<(), StableError> {
         (**self).erase(slot)
+    }
+    fn store_witnessed(&mut self, slot: SlotId, value: u64) -> Result<u64, StableError> {
+        (**self).store_witnessed(slot, value)
+    }
+    fn load_witnessed(&self, slot: SlotId) -> Result<Option<(u64, u64)>, StableError> {
+        (**self).load_witnessed(slot)
     }
 }
 
@@ -166,5 +207,15 @@ mod tests {
         let mut store: Box<dyn StableStore> = Box::new(crate::MemStable::new());
         store.store(SlotId::raw(1), 99).unwrap();
         assert_eq!(store.load(SlotId::raw(1)).unwrap(), Some(99));
+    }
+
+    #[test]
+    fn plain_stores_witness_generation_zero() {
+        // Backends without generation tracking must report generation 0 on
+        // both sides, which makes the rollback comparison vacuous.
+        let mut store: Box<dyn StableStore> = Box::new(crate::MemStable::new());
+        assert_eq!(store.store_witnessed(SlotId::raw(2), 5).unwrap(), 0);
+        assert_eq!(store.load_witnessed(SlotId::raw(2)).unwrap(), Some((5, 0)));
+        assert_eq!(store.load_witnessed(SlotId::raw(3)).unwrap(), None);
     }
 }

@@ -16,6 +16,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use reset_crypto::oakley_group1;
 use reset_ipsec::{run_handshake, CostModel, GatewayBuilder, GatewayEvent};
+use reset_stable::{Durability, WalStable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_sas = 8u32;
@@ -238,5 +239,90 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         chunks * per_chunk,
         pipelined_elapsed.as_nanos() / (chunks * per_chunk) as u128
     );
+
+    // 9. Choosing the store backend. Everything above ran on MemStable,
+    //    which only survives the *simulated* reboot of reset(): drop the
+    //    process and the counters are gone. reset-stable ships three
+    //    backends behind the same StableStore trait:
+    //
+    //      MemStable   volatile      tests/benchmarks; dies with the process
+    //      FileStable  file per slot small SADBs; Durability::PowerLoss adds
+    //                                file+dir fsync per SAVE
+    //      WalStable   shared log    fleets: a SAVE is one 37-byte CRC'd
+    //                                generation-stamped append to a log the
+    //                                whole shard shares (>=5x cheaper per
+    //                                slot than file-per-slot at 1024 SAs;
+    //                                ~300x measured), compacted in place
+    //
+    //    Here the reboot is real: the gateway is dropped, then rebuilt
+    //    from nothing but the WAL's on-disk bytes.
+    println!("\n=== durable reboot: counters outlive the gateway via a shared WAL ===");
+    let wal_dir = std::env::temp_dir().join(format!("vpn-gateway-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir)?;
+    let wal_path = wal_dir.join("gateway.wal");
+    let spi = 9u32;
+    let replayed_wire;
+    {
+        let wal = WalStable::open(&wal_path, Durability::ProcessCrash)?;
+        let mut durable = GatewayBuilder::with_stores(move |_spi, _dir| wal.clone())
+            .save_interval(k)
+            .window(64)
+            .build();
+        durable.add_peer(spi, b"durable-master");
+        let mut last = None;
+        for _ in 0..60 {
+            let frame = durable.protect(spi, b"durable payload")?.expect("up");
+            durable.push_wire(&frame.wire)?;
+            last = Some(frame.wire);
+        }
+        durable.save_completed()?;
+        replayed_wire = last.expect("sent frames");
+        // The gateway is dropped here: unlike reset(), nothing volatile
+        // survives. Only the WAL file does.
+    }
+    let wal = WalStable::open(&wal_path, Durability::ProcessCrash)?;
+    let mut reborn = GatewayBuilder::with_stores(move |_spi, _dir| wal.clone())
+        .save_interval(k)
+        .window(64)
+        .build();
+    reborn.add_peer(spi, b"durable-master");
+    // A rebuilt SA must not trust its zeroed counters: FETCH + leap
+    // first, exactly as after any other reset.
+    reborn.reset();
+    reborn.recover()?;
+    reborn.poll_events();
+    // The adversary kept a pre-reboot frame; the leaped window has
+    // moved past the entire old conversation, so it dies as a replay.
+    reborn.push_wire(&replayed_wire)?;
+    assert!(
+        matches!(
+            reborn.poll_events()[..],
+            [GatewayEvent::ReplayDropped { .. }]
+        ),
+        "pre-reboot traffic must stay dead after a durable restart"
+    );
+    // Fresh traffic flows within the 2K sacrifice bound, and the
+    // outbound counter provably leaped past everything ever sent.
+    let mut sacrificed = 0u64;
+    let seq = loop {
+        let frame = reborn.protect(spi, b"after durable reboot")?.expect("up");
+        reborn.push_wire(&frame.wire)?;
+        match reborn.poll_events().pop() {
+            Some(GatewayEvent::Delivered { .. }) => break frame.seq.value(),
+            Some(GatewayEvent::ReplayDropped { .. }) => {
+                sacrificed += 1;
+                assert!(sacrificed <= 2 * k, "sacrifice exceeded the 2K bound");
+            }
+            other => panic!("unexpected post-reboot verdict: {other:?}"),
+        }
+    };
+    assert!(seq > 60, "counter must resume above all pre-reboot traffic");
+    println!(
+        "rebuilt the gateway from {} alone: replayed frame rejected, fresh \
+         traffic delivered at seq {seq} after {sacrificed} sacrificed frame(s)",
+        wal_path.display()
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
     Ok(())
 }

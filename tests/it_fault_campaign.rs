@@ -1,0 +1,68 @@
+//! Seeded fault-injection campaign across suites and shard counts.
+//!
+//! This is the CI entry point for [`reset_harness::run_campaign`]: every
+//! store behind the receiving fleet misbehaves on a seeded schedule
+//! (failed and torn SAVEs, corrupt and rolled-back FETCHes, erase
+//! failures) while a recording adversary replays through resets. The
+//! campaign itself asserts the §3 invariants — zero replays accepted,
+//! sacrifice ≤ 2K·resets per SA, no counter rollback — with the seed in
+//! every panic message.
+//!
+//! Override the seed with `FAULT_CAMPAIGN_SEED=<u64>` to reproduce or
+//! explore; the seed in use is always printed.
+
+use reset_harness::{run_campaign, CampaignConfig};
+
+fn campaign_seed() -> u64 {
+    match std::env::var("FAULT_CAMPAIGN_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("FAULT_CAMPAIGN_SEED must be a u64, got {s:?}")),
+        Err(_) => CampaignConfig::default().seed,
+    }
+}
+
+#[test]
+fn fault_campaign_sweeps_suites_and_shards() {
+    let cfg = CampaignConfig {
+        seed: campaign_seed(),
+        ..CampaignConfig::default()
+    };
+    eprintln!(
+        "fault campaign: seed={:#x} ({} suites x {:?} shards)",
+        cfg.seed,
+        cfg.suites.len(),
+        cfg.shard_counts
+    );
+    let report = run_campaign(&cfg);
+    eprintln!("fault campaign report: {report:?}");
+
+    assert_eq!(report.runs, cfg.suites.len() * cfg.shard_counts.len());
+    assert!(report.resets > 0, "schedule must inject resets: {report:?}");
+    assert!(report.delivered > 0, "fresh traffic must flow: {report:?}");
+    assert!(
+        report.replays_rejected > 0,
+        "the adversary must be exercised: {report:?}"
+    );
+}
+
+#[test]
+fn fault_campaign_survives_a_hostile_disk() {
+    // Crank the per-operation fault rate to 35%: recovery now fails
+    // closed routinely, SAs get replaced mid-run, and the invariants
+    // must still hold end to end.
+    let cfg = CampaignConfig {
+        seed: campaign_seed() ^ 0xD15C,
+        fault_per_mille: 350,
+        ..CampaignConfig::default()
+    };
+    eprintln!("hostile-disk campaign: seed={:#x}", cfg.seed);
+    let report = run_campaign(&cfg);
+    eprintln!("hostile-disk report: {report:?}");
+
+    assert!(
+        report.failed_closed > 0,
+        "a hostile disk must trip fail-closed recovery: {report:?}"
+    );
+    assert!(report.delivered > 0, "{report:?}");
+}

@@ -263,7 +263,8 @@ fn event_spi(ev: &GatewayEvent) -> Option<u32> {
         | GatewayEvent::RekeyStarted { spi }
         | GatewayEvent::RekeyCompleted { spi, .. }
         | GatewayEvent::ProbeDue { spi }
-        | GatewayEvent::PeerDead { spi } => Some(*spi),
+        | GatewayEvent::PeerDead { spi }
+        | GatewayEvent::FailedClosed { spi, .. } => Some(*spi),
         GatewayEvent::Recovered { .. } => None,
     }
 }
@@ -282,6 +283,7 @@ fn verdict_class(ev: &GatewayEvent) -> &'static str {
         GatewayEvent::RekeyCompleted { .. } => "rekey_completed",
         GatewayEvent::ProbeDue { .. } => "probe_due",
         GatewayEvent::PeerDead { .. } => "peer_dead",
+        GatewayEvent::FailedClosed { .. } => "failed_closed",
     }
 }
 
