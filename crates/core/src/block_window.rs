@@ -31,7 +31,7 @@ const BLOCK_BITS: u64 = 64;
 /// assert_eq!(w.check_and_accept(SeqNum::new(9)), Verdict::Fresh);
 /// assert_eq!(w.check_and_accept(SeqNum::new(9)), Verdict::Duplicate);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BlockWindow {
     /// Ring of bitmap blocks; block for sequence s is
     /// `(s / 64) % blocks.len()`.

@@ -27,8 +27,13 @@
 //!   receive cases.
 //! * [`BaselineSender`] / [`BaselineReceiver`] — the §2 protocol with the
 //!   §3 naive restart (the vulnerable baseline).
-//! * [`SfSender`] / [`SfReceiver`] — the §4 protocol with SAVE/FETCH,
-//!   background-save races, wake-up leap and receive buffering.
+//! * [`SfMachine`] ([`machine`]) — the §4 protocol as a **pure
+//!   transition function** `step(SfEvent) → Vec<SfEffect>`: no store, no
+//!   clock, hashable state — the substrate the `reset-model` bounded
+//!   exhaustive explorer enumerates and cross-checks.
+//! * [`SfSender`] / [`SfReceiver`] — thin **drivers** over [`SfMachine`]
+//!   that own the stable store: the §4 protocol with SAVE/FETCH,
+//!   background-save races, wake-up leap and (bounded) receive buffering.
 //! * [`Monitor`] / [`Report`] — online ground-truth checking of the §5
 //!   theorem.
 //! * [`apn_model`] — the same processes transcribed into the Abstract
@@ -97,6 +102,7 @@ pub mod apn_model;
 mod baseline;
 mod block_window;
 mod convergence;
+pub mod machine;
 mod savefetch;
 mod seq;
 mod window;
@@ -105,6 +111,7 @@ mod window_trait;
 pub use baseline::{BaselineReceiver, BaselineSender};
 pub use block_window::BlockWindow;
 pub use convergence::{Monitor, MsgId, Origin, Report, Violation};
+pub use machine::{FetchFaultKind, SfEffect, SfEvent, SfMachine};
 pub use savefetch::{Phase, ReceiverStats, RxOutcome, SenderStats, SfReceiver, SfSender};
 pub use seq::SeqNum;
 pub use window::{AntiReplayWindow, Verdict};

@@ -7,6 +7,25 @@
 //! FETCHes the last durable counter, **leaps by `2K`**, synchronously
 //! SAVEs the leaped value, and only then resumes.
 //!
+//! # Architecture: pure machine, thin driver
+//!
+//! All protocol *logic* lives in [`crate::machine::SfMachine`], a pure
+//! transition function `step(SfEvent) → Vec<SfEffect>` with no store, no
+//! clock and no allocation beyond its own state — which is what lets the
+//! `reset-model` crate exhaustively enumerate every bounded interleaving
+//! of sends, resets, save races and adversary schedules, and replay any
+//! failing schedule as a one-line regression test.
+//!
+//! [`SfSender`] and [`SfReceiver`] are the *drivers*: each owns a
+//! [`BackgroundSaver`] over a [`StableStore`] and translates machine
+//! effects into store operations —
+//! [`SaveIssued`](crate::machine::SfEffect::SaveIssued) becomes
+//! [`BackgroundSaver::issue`], a wake-up FETCH feeds
+//! [`BeginWakeup`](crate::machine::SfEvent::BeginWakeup), store faults
+//! become [`FetchFault`](crate::machine::SfEvent::FetchFault) — and
+//! keeps self-reported statistics. The driver API is exactly the
+//! pre-refactor one.
+//!
 //! Lifecycle (both roles):
 //!
 //! ```text
@@ -21,22 +40,29 @@
 //! wake-up. The one-call [`SfSender::wake_up`] /
 //! [`SfReceiver::wake_up`] convenience does both steps atomically for
 //! untimed runs.
+//!
+//! The receiver's wake-up buffer is **bounded**
+//! ([`crate::machine::DEFAULT_WAKEUP_BUFFER`] entries unless
+//! [`SfReceiver::set_buffer_limit`] says otherwise); arrivals beyond the
+//! cap are reported as [`RxOutcome::DroppedDown`] rather than growing
+//! memory without bound under a mid-wake-up frame flood.
 
 use reset_stable::{BackgroundSaver, PendingSave, SlotId, StableError, StableStore};
 
+use crate::machine::{FetchFaultKind, SfEffect, SfEvent, SfMachine};
 use crate::seq::SeqNum;
-use crate::window::{AntiReplayWindow, Verdict};
+use crate::window::AntiReplayWindow;
 use crate::window_trait::ReplayWindow;
 
-/// Liveness state of a SAVE/FETCH process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Phase {
-    /// Normal operation (`wait = false` in the paper).
-    Running,
-    /// Reset has struck; volatile state is gone (`wait = true`).
-    Down,
-    /// Woken up; the synchronous SAVE of the leaped counter is in flight.
-    Waking,
+pub use crate::machine::{Phase, RxOutcome};
+
+/// Projects a driver-level store error onto the machine's fault alphabet.
+fn fault_kind(e: &StableError) -> FetchFaultKind {
+    match e {
+        StableError::Rollback { .. } => FetchFaultKind::Rollback,
+        StableError::Corrupt { .. } => FetchFaultKind::Corrupt,
+        _ => FetchFaultKind::Io,
+    }
 }
 
 /// Counters the sender keeps about itself (for experiments).
@@ -48,7 +74,11 @@ pub struct SenderStats {
     pub saves_issued: u64,
     /// Resets experienced.
     pub resets: u64,
-    /// Total sequence numbers skipped by wake-up leaps.
+    /// Total sequence numbers actually made unusable by wake-up leaps
+    /// (`resumed − s_pre_reset` summed over wake-ups, each ≤ `2K`). Note
+    /// this is the *true* gap — when FETCH finds a fresh counter the gap
+    /// is smaller than the nominal `2K` bound, and experiments no longer
+    /// overcount.
     pub seqs_leaped: u64,
 }
 
@@ -76,14 +106,7 @@ pub struct SenderStats {
 pub struct SfSender<S> {
     saver: BackgroundSaver<S>,
     slot: SlotId,
-    k: u64,
-    /// Next sequence number to send (paper's `s`, initially 1).
-    s: SeqNum,
-    /// Last sequence number handed to a SAVE (paper's `lst`, initially 1).
-    lst: u64,
-    phase: Phase,
-    /// The leaped counter chosen by `begin_wakeup`, applied at finish.
-    waking_target: Option<SeqNum>,
+    machine: SfMachine,
     stats: SenderStats,
 }
 
@@ -95,42 +118,43 @@ impl<S: StableStore> SfSender<S> {
     ///
     /// Panics if `k == 0` (the paper requires a positive save interval).
     pub fn new(store: S, slot: SlotId, k: u64) -> Self {
-        assert!(k > 0, "save interval must be positive");
         SfSender {
             saver: BackgroundSaver::new(store),
             slot,
-            k,
-            s: SeqNum::FIRST,
-            lst: SeqNum::FIRST.value(),
-            phase: Phase::Running,
-            waking_target: None,
+            machine: SfMachine::sender(k),
             stats: SenderStats::default(),
         }
     }
 
     /// The save interval `Kp`.
     pub fn k(&self) -> u64 {
-        self.k
+        self.machine.k()
     }
 
     /// Current phase.
     pub fn phase(&self) -> Phase {
-        self.phase
+        self.machine.phase()
     }
 
     /// The next sequence number that would be sent (paper's `s`).
     pub fn next_seq(&self) -> SeqNum {
-        self.s
+        self.machine.next_seq().expect("sender machine")
     }
 
     /// The last counter value handed to a SAVE (paper's `lst`).
     pub fn last_stored(&self) -> u64 {
-        self.lst
+        self.machine.last_stored()
     }
 
     /// Self-reported statistics.
     pub fn stats(&self) -> SenderStats {
         self.stats
+    }
+
+    /// The pure transition machine this driver wraps (read-only) — the
+    /// state the `reset-model` explorer cross-checks against.
+    pub fn machine(&self) -> &SfMachine {
+        &self.machine
     }
 
     /// The background SAVE currently in flight, if any.
@@ -148,18 +172,22 @@ impl<S: StableStore> SfSender<S> {
     /// Never errs itself; the `Result` mirrors the receiver API and keeps
     /// room for stores that fail on `issue` bookkeeping.
     pub fn send_next(&mut self) -> Result<Option<SeqNum>, StableError> {
-        if self.phase != Phase::Running {
-            return Ok(None);
+        let mut sent = None;
+        for effect in self.machine.step(SfEvent::Send) {
+            match effect {
+                SfEffect::Sent(seq) => {
+                    self.stats.sent += 1;
+                    sent = Some(seq);
+                }
+                SfEffect::SaveIssued(v) => {
+                    self.saver.issue(self.slot, v);
+                    self.stats.saves_issued += 1;
+                }
+                SfEffect::Blocked => {}
+                other => unreachable!("Send produced {other:?}"),
+            }
         }
-        let seq = self.s;
-        self.s = self.s.next();
-        self.stats.sent += 1;
-        if self.s.value() >= self.k + self.lst {
-            self.lst = self.s.value();
-            self.saver.issue(self.slot, self.s.value());
-            self.stats.saves_issued += 1;
-        }
-        Ok(Some(seq))
+        Ok(sent)
     }
 
     /// Completion event for a background SAVE (driven by the simulator
@@ -172,17 +200,22 @@ impl<S: StableStore> SfSender<S> {
         self.saver.complete()
     }
 
+    /// Drops the in-flight background SAVE without completing it — the
+    /// device failed the write. Volatile protocol state is untouched
+    /// (`lst` advanced at issue time), so a later FETCH simply finds an
+    /// older durable value, which the `2K` leap already covers. A
+    /// fault-injection hook for the `reset-model` explorer.
+    pub fn drop_pending_save(&mut self) {
+        self.saver.crash();
+        self.machine.step(SfEvent::SaveLost);
+    }
+
     /// The paper's second action: `(process p is reset) → wait := true`.
     /// All volatile state — `s`, `lst`, and any in-flight SAVE — is lost.
     pub fn reset(&mut self) {
-        self.phase = Phase::Down;
+        self.machine.step(SfEvent::Reset);
         self.saver.crash();
-        self.waking_target = None;
         self.stats.resets += 1;
-        // Volatile values are meaningless now; poison them so misuse in
-        // tests is loud.
-        self.s = SeqNum::ZERO;
-        self.lst = 0;
     }
 
     /// First half of the wake-up action: FETCH, add the `2Kp` leap, and
@@ -204,13 +237,24 @@ impl<S: StableStore> SfSender<S> {
     ///
     /// Panics if the process is not `Down`.
     pub fn begin_wakeup(&mut self) -> Result<SeqNum, StableError> {
-        assert_eq!(self.phase, Phase::Down, "wake_up requires a prior reset");
-        let fetched = self.saver.fetch_checked(self.slot)?.unwrap_or(0);
-        let leaped = SeqNum::new(fetched).leap(2 * self.k);
-        self.saver.issue(self.slot, leaped.value());
-        self.waking_target = Some(leaped);
-        self.phase = Phase::Waking;
-        Ok(leaped)
+        assert_eq!(
+            self.machine.phase(),
+            Phase::Down,
+            "wake_up requires a prior reset"
+        );
+        let fetched = match self.saver.fetch_checked(self.slot) {
+            Ok(v) => v.unwrap_or(0),
+            Err(e) => {
+                self.machine.step(SfEvent::FetchFault(fault_kind(&e)));
+                return Err(e);
+            }
+        };
+        let effects = self.machine.step(SfEvent::BeginWakeup { fetched });
+        let [SfEffect::SaveIssued(leaped)] = effects[..] else {
+            unreachable!("BeginWakeup produced {effects:?}");
+        };
+        self.saver.issue(self.slot, leaped);
+        Ok(SeqNum::new(leaped))
     }
 
     /// Second half of the wake-up: the synchronous SAVE completed; set
@@ -224,16 +268,24 @@ impl<S: StableStore> SfSender<S> {
     ///
     /// Panics if not `Waking`.
     pub fn finish_wakeup(&mut self) -> Result<SeqNum, StableError> {
-        assert_eq!(self.phase, Phase::Waking, "no wake-up in progress");
+        assert_eq!(
+            self.machine.phase(),
+            Phase::Waking,
+            "no wake-up in progress"
+        );
         self.saver.complete()?;
-        let leaped = self.waking_target.take().expect("set by begin_wakeup");
-        // Leap bookkeeping: count unusable sequence numbers for the
-        // experiments (condition (i): bounded by 2Kp).
-        self.stats.seqs_leaped += 2 * self.k;
-        self.s = leaped;
-        self.lst = leaped.value();
-        self.phase = Phase::Running;
-        Ok(leaped)
+        let effects = self.machine.step(SfEvent::SaveDone);
+        let [SfEffect::WokeUp {
+            resumed,
+            unusable_gap,
+        }] = effects[..]
+        else {
+            unreachable!("sender SaveDone produced {effects:?}");
+        };
+        // Leap bookkeeping for the experiments: the *actual* unusable gap
+        // (≤ 2Kp by §5 condition (i)), not the nominal bound.
+        self.stats.seqs_leaped += unusable_gap;
+        Ok(resumed)
     }
 
     /// Atomic wake-up for untimed runs: both halves back to back.
@@ -258,37 +310,6 @@ impl<S: StableStore> SfSender<S> {
     }
 }
 
-/// Outcome of handing one received sequence number to the receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum RxOutcome {
-    /// Delivered to the application.
-    Delivered,
-    /// Discarded: left of the window (assumed replayed).
-    DiscardedStale,
-    /// Discarded: already received (definite replay).
-    DiscardedDuplicate,
-    /// Held in the wake-up buffer; resolved by
-    /// [`SfReceiver::finish_wakeup`].
-    Buffered,
-    /// The machine is down; the packet evaporates.
-    DroppedDown,
-}
-
-impl RxOutcome {
-    fn from_verdict(v: Verdict) -> RxOutcome {
-        match v {
-            Verdict::Fresh => RxOutcome::Delivered,
-            Verdict::Stale => RxOutcome::DiscardedStale,
-            Verdict::Duplicate => RxOutcome::DiscardedDuplicate,
-        }
-    }
-
-    /// True iff the message reached the application.
-    pub fn is_delivered(self) -> bool {
-        self == RxOutcome::Delivered
-    }
-}
-
 /// Counters the receiver keeps about itself.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReceiverStats {
@@ -300,7 +321,8 @@ pub struct ReceiverStats {
     pub discarded_duplicate: u64,
     /// Messages buffered during a wake-up.
     pub buffered: u64,
-    /// Messages dropped because the machine was down.
+    /// Messages dropped because the machine was down — or because the
+    /// bounded wake-up buffer was full.
     pub dropped_down: u64,
     /// Background SAVEs issued.
     pub saves_issued: u64,
@@ -325,14 +347,7 @@ pub struct ReceiverStats {
 pub struct SfReceiver<S, W = AntiReplayWindow> {
     saver: BackgroundSaver<S>,
     slot: SlotId,
-    k: u64,
-    window: W,
-    /// Paper's `lst`, initially 0.
-    lst: u64,
-    phase: Phase,
-    waking_target: Option<SeqNum>,
-    /// Messages that arrived while the wake-up SAVE was in flight.
-    buffer: Vec<SeqNum>,
+    machine: SfMachine<W>,
     stats: ReceiverStats,
 }
 
@@ -357,43 +372,37 @@ impl<S: StableStore, W: ReplayWindow> SfReceiver<S, W> {
     ///
     /// Panics if `k == 0`.
     pub fn with_window(store: S, slot: SlotId, k: u64, window: W) -> Self {
-        assert!(k > 0, "save interval must be positive");
         SfReceiver {
             saver: BackgroundSaver::new(store),
             slot,
-            k,
-            window,
-            lst: 0,
-            phase: Phase::Running,
-            waking_target: None,
-            buffer: Vec::new(),
+            machine: SfMachine::receiver_with_window(k, window),
             stats: ReceiverStats::default(),
         }
     }
 
     /// The save interval `Kq`.
     pub fn k(&self) -> u64 {
-        self.k
+        self.machine.k()
     }
 
     /// Current phase.
     pub fn phase(&self) -> Phase {
-        self.phase
+        self.machine.phase()
     }
 
     /// The anti-replay window (read-only).
     pub fn window(&self) -> &W {
-        &self.window
+        self.machine.window().expect("receiver machine")
     }
 
     /// The window's right edge `r`.
     pub fn right_edge(&self) -> SeqNum {
-        self.window.right_edge()
+        self.window().right_edge()
     }
 
     /// The last counter value handed to a SAVE.
     pub fn last_stored(&self) -> u64 {
-        self.lst
+        self.machine.last_stored()
     }
 
     /// Self-reported statistics.
@@ -401,51 +410,74 @@ impl<S: StableStore, W: ReplayWindow> SfReceiver<S, W> {
         self.stats
     }
 
+    /// The pure transition machine this driver wraps (read-only) — the
+    /// state the `reset-model` explorer cross-checks against.
+    pub fn machine(&self) -> &SfMachine<W> {
+        &self.machine
+    }
+
+    /// Caps the wake-up buffer at `limit` messages (clamped to ≥ 1).
+    /// Default: [`crate::machine::DEFAULT_WAKEUP_BUFFER`]. Arrivals
+    /// beyond the cap while `Waking` are dropped
+    /// ([`RxOutcome::DroppedDown`]) instead of growing memory without
+    /// bound.
+    pub fn set_buffer_limit(&mut self, limit: usize) {
+        self.machine.set_buffer_limit(limit);
+    }
+
+    /// The configured wake-up buffer cap.
+    pub fn buffer_limit(&self) -> usize {
+        self.machine.buffer_limit()
+    }
+
     /// The background SAVE currently in flight, if any.
     pub fn pending_save(&self) -> Option<PendingSave> {
         self.saver.pending()
     }
 
+    /// Applies one machine event and folds its effects into stats and
+    /// store operations, returning the `Rx` outcomes in order.
+    fn drive(&mut self, event: SfEvent) -> Vec<(SeqNum, RxOutcome)> {
+        let mut outcomes = Vec::new();
+        for effect in self.machine.step(event) {
+            match effect {
+                SfEffect::Rx { seq, outcome } => {
+                    match outcome {
+                        RxOutcome::Delivered => self.stats.delivered += 1,
+                        RxOutcome::DiscardedStale => self.stats.discarded_stale += 1,
+                        RxOutcome::DiscardedDuplicate => self.stats.discarded_duplicate += 1,
+                        RxOutcome::Buffered => self.stats.buffered += 1,
+                        RxOutcome::DroppedDown => self.stats.dropped_down += 1,
+                    }
+                    outcomes.push((seq, outcome));
+                }
+                SfEffect::SaveIssued(v) => {
+                    self.saver.issue(self.slot, v);
+                    self.stats.saves_issued += 1;
+                }
+                SfEffect::WokeUp { .. } => {}
+                other => unreachable!("receiver event produced {other:?}"),
+            }
+        }
+        outcomes
+    }
+
     /// The paper's receive action: classify against the window, deliver
     /// or discard, then issue a background SAVE when `r ≥ Kq + lst`.
-    /// While `Waking`, arrivals are buffered; while `Down`, dropped.
+    /// While `Waking`, arrivals are buffered (up to
+    /// [`SfReceiver::buffer_limit`]; beyond it they are dropped); while
+    /// `Down`, dropped.
     ///
     /// # Errors
     ///
     /// Never errs today; mirrors the sender API for forward-compatible
     /// stores.
     pub fn receive(&mut self, seq: SeqNum) -> Result<RxOutcome, StableError> {
-        match self.phase {
-            Phase::Down => {
-                self.stats.dropped_down += 1;
-                return Ok(RxOutcome::DroppedDown);
-            }
-            Phase::Waking => {
-                self.buffer.push(seq);
-                self.stats.buffered += 1;
-                return Ok(RxOutcome::Buffered);
-            }
-            Phase::Running => {}
-        }
-        Ok(self.classify(seq))
-    }
-
-    fn classify(&mut self, seq: SeqNum) -> RxOutcome {
-        let verdict = self.window.check_and_accept(seq);
-        let outcome = RxOutcome::from_verdict(verdict);
-        match outcome {
-            RxOutcome::Delivered => self.stats.delivered += 1,
-            RxOutcome::DiscardedStale => self.stats.discarded_stale += 1,
-            RxOutcome::DiscardedDuplicate => self.stats.discarded_duplicate += 1,
-            _ => unreachable!("classify only maps verdicts"),
-        }
-        let r = self.window.right_edge().value();
-        if r >= self.k + self.lst {
-            self.lst = r;
-            self.saver.issue(self.slot, r);
-            self.stats.saves_issued += 1;
-        }
-        outcome
+        let outcomes = self.drive(SfEvent::Receive(seq));
+        let [(_, outcome)] = outcomes[..] else {
+            unreachable!("Receive produced {outcomes:?}");
+        };
+        Ok(outcome)
     }
 
     /// Completion event for a background SAVE.
@@ -457,16 +489,19 @@ impl<S: StableStore, W: ReplayWindow> SfReceiver<S, W> {
         self.saver.complete()
     }
 
+    /// Drops the in-flight background SAVE without completing it — see
+    /// [`SfSender::drop_pending_save`].
+    pub fn drop_pending_save(&mut self) {
+        self.saver.crash();
+        self.machine.step(SfEvent::SaveLost);
+    }
+
     /// `(process q is reset) → wait := true`: volatile window, `lst` and
     /// in-flight SAVE are lost.
     pub fn reset(&mut self) {
-        self.phase = Phase::Down;
+        self.machine.step(SfEvent::Reset);
         self.saver.crash();
-        self.waking_target = None;
-        self.buffer.clear();
         self.stats.resets += 1;
-        self.window.reset_naive(); // poison: real state rebuilt on wake-up
-        self.lst = 0;
     }
 
     /// First half of wake-up: FETCH, leap by `2Kq`, issue the synchronous
@@ -488,13 +523,24 @@ impl<S: StableStore, W: ReplayWindow> SfReceiver<S, W> {
     ///
     /// Panics if the process is not `Down`.
     pub fn begin_wakeup(&mut self) -> Result<SeqNum, StableError> {
-        assert_eq!(self.phase, Phase::Down, "wake_up requires a prior reset");
-        let fetched = self.saver.fetch_checked(self.slot)?.unwrap_or(0);
-        let leaped = SeqNum::new(fetched).leap(2 * self.k);
-        self.saver.issue(self.slot, leaped.value());
-        self.waking_target = Some(leaped);
-        self.phase = Phase::Waking;
-        Ok(leaped)
+        assert_eq!(
+            self.machine.phase(),
+            Phase::Down,
+            "wake_up requires a prior reset"
+        );
+        let fetched = match self.saver.fetch_checked(self.slot) {
+            Ok(v) => v.unwrap_or(0),
+            Err(e) => {
+                self.machine.step(SfEvent::FetchFault(fault_kind(&e)));
+                return Err(e);
+            }
+        };
+        let effects = self.machine.step(SfEvent::BeginWakeup { fetched });
+        let [SfEffect::SaveIssued(leaped)] = effects[..] else {
+            unreachable!("BeginWakeup produced {effects:?}");
+        };
+        self.saver.issue(self.slot, leaped);
+        Ok(SeqNum::new(leaped))
     }
 
     /// Second half of wake-up: the SAVE completed. Rebuild the window at
@@ -510,18 +556,13 @@ impl<S: StableStore, W: ReplayWindow> SfReceiver<S, W> {
     ///
     /// Panics if not `Waking`.
     pub fn finish_wakeup(&mut self) -> Result<Vec<(SeqNum, RxOutcome)>, StableError> {
-        assert_eq!(self.phase, Phase::Waking, "no wake-up in progress");
+        assert_eq!(
+            self.machine.phase(),
+            Phase::Waking,
+            "no wake-up in progress"
+        );
         self.saver.complete()?;
-        let leaped = self.waking_target.take().expect("set by begin_wakeup");
-        self.window.resume_at(leaped);
-        self.lst = leaped.value();
-        self.phase = Phase::Running;
-        let buffered = std::mem::take(&mut self.buffer);
-        let outcomes = buffered
-            .into_iter()
-            .map(|seq| (seq, self.classify(seq)))
-            .collect();
-        Ok(outcomes)
+        Ok(self.drive(SfEvent::SaveDone))
     }
 
     /// Atomic wake-up (both halves) for untimed runs. Returns the leaped
@@ -709,6 +750,51 @@ mod tests {
     }
 
     #[test]
+    fn leap_stat_records_true_gap_not_nominal_bound() {
+        // Regression (pre-fix code recorded 2K per wake-up regardless):
+        // FETCH finding a *fresh* value must shrink the recorded leap.
+        let k = 5;
+        let mut p = sender(k);
+        for _ in 0..5 {
+            p.send_next().unwrap(); // save of 6 issued at seq 5
+        }
+        p.save_completed().unwrap(); // 6 durable — perfectly fresh
+        for _ in 0..2 {
+            p.send_next().unwrap(); // next unused s = 8
+        }
+        p.reset();
+        let resumed = p.wake_up().unwrap();
+        assert_eq!(resumed.value(), 16, "6 + 2K");
+        // The unusable gap is 16 − 8 = 8, strictly below the 2K = 10 the
+        // old bookkeeping charged.
+        assert_eq!(p.stats().seqs_leaped, 8);
+        assert!(p.stats().seqs_leaped <= 2 * k);
+    }
+
+    #[test]
+    fn save_threshold_near_sequence_ceiling_is_well_defined() {
+        // Regression: the save-due comparison `s ≥ k + lst` overflowed
+        // u64 once a FETCHed counter put lst near the ceiling (debug
+        // panic / release wrap → spurious save). The checked form sends
+        // fine and issues no save.
+        let k = 3u64;
+        let slot = SlotId::sender(1);
+        let mut store = MemStable::new();
+        use reset_stable::StableStore as _;
+        store.store(slot, u64::MAX - 2 * k - 2).unwrap();
+        let mut p = SfSender::new(store, slot, k);
+        p.reset();
+        let resumed = p.wake_up().unwrap();
+        assert_eq!(resumed.value(), u64::MAX - 2);
+        assert_eq!(
+            p.send_next().unwrap(),
+            Some(SeqNum::new(u64::MAX - 2)),
+            "send near the ceiling must not overflow the save threshold"
+        );
+        assert_eq!(p.pending_save(), None, "no spurious save");
+    }
+
+    #[test]
     #[should_panic(expected = "requires a prior reset")]
     fn wakeup_while_running_panics() {
         let mut p = sender(5);
@@ -762,6 +848,32 @@ mod tests {
         assert_eq!(outcomes.len(), 1);
         assert_eq!(q.stats().dropped_down, 1);
         assert_eq!(q.stats().buffered, 1);
+    }
+
+    #[test]
+    fn wakeup_buffer_is_bounded_overflow_drops() {
+        // Regression (pre-fix code buffered without bound — an OOM
+        // vector under a mid-wake-up frame flood).
+        let mut q = receiver(5, 32);
+        q.set_buffer_limit(4);
+        assert_eq!(q.buffer_limit(), 4);
+        q.receive(SeqNum::new(1)).unwrap();
+        q.reset();
+        q.begin_wakeup().unwrap();
+        for s in 10..14u64 {
+            assert_eq!(q.receive(SeqNum::new(s)).unwrap(), RxOutcome::Buffered);
+        }
+        for s in 14..20u64 {
+            assert_eq!(
+                q.receive(SeqNum::new(s)).unwrap(),
+                RxOutcome::DroppedDown,
+                "arrival {s} beyond the cap must be dropped, not buffered"
+            );
+        }
+        assert_eq!(q.stats().buffered, 4);
+        assert_eq!(q.stats().dropped_down, 6);
+        let outcomes = q.finish_wakeup().unwrap();
+        assert_eq!(outcomes.len(), 4, "only the capped buffer is classified");
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl Verdict {
 /// assert_eq!(w.check_and_accept(SeqNum::new(3)), Verdict::Fresh);
 /// assert_eq!(w.right_edge(), SeqNum::new(5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AntiReplayWindow {
     /// Circular bitmap: bit `(seq mod w)` records receipt of `seq` for
     /// sequence numbers in `(right − w, right]`.

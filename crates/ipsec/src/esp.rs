@@ -34,6 +34,7 @@ use reset_wire::{
     check_frame_length, infer_esn, seal_frame, verify_frame_with, WireError, HEADER_LEN,
 };
 
+use anti_replay::machine::DEFAULT_WAKEUP_BUFFER;
 use anti_replay::{Phase, RxOutcome, SeqNum, SfReceiver, SfSender};
 
 use crate::sa::SecurityAssociation;
@@ -235,8 +236,12 @@ pub struct Inbound<S> {
     sa: SecurityAssociation,
     rx: SfReceiver<S>,
     /// Wire packets that arrived during a wake-up (the §4 buffer, held at
-    /// the packet level so payloads survive to delivery).
+    /// the packet level so payloads survive to delivery). Bounded by
+    /// `wakeup_buffer`; overflow is dropped, not stored.
     pending: Vec<Bytes>,
+    /// Cap on `pending`: a frame flood while the wake-up SAVE is in
+    /// flight must not grow memory without bound.
+    wakeup_buffer: usize,
     /// Authentication failures seen (forgeries/corruption).
     auth_failures: u64,
     /// Handle onto the most recent delivery arena. Once the consumer
@@ -255,9 +260,25 @@ impl<S: StableStore> Inbound<S> {
             sa,
             rx: SfReceiver::new(store, slot, k, w),
             pending: Vec::new(),
+            wakeup_buffer: DEFAULT_WAKEUP_BUFFER,
             auth_failures: 0,
             scratch: Bytes::new(),
         }
+    }
+
+    /// Caps the wake-up packet buffer at `limit` frames (clamped to ≥ 1;
+    /// default [`DEFAULT_WAKEUP_BUFFER`]). Frames arriving while `Waking`
+    /// beyond the cap are reported [`RxResult::DroppedDown`] instead of
+    /// growing memory without bound. The same limit is mirrored onto the
+    /// inner [`SfReceiver`]'s sequence-number buffer.
+    pub fn set_wakeup_buffer(&mut self, limit: usize) {
+        self.wakeup_buffer = limit.max(1);
+        self.rx.set_buffer_limit(limit);
+    }
+
+    /// The configured wake-up packet-buffer cap.
+    pub fn wakeup_buffer(&self) -> usize {
+        self.wakeup_buffer
     }
 
     /// The SA this endpoint serves.
@@ -292,6 +313,9 @@ impl<S: StableStore> Inbound<S> {
         match self.rx.phase() {
             Phase::Down => return Ok(RxResult::DroppedDown),
             Phase::Waking => {
+                if self.pending.len() >= self.wakeup_buffer {
+                    return Ok(RxResult::DroppedDown);
+                }
                 self.pending.push(Bytes::copy_from_slice(wire));
                 return Ok(RxResult::Buffered);
             }
@@ -311,6 +335,9 @@ impl<S: StableStore> Inbound<S> {
         match self.rx.phase() {
             Phase::Down => return Ok(RxResult::DroppedDown),
             Phase::Waking => {
+                if self.pending.len() >= self.wakeup_buffer {
+                    return Ok(RxResult::DroppedDown);
+                }
                 self.pending.push(wire.clone());
                 return Ok(RxResult::Buffered);
             }
@@ -364,8 +391,17 @@ impl<S: StableStore> Inbound<S> {
         match self.rx.phase() {
             Phase::Down => return Ok(wires.iter().map(|_| RxResult::DroppedDown).collect()),
             Phase::Waking => {
-                self.pending.extend(wires.iter().cloned());
-                return Ok(wires.iter().map(|_| RxResult::Buffered).collect());
+                return Ok(wires
+                    .iter()
+                    .map(|wire| {
+                        if self.pending.len() >= self.wakeup_buffer {
+                            RxResult::DroppedDown
+                        } else {
+                            self.pending.push(wire.clone());
+                            RxResult::Buffered
+                        }
+                    })
+                    .collect());
             }
             Phase::Running => {}
         }
@@ -1117,5 +1153,57 @@ mod tests {
         let resolved = rx.finish_wakeup().unwrap();
         assert_eq!(resolved.len(), 3);
         assert!(resolved.iter().all(|r| r.is_delivered()), "{resolved:?}");
+    }
+
+    #[test]
+    fn wakeup_packet_buffer_is_bounded() {
+        // Regression: pre-fix code buffered every frame arriving during
+        // Waking without bound — a mid-wake-up frame flood was an OOM
+        // vector. The cap drops overflow as DroppedDown.
+        let (mut tx, mut rx) = endpoints(5, 32);
+        rx.set_wakeup_buffer(4);
+        assert_eq!(rx.wakeup_buffer(), 4);
+        let wire = tx.protect(b"pre").unwrap().unwrap();
+        rx.process(&wire).unwrap();
+        rx.reset();
+        rx.begin_wakeup().unwrap();
+        // Push the sender past the leaped edge so buffered frames are
+        // genuinely fresh.
+        for _ in 0..20 {
+            tx.protect(b"skip").unwrap();
+        }
+        let flood: Vec<Bytes> = (0..10)
+            .map(|_| tx.protect(b"flood").unwrap().unwrap())
+            .collect();
+        for (i, wire) in flood.iter().enumerate() {
+            let want = if i < 4 {
+                RxResult::Buffered
+            } else {
+                RxResult::DroppedDown
+            };
+            assert_eq!(rx.process_bytes(wire).unwrap(), want, "frame {i}");
+        }
+        let resolved = rx.finish_wakeup().unwrap();
+        assert_eq!(resolved.len(), 4, "only the capped buffer is classified");
+        assert!(resolved.iter().all(|r| r.is_delivered()), "{resolved:?}");
+
+        // The batch path honors the same cap.
+        rx.reset();
+        rx.begin_wakeup().unwrap();
+        let batch: Vec<Bytes> = (0..6)
+            .map(|_| tx.protect(b"batch").unwrap().unwrap())
+            .collect();
+        let during = rx.process_batch(&batch).unwrap();
+        assert_eq!(
+            during.iter().filter(|r| **r == RxResult::Buffered).count(),
+            4
+        );
+        assert_eq!(
+            during
+                .iter()
+                .filter(|r| **r == RxResult::DroppedDown)
+                .count(),
+            2
+        );
     }
 }

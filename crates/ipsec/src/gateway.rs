@@ -190,6 +190,7 @@ pub struct GatewayBuilder<S> {
     pub(crate) dpd: Option<DpdConfig>,
     pub(crate) skeyid: Vec<u8>,
     pub(crate) shards: Option<usize>,
+    pub(crate) wakeup_buffer: usize,
     pub(crate) make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
 }
 
@@ -214,6 +215,7 @@ impl<S: StableStore> GatewayBuilder<S> {
             dpd: None,
             skeyid: b"gateway-phase1-skeyid".to_vec(),
             shards: None,
+            wakeup_buffer: anti_replay::machine::DEFAULT_WAKEUP_BUFFER,
             make_store: Box::new(make_store),
         }
     }
@@ -272,6 +274,16 @@ impl<S: StableStore> GatewayBuilder<S> {
         self
     }
 
+    /// Per-SPI cap on frames buffered while a wake-up SAVE is in flight
+    /// (clamped to ≥ 1). Overflow is dropped, not stored — without a cap
+    /// a frame flood aimed at a recovering SA grows its buffer without
+    /// bound. Default:
+    /// [`anti_replay::machine::DEFAULT_WAKEUP_BUFFER`].
+    pub fn wakeup_buffer(mut self, limit: usize) -> Self {
+        self.wakeup_buffer = limit.max(1);
+        self
+    }
+
     /// Builds the engine (no SAs installed yet).
     pub fn build(self) -> Gateway<S> {
         Gateway {
@@ -282,6 +294,7 @@ impl<S: StableStore> GatewayBuilder<S> {
             rekey_after: self.rekey_after,
             dpd_cfg: self.dpd,
             skeyid: self.skeyid,
+            wakeup_buffer: self.wakeup_buffer,
             make_store: self.make_store,
             dpd: BTreeMap::new(),
             dpd_unarmed: BTreeSet::new(),
@@ -341,6 +354,8 @@ pub struct Gateway<S> {
     rekey_after: Option<SaLifetime>,
     dpd_cfg: Option<DpdConfig>,
     skeyid: Vec<u8>,
+    /// Per-SPI cap on frames buffered during a wake-up (OOM guard).
+    wakeup_buffer: usize,
     make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
     /// One detector per inbound SPI (created when DPD is configured).
     dpd: BTreeMap<u32, DpdDetector>,
@@ -439,7 +454,9 @@ impl<S: StableStore> Gateway<S> {
     pub fn install_inbound(&mut self, sa: SecurityAssociation) {
         let spi = sa.spi();
         let store = (self.make_store)(spi, SaDirection::Inbound);
-        self.sadb.install_inbound(sa, store, self.k, self.w);
+        self.sadb
+            .install_inbound(sa, store, self.k, self.w)
+            .set_wakeup_buffer(self.wakeup_buffer);
         if self.dpd_cfg.is_some() {
             self.dpd_unarmed.insert(spi);
         }
@@ -660,7 +677,8 @@ impl<S: StableStore> Gateway<S> {
         if had.inbound.is_some() {
             let store = (self.make_store)(spi, SaDirection::Inbound);
             self.sadb
-                .install_inbound(replacement.clone(), store, self.k, self.w);
+                .install_inbound(replacement.clone(), store, self.k, self.w)
+                .set_wakeup_buffer(self.wakeup_buffer);
         }
         self.events.push_back(GatewayEvent::RekeyCompleted {
             spi,

@@ -151,6 +151,7 @@ impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
                     dpd: self.dpd,
                     skeyid: self.skeyid.clone(),
                     shards: None,
+                    wakeup_buffer: self.wakeup_buffer,
                     make_store: Box::new(move |spi, dir| {
                         (f.lock().expect("store factory poisoned"))(spi, dir)
                     }),
