@@ -18,13 +18,21 @@
 //!   verify → window → decrypt-into-recycled-arena.
 //! * `gateway_drain` — `Sadb::process` per packet vs
 //!   `Sadb::process_batch` over a 512-packet NIC queue.
+//! * `telemetry_overhead` — a full `Gateway::push_wire_batch` +
+//!   `poll_events` drain with no telemetry handle vs an attached one
+//!   (claim: the uninstrumented path costs the same — every recording
+//!   site is one `Option` branch — and instrumentation itself stays
+//!   within noise of the drain).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use bytes::{Bytes, BytesMut};
 use reset_crypto::{hmac_sha256_96, sha256, CipherSuite, FrameToVerify, HmacKey, HmacSha256Suite};
-use reset_ipsec::{CryptoSuite, Inbound, Outbound, SaKeys, Sadb, SecurityAssociation};
+use reset_ipsec::{
+    CryptoSuite, GatewayBuilder, Inbound, Outbound, SaKeys, Sadb, SecurityAssociation,
+};
 use reset_stable::MemStable;
+use reset_telemetry::Telemetry;
 use reset_wire::{open, open_zc, seal, seal_into, seal_with, verify_frame, HEADER_LEN, ICV_LEN};
 
 const KEY: &[u8] = b"datapath-bench-auth-key-32bytes!";
@@ -244,6 +252,57 @@ fn bench_gateway_drain(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The full engine-level drain (push_wire_batch + poll_events) of a
+    // 512-packet queue over 8 SAs, with and without a telemetry handle
+    // attached. The queue is sealed once; each iteration rebuilds the
+    // receiving gateway, exactly like gateway_drain above, so the two
+    // sides differ only in the handle.
+    const QUEUE: usize = 512;
+    const SAS: u32 = 8;
+    let fresh_rx = |telemetry: Option<Telemetry>| {
+        let mut builder = GatewayBuilder::in_memory()
+            .save_interval(1 << 40)
+            .window(1024);
+        if let Some(t) = telemetry {
+            builder = builder.telemetry(t);
+        }
+        let mut gw = builder.build();
+        for spi in 1..=SAS {
+            gw.add_peer(spi, b"telemetry-bench-master");
+        }
+        gw
+    };
+    let mut tx = fresh_rx(None);
+    let queue: Vec<Bytes> = (0..QUEUE)
+        .map(|i| {
+            let spi = 1 + (i as u32 / 16) % SAS; // bursts of 16 per SA
+            tx.protect(spi, &[0xE1u8; 64]).unwrap().unwrap().wire
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("datapath/telemetry_overhead");
+    g.throughput(Throughput::Elements(QUEUE as u64));
+    g.bench_with_input(BenchmarkId::new("off", QUEUE), &queue, |b, queue| {
+        b.iter(|| {
+            let mut gw = fresh_rx(None);
+            gw.push_wire_batch(queue).unwrap();
+            std::hint::black_box(gw.poll_events())
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("on", QUEUE), &queue, |b, queue| {
+        // One handle for the whole measurement — attaching is a
+        // lifecycle cost, recording is the hot path under test.
+        let telemetry = Telemetry::new();
+        b.iter(|| {
+            let mut gw = fresh_rx(Some(telemetry.clone()));
+            gw.push_wire_batch(queue).unwrap();
+            std::hint::black_box(gw.poll_events())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_icv_64b,
@@ -252,6 +311,7 @@ criterion_group!(
     bench_suite_rx,
     bench_wire_64b,
     bench_rx_pipeline,
-    bench_gateway_drain
+    bench_gateway_drain,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -29,6 +29,9 @@ use std::collections::{BTreeMap, HashSet};
 use bytes::Bytes;
 use reset_ipsec::{CryptoSuite, GatewayBuilder, GatewayEvent, SaDirection};
 use reset_stable::{Fault, FaultyStable, MemStable};
+use reset_telemetry::Json;
+
+use crate::report::{RunReport, RunTotals};
 
 /// SplitMix64 — the campaign's only randomness source.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -110,6 +113,27 @@ pub struct CampaignReport {
     pub sacrificed: u64,
     /// SAs replaced because recovery failed closed on untrusted state.
     pub failed_closed: u64,
+}
+
+impl CampaignReport {
+    /// Converts into the unified `reset-report/v1` schema (the
+    /// campaign tracks aggregate counters only, so `verdicts` and
+    /// `timeline` stay empty and `runs` rides in `extra`).
+    pub fn to_run_report(&self, seed: u64) -> RunReport {
+        let mut report = RunReport::new("campaign", seed);
+        report.totals = RunTotals {
+            delivered: self.delivered,
+            replays_rejected: self.replays_rejected,
+            replays_accepted: 0, // any acceptance panics inside the run
+            sacrificed: self.sacrificed,
+            failed_closed: self.failed_closed,
+            resets: self.resets,
+        };
+        report
+            .extra
+            .push(("runs".to_string(), Json::U64(self.runs as u64)));
+        report
+    }
 }
 
 /// Runs the full sweep, panicking (with the seed in the message) on any
@@ -370,6 +394,18 @@ mod tests {
         assert_eq!(a, b, "same seed must reproduce the same campaign");
         let c = run_campaign(&CampaignConfig::quick(43));
         assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn campaign_report_renders_the_unified_schema() {
+        let report = run_campaign(&CampaignConfig::quick(7));
+        let json = report.to_run_report(7).render_json();
+        assert!(
+            json.starts_with("{\"schema\":\"reset-report/v1\",\"kind\":\"campaign\""),
+            "{json}"
+        );
+        assert!(json.contains("\"telemetry\":null"), "{json}");
+        assert!(json.contains("\"runs\":1"), "{json}");
     }
 
     #[test]

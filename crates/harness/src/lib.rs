@@ -14,6 +14,35 @@
 //! cargo run -p reset-harness --bin experiments -- fig1 --seed 7
 //! ```
 //!
+//! # The unified report schema (`reset-report/v1`)
+//!
+//! Every machine-readable result — fault campaigns
+//! ([`CampaignReport::to_run_report`]), timed scenarios
+//! ([`ScenarioOutcome::to_run_report`]), and churn soaks
+//! ([`ChurnReport::to_run_report`]) — serializes through one
+//! [`RunReport`] structure rendered by the zero-dependency
+//! [`reset_telemetry::Json`] writer. The document is a single object:
+//!
+//! * `schema` — the literal [`REPORT_SCHEMA`] version tag;
+//! * `kind` — `"campaign"`, `"scenario"`, or `"churn"`;
+//! * `seed` — reproduces the run exactly;
+//! * `totals` — fleet-wide counters (`delivered`, `replays_rejected`,
+//!   `replays_accepted` — must be 0 — `sacrificed`, `failed_closed`,
+//!   `resets`);
+//! * `verdicts` — one row per SA (`spi`, `sent`, `delivered`,
+//!   `sacrificed`, `replays_rejected`, `epochs`, `resets_survived`,
+//!   `ok`), empty when the workload only tracks totals;
+//! * `timeline` — throughput samples (`t_ns`, `delivered`, `rejected`),
+//!   empty when not sampled;
+//! * `telemetry` — the observed gateway's
+//!   [`reset_telemetry::Snapshot`] (per-shard skew, latency
+//!   histograms, event counts), or `null` when none was attached;
+//! * `extra` — kind-specific counters (e.g. the churn soak's
+//!   per-adversary-strategy injection counts).
+//!
+//! Keys render in insertion order, so the same run produces
+//! byte-identical JSON.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,13 +65,15 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod churn;
 pub mod experiments;
 mod report;
 mod scenario;
 mod workload;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
-pub use report::Table;
+pub use churn::{run_churn, AdversaryZoo, ChurnConfig, ChurnReport};
+pub use report::{RunReport, RunTotals, SaVerdict, Table, TimelinePoint, REPORT_SCHEMA};
 pub use scenario::{
     run_scenario, AdversaryPlan, Protocol, ScenarioConfig, ScenarioOutcome, Transport,
 };

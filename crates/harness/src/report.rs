@@ -1,11 +1,18 @@
-//! ASCII tables and series for experiment output.
+//! Experiment output: ASCII tables for humans, the unified
+//! [`RunReport`] JSON schema for machines.
 //!
 //! Every experiment renders its results as the same kind of table the
 //! paper would print, plus an optional CSV dump for plotting. Rendering
-//! is dependency-free; `serde` is used only for the CSV-ish export of
-//! experiment records by the harness binary.
+//! is dependency-free.
+//!
+//! Machine-readable output goes through [`RunReport`] — one schema
+//! (see [`REPORT_SCHEMA`] and the crate docs) shared by campaign,
+//! scenario, and churn runs, serialized with the zero-dep
+//! [`reset_telemetry::Json`] writer.
 
 use std::fmt;
+
+use reset_telemetry::{Json, Snapshot};
 
 /// A titled table with a header row.
 ///
@@ -159,6 +166,167 @@ impl Table {
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
+    }
+}
+
+/// Version tag carried in every [`RunReport`]'s `schema` field.
+pub const REPORT_SCHEMA: &str = "reset-report/v1";
+
+/// Per-SA verdict row: did the paper's §3 guarantees hold for this SA?
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SaVerdict {
+    /// The SA.
+    pub spi: u32,
+    /// Fresh frames sent to this SA.
+    pub sent: u64,
+    /// Fresh frames delivered.
+    pub delivered: u64,
+    /// Fresh frames sacrificed inside post-recovery leaps (bounded by
+    /// `2K` per reset).
+    pub sacrificed: u64,
+    /// Replayed/duplicate frames the window or keys rejected.
+    pub replays_rejected: u64,
+    /// Key epochs this SA went through (initial install = 1).
+    pub epochs: u32,
+    /// Receiver resets this SA lived through.
+    pub resets_survived: u64,
+    /// True iff zero replays were accepted and the sacrifice bound held.
+    pub ok: bool,
+}
+
+/// Fleet-wide totals of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunTotals {
+    /// Fresh frames delivered.
+    pub delivered: u64,
+    /// Replays rejected (window, keys, or unknown-SA).
+    pub replays_rejected: u64,
+    /// Replays accepted — must be 0 for the invariants to hold.
+    pub replays_accepted: u64,
+    /// Fresh frames sacrificed to recovery leaps.
+    pub sacrificed: u64,
+    /// SAs replaced fail-closed.
+    pub failed_closed: u64,
+    /// Receiver resets executed.
+    pub resets: u64,
+}
+
+/// One throughput-timeline sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Virtual time of the sample.
+    pub t_ns: u64,
+    /// Fresh frames delivered in the interval ending here.
+    pub delivered: u64,
+    /// Replays rejected in the interval.
+    pub rejected: u64,
+}
+
+/// The unified machine-readable run report — campaign, scenario, and
+/// churn runs all emit this one schema (see the crate docs for the
+/// field-by-field description). Serialize with [`RunReport::to_json`]
+/// or [`RunReport::render_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Which workload produced the report: `"campaign"`, `"scenario"`,
+    /// or `"churn"`.
+    pub kind: &'static str,
+    /// The run's RNG seed (reproduces the run exactly).
+    pub seed: u64,
+    /// Fleet-wide totals.
+    pub totals: RunTotals,
+    /// Per-SA verdicts (empty when the workload only tracks totals).
+    pub verdicts: Vec<SaVerdict>,
+    /// Throughput timeline (empty when not sampled).
+    pub timeline: Vec<TimelinePoint>,
+    /// Telemetry snapshot of the observed gateway, when one was
+    /// attached (per-shard skew, latency histograms, event counts).
+    pub telemetry: Option<Snapshot>,
+    /// Kind-specific extras, rendered verbatim into the `extra` object.
+    pub extra: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// A report shell for `kind` and `seed` (fill the rest in).
+    pub fn new(kind: &'static str, seed: u64) -> Self {
+        RunReport {
+            kind,
+            seed,
+            ..RunReport::default()
+        }
+    }
+
+    /// True iff every per-SA verdict is ok and no replay was accepted.
+    pub fn clean(&self) -> bool {
+        self.totals.replays_accepted == 0 && self.verdicts.iter().all(|v| v.ok)
+    }
+
+    /// Serializes to the `reset-report/v1` [`Json`] tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str(REPORT_SCHEMA)),
+            ("kind", Json::str(self.kind)),
+            ("seed", Json::U64(self.seed)),
+            (
+                "totals",
+                Json::obj(vec![
+                    ("delivered", Json::U64(self.totals.delivered)),
+                    ("replays_rejected", Json::U64(self.totals.replays_rejected)),
+                    ("replays_accepted", Json::U64(self.totals.replays_accepted)),
+                    ("sacrificed", Json::U64(self.totals.sacrificed)),
+                    ("failed_closed", Json::U64(self.totals.failed_closed)),
+                    ("resets", Json::U64(self.totals.resets)),
+                ]),
+            ),
+            (
+                "verdicts",
+                Json::Arr(
+                    self.verdicts
+                        .iter()
+                        .map(|v| {
+                            Json::obj(vec![
+                                ("spi", Json::U64(v.spi as u64)),
+                                ("sent", Json::U64(v.sent)),
+                                ("delivered", Json::U64(v.delivered)),
+                                ("sacrificed", Json::U64(v.sacrificed)),
+                                ("replays_rejected", Json::U64(v.replays_rejected)),
+                                ("epochs", Json::U64(v.epochs as u64)),
+                                ("resets_survived", Json::U64(v.resets_survived)),
+                                ("ok", Json::Bool(v.ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "timeline",
+                Json::Arr(
+                    self.timeline
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("t_ns", Json::U64(p.t_ns)),
+                                ("delivered", Json::U64(p.delivered)),
+                                ("rejected", Json::U64(p.rejected)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "telemetry",
+                match &self.telemetry {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("extra", Json::Obj(self.extra.to_vec())),
+        ])
+    }
+
+    /// Renders the report as a compact JSON document.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
     }
 }
 

@@ -36,7 +36,9 @@ use reset_ipsec::{
 };
 use reset_sim::{DetRng, SimDuration, SimTime, Simulator};
 use reset_stable::{MemStable, SaveLatencyModel, SlotId};
+use reset_telemetry::Json;
 
+use crate::report::{RunReport, RunTotals, SaVerdict};
 use crate::workload::Workload;
 
 /// Which protocol variant runs.
@@ -212,6 +214,49 @@ pub struct ScenarioOutcome {
     pub receiver_resets: u64,
     /// Virtual time at the end of the run.
     pub end_time: SimTime,
+}
+
+impl ScenarioOutcome {
+    /// Converts into the unified `reset-report/v1` schema. Monitors are
+    /// ground truth here, so the totals come from them rather than from
+    /// gateway telemetry: `delivered` counts fresh instances,
+    /// `sacrificed` is the §5(i) leap loss, and each SA of the fleet
+    /// gets a verdict row (`spi = index + 1`). Scenario-specific
+    /// counters ride in `extra`.
+    pub fn to_run_report(&self, seed: u64) -> RunReport {
+        let mut report = RunReport::new("scenario", seed);
+        report.totals = RunTotals {
+            delivered: self.monitor.fresh_delivered,
+            replays_rejected: self.monitor.replays_rejected,
+            replays_accepted: self.monitor.replays_accepted,
+            sacrificed: self.monitor.seqs_lost_to_leaps,
+            failed_closed: 0,
+            resets: self.sender_resets + self.receiver_resets,
+        };
+        report.verdicts = self
+            .per_sa
+            .iter()
+            .enumerate()
+            .map(|(i, r)| SaVerdict {
+                spi: i as u32 + 1,
+                sent: r.sent,
+                delivered: r.fresh_delivered,
+                sacrificed: r.seqs_lost_to_leaps,
+                replays_rejected: r.replays_rejected,
+                epochs: 1, // scenarios never rekey
+                resets_survived: self.receiver_resets,
+                ok: r.clean() && r.replays_accepted == 0,
+            })
+            .collect();
+        report.extra = vec![
+            ("dropped_down".into(), Json::U64(self.dropped_down)),
+            ("injected".into(), Json::U64(self.injected)),
+            ("final_next_seq".into(), Json::U64(self.final_next_seq)),
+            ("final_right_edge".into(), Json::U64(self.final_right_edge)),
+            ("end_time_ns".into(), Json::U64(self.end_time.as_nanos())),
+        ];
+        report
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -969,6 +1014,19 @@ mod tests {
         assert!(out.monitor.sent > 1000, "paper rate over 10ms");
         assert_eq!(out.monitor.fresh_discarded, 0);
         assert_eq!(out.monitor.replays_accepted, 0);
+    }
+
+    #[test]
+    fn scenario_report_renders_the_unified_schema() {
+        let out = run_scenario(ScenarioConfig::default());
+        let report = out.to_run_report(0);
+        assert_eq!(report.totals.delivered, out.monitor.fresh_delivered);
+        let json = report.render_json();
+        assert!(
+            json.starts_with("{\"schema\":\"reset-report/v1\",\"kind\":\"scenario\""),
+            "{json}"
+        );
+        assert!(json.contains("\"final_right_edge\":"), "{json}");
     }
 
     #[test]

@@ -28,10 +28,12 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::time::Instant;
 
 use bytes::Bytes;
 use reset_crypto::hmac_sha256;
 use reset_stable::{MemStable, SlotId, StableError, StableStore};
+use reset_telemetry::{EventKind, Severity, Telemetry};
 
 use anti_replay::{Phase, RxOutcome, SeqNum};
 
@@ -164,6 +166,26 @@ pub enum GatewayEvent {
     },
 }
 
+/// The telemetry [`EventKind`] a [`GatewayEvent`] counts as (the enums
+/// mirror each other variant-for-variant; telemetry sits below this
+/// crate, so the mapping lives here).
+fn event_kind(ev: &GatewayEvent) -> EventKind {
+    match ev {
+        GatewayEvent::Delivered { .. } => EventKind::Delivered,
+        GatewayEvent::ReplayDropped { .. } => EventKind::ReplayDropped,
+        GatewayEvent::AuthFailed { .. } => EventKind::AuthFailed,
+        GatewayEvent::UnknownSa { .. } => EventKind::UnknownSa,
+        GatewayEvent::Buffered { .. } => EventKind::Buffered,
+        GatewayEvent::DroppedDown { .. } => EventKind::DroppedDown,
+        GatewayEvent::RekeyStarted { .. } => EventKind::RekeyStarted,
+        GatewayEvent::RekeyCompleted { .. } => EventKind::RekeyCompleted,
+        GatewayEvent::ProbeDue { .. } => EventKind::ProbeDue,
+        GatewayEvent::PeerDead { .. } => EventKind::PeerDead,
+        GatewayEvent::Recovered { .. } => EventKind::Recovered,
+        GatewayEvent::FailedClosed { .. } => EventKind::FailedClosed,
+    }
+}
+
 /// Builds a [`Gateway`]: engine-wide policy is fixed here, SAs are
 /// added to the built engine afterwards.
 ///
@@ -191,6 +213,7 @@ pub struct GatewayBuilder<S> {
     pub(crate) skeyid: Vec<u8>,
     pub(crate) shards: Option<usize>,
     pub(crate) wakeup_buffer: usize,
+    pub(crate) telemetry: Option<Telemetry>,
     pub(crate) make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
 }
 
@@ -216,6 +239,7 @@ impl<S: StableStore> GatewayBuilder<S> {
             skeyid: b"gateway-phase1-skeyid".to_vec(),
             shards: None,
             wakeup_buffer: anti_replay::machine::DEFAULT_WAKEUP_BUFFER,
+            telemetry: None,
             make_store: Box::new(make_store),
         }
     }
@@ -284,6 +308,20 @@ impl<S: StableStore> GatewayBuilder<S> {
         self
     }
 
+    /// Attaches a shared [`Telemetry`] handle: the gateway then records
+    /// per-event-kind counts, batch drain latencies, queue depths,
+    /// recover/rekey latencies, per-SA-class lifecycle counters, and a
+    /// lifecycle trace into it. Strictly opt-in — without a handle every
+    /// recording site is a single `Option` branch, so the uninstrumented
+    /// datapath cost is unchanged. [`GatewayBuilder::build_sharded`]
+    /// clones the handle into every shard, attributing each shard's
+    /// events to its own slot (size the handle with
+    /// `Telemetry::with_shards` accordingly).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Builds the engine (no SAs installed yet).
     pub fn build(self) -> Gateway<S> {
         Gateway {
@@ -295,6 +333,9 @@ impl<S: StableStore> GatewayBuilder<S> {
             dpd_cfg: self.dpd,
             skeyid: self.skeyid,
             wakeup_buffer: self.wakeup_buffer,
+            telemetry: self.telemetry,
+            shard_index: 0,
+            recover_started: None,
             make_store: self.make_store,
             dpd: BTreeMap::new(),
             dpd_unarmed: BTreeSet::new(),
@@ -356,6 +397,17 @@ pub struct Gateway<S> {
     skeyid: Vec<u8>,
     /// Per-SPI cap on frames buffered during a wake-up (OOM guard).
     wakeup_buffer: usize,
+    /// Optional instrumentation (see [`GatewayBuilder::telemetry`]).
+    telemetry: Option<Telemetry>,
+    /// Which telemetry shard slot this gateway records into (0 for a
+    /// plain gateway; [`GatewayBuilder::build_sharded`] assigns each
+    /// shard its index).
+    shard_index: usize,
+    /// Wall-clock start of an in-flight recovery: set by
+    /// [`Gateway::begin_recover`], consumed when
+    /// [`Gateway::finish_recover`] succeeds (so the recorded latency
+    /// spans the whole FETCH → wake-up SAVE window, retries included).
+    recover_started: Option<Instant>,
     make_store: Box<dyn FnMut(u32, SaDirection) -> S + Send>,
     /// One detector per inbound SPI (created when DPD is configured).
     dpd: BTreeMap<u32, DpdDetector>,
@@ -442,6 +494,9 @@ impl<S: StableStore> Gateway<S> {
     /// Installs an SA for sending only.
     pub fn install_outbound(&mut self, sa: SecurityAssociation) {
         let spi = sa.spi();
+        if let Some(t) = &self.telemetry {
+            t.class(sa.suite().name()).installs.incr();
+        }
         let store = (self.make_store)(spi, SaDirection::Outbound);
         self.sadb.install_outbound(sa, store, self.k);
     }
@@ -453,6 +508,9 @@ impl<S: StableStore> Gateway<S> {
     /// phantom idle gap).
     pub fn install_inbound(&mut self, sa: SecurityAssociation) {
         let spi = sa.spi();
+        if let Some(t) = &self.telemetry {
+            t.class(sa.suite().name()).installs.incr();
+        }
         let store = (self.make_store)(spi, SaDirection::Inbound);
         self.sadb
             .install_inbound(sa, store, self.k, self.w)
@@ -470,7 +528,19 @@ impl<S: StableStore> Gateway<S> {
         self.dpd.remove(&spi);
         self.dpd_unarmed.remove(&spi);
         self.rekey_generation.remove(&spi);
-        self.remove_and_erase(spi).is_some()
+        let removed = self.remove_and_erase(spi);
+        if let (Some(t), Some(removed)) = (&self.telemetry, &removed) {
+            for sa in [
+                removed.outbound.as_ref().map(|o| o.sa()),
+                removed.inbound.as_ref().map(|i| i.sa()),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                t.class(sa.suite().name()).removals.incr();
+            }
+        }
+        removed.is_some()
     }
 
     /// [`Sadb::remove`] plus best-effort erasure of the removed
@@ -527,7 +597,7 @@ impl<S: StableStore> Gateway<S> {
             Err(IpsecError::UnknownSa { spi }) => GatewayEvent::UnknownSa { spi },
             Err(other) => return Err(other),
         };
-        self.events.push_back(ev);
+        self.emit(ev);
         Ok(())
     }
 
@@ -541,13 +611,46 @@ impl<S: StableStore> Gateway<S> {
     ///
     /// Reserved for non-per-packet infrastructure failures.
     pub fn push_wire_batch(&mut self, wires: &[Bytes]) -> Result<(), IpsecError> {
+        // Timing is gated on the handle so the uninstrumented path
+        // never reads the clock.
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
         let results = self.sadb.process_batch(wires)?;
         for (wire, result) in wires.iter().zip(results) {
             let spi = reset_wire::peek_spi(wire).unwrap_or(0);
             let ev = self.event_from_rx(spi, result);
-            self.events.push_back(ev);
+            self.emit(ev);
+        }
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.record_drain(
+                self.shard_index,
+                wires.len() as u64,
+                started.elapsed().as_nanos() as u64,
+                self.events.len() as u64,
+            );
         }
         Ok(())
+    }
+
+    /// Appends `ev` to the event queue, counting its kind into the
+    /// attached telemetry (one branch when uninstrumented).
+    fn emit(&mut self, ev: GatewayEvent) {
+        if let Some(t) = &self.telemetry {
+            t.record_event(self.shard_index, event_kind(&ev));
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Records a lifecycle trace event when telemetry is attached.
+    fn trace(&self, severity: Severity, code: &'static str, spi: u32, detail: u64) {
+        if let Some(t) = &self.telemetry {
+            t.trace(self.now_ns, severity, code, spi, detail);
+        }
+    }
+
+    /// Routes this gateway's telemetry into shard slot `index`
+    /// (`build_sharded` assigns each shard its own).
+    pub(crate) fn set_shard_index(&mut self, index: usize) {
+        self.shard_index = index;
     }
 
     fn event_from_rx(&mut self, spi: u32, result: RxResult) -> GatewayEvent {
@@ -598,17 +701,22 @@ impl<S: StableStore> Gateway<S> {
             self.arm_dpd(spi);
         }
         // DPD first: a peer torn down here must not be rekeyed below.
+        let mut probes = Vec::new();
         let mut dead = Vec::new();
         for (&spi, det) in self.dpd.iter_mut() {
             match det.poll(now_ns) {
                 DpdAction::Idle | DpdAction::PeerPresumedDown => {}
-                DpdAction::SendProbe => self.events.push_back(GatewayEvent::ProbeDue { spi }),
+                DpdAction::SendProbe => probes.push(spi),
                 DpdAction::TearDown => dead.push(spi),
             }
         }
+        for spi in probes {
+            self.emit(GatewayEvent::ProbeDue { spi });
+        }
         for spi in dead {
             self.remove_peer(spi);
-            self.events.push_back(GatewayEvent::PeerDead { spi });
+            self.trace(Severity::Warn, "peer_dead", spi, 0);
+            self.emit(GatewayEvent::PeerDead { spi });
         }
         if let Some(lifetime) = self.rekey_after {
             let due: Vec<u32> = self
@@ -653,7 +761,8 @@ impl<S: StableStore> Gateway<S> {
         if self.sadb.outbound(spi).is_none() && self.sadb.inbound(spi).is_none() {
             return;
         }
-        self.events.push_back(GatewayEvent::RekeyStarted { spi });
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        self.emit(GatewayEvent::RekeyStarted { spi });
         let generation = self.rekey_generation.entry(spi).or_insert(0);
         *generation += 1;
         let request = RekeyRequest {
@@ -680,10 +789,14 @@ impl<S: StableStore> Gateway<S> {
                 .install_inbound(replacement.clone(), store, self.k, self.w)
                 .set_wakeup_buffer(self.wakeup_buffer);
         }
-        self.events.push_back(GatewayEvent::RekeyCompleted {
-            spi,
-            suite: replacement.suite(),
-        });
+        let suite = replacement.suite();
+        self.emit(GatewayEvent::RekeyCompleted { spi, suite });
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            let elapsed = started.elapsed().as_nanos() as u64;
+            t.record_rekey_ns(elapsed);
+            t.class(suite.name()).rekeys.incr();
+            t.trace(self.now_ns, Severity::Info, "rekey", spi, elapsed);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -694,6 +807,7 @@ impl<S: StableStore> Gateway<S> {
     /// buffered frames. Traffic pushed while down evaporates
     /// ([`GatewayEvent::DroppedDown`]).
     pub fn reset(&mut self) {
+        self.trace(Severity::Warn, "reset", 0, self.sadb.len() as u64);
         self.sadb.reset_all();
     }
 
@@ -725,6 +839,9 @@ impl<S: StableStore> Gateway<S> {
     /// Reserved for infrastructure failures; per-SA store failures are
     /// handled by failing the SA closed, not returned.
     pub fn begin_recover(&mut self) -> Result<(), IpsecError> {
+        if self.telemetry.is_some() && self.recover_started.is_none() {
+            self.recover_started = Some(Instant::now());
+        }
         let failed = self.sadb.begin_recover_all();
         self.pending_fail_closed
             .extend(failed.into_iter().map(|(spi, e)| (spi, e.to_string())));
@@ -747,10 +864,16 @@ impl<S: StableStore> Gateway<S> {
     /// untrusted, so retrying the completion is safe).
     pub fn finish_recover(&mut self) -> Result<usize, IpsecError> {
         let (sas, buffered) = self.sadb.finish_recover_all()?;
-        self.events.push_back(GatewayEvent::Recovered { sas });
+        self.emit(GatewayEvent::Recovered { sas });
         for (spi, result) in buffered {
             let ev = self.event_from_rx(spi, result);
-            self.events.push_back(ev);
+            self.emit(ev);
+        }
+        if let (Some(t), Some(started)) = (&self.telemetry, self.recover_started.take()) {
+            let elapsed = started.elapsed().as_nanos() as u64;
+            t.record_recovery_ns(elapsed);
+            t.class(self.suite.name()).recoveries.incr();
+            t.trace(self.now_ns, Severity::Info, "recovered", 0, elapsed);
         }
         // Replace every SA that woke into untrusted state. Dedupe: both
         // directions of one SPI may have failed, but the SA is replaced
@@ -761,8 +884,11 @@ impl<S: StableStore> Gateway<S> {
             if !replaced.insert(spi) {
                 continue;
             }
-            self.events
-                .push_back(GatewayEvent::FailedClosed { spi, reason });
+            if let Some(t) = &self.telemetry {
+                t.class(self.suite.name()).failed_closed.incr();
+                t.trace(self.now_ns, Severity::Error, "failed_closed", spi, 0);
+            }
+            self.emit(GatewayEvent::FailedClosed { spi, reason });
             self.rekey_now(spi);
         }
         Ok(sas)
@@ -1201,5 +1327,75 @@ mod tests {
             matches!(events[1], GatewayEvent::ReplayDropped { .. }),
             "buffered replay resolved after recovery: {events:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_counts_events_and_latencies() {
+        use reset_telemetry::{EventKind, Telemetry};
+        let t = Telemetry::new();
+        let mut tx = GatewayBuilder::in_memory().build();
+        let mut rx = GatewayBuilder::in_memory().telemetry(t.clone()).build();
+        tx.add_peer(9, b"telemetry-master");
+        rx.add_peer(9, b"telemetry-master");
+
+        let frames: Vec<_> = (0..8)
+            .map(|_| tx.protect(9, b"observed").unwrap().unwrap().wire)
+            .collect();
+        rx.push_wire_batch(&frames).unwrap();
+        rx.push_wire(&frames[0]).unwrap(); // replay
+        rx.save_completed().unwrap();
+        rx.reset();
+        rx.recover().unwrap();
+        rx.rekey_now(9);
+        let _ = rx.poll_events();
+
+        assert_eq!(t.event_count(EventKind::Delivered), 8);
+        assert_eq!(t.event_count(EventKind::ReplayDropped), 1);
+        assert_eq!(t.event_count(EventKind::Recovered), 1);
+        assert_eq!(t.event_count(EventKind::RekeyCompleted), 1);
+        let s = t.snapshot();
+        assert_eq!(s.recover_ns.count, 1);
+        assert_eq!(s.rekey_ns.count, 1);
+        assert_eq!(s.shards[0].batches, 1);
+        assert_eq!(s.shards[0].frames, 8);
+        assert_eq!(s.shards[0].drain_ns.count, 1);
+        // add_peer installed both directions (rekey reinstalls go
+        // straight to the SADB and count as rekeys, not installs).
+        let class = &s.classes[0];
+        assert_eq!(class.label, CryptoSuite::default().name());
+        assert_eq!(class.installs, 2);
+        assert_eq!(class.rekeys, 1);
+        assert_eq!(class.recoveries, 1);
+        // The reset and the recovery both left lifecycle trace events.
+        let codes: Vec<&str> = s.trace.iter().map(|e| e.code).collect();
+        assert!(codes.contains(&"reset"), "{codes:?}");
+        assert!(codes.contains(&"recovered"), "{codes:?}");
+        assert!(codes.contains(&"rekey"), "{codes:?}");
+    }
+
+    #[test]
+    fn uninstrumented_gateway_behaves_identically() {
+        let mk = |telemetry: Option<reset_telemetry::Telemetry>| {
+            let mut b = GatewayBuilder::in_memory();
+            if let Some(t) = telemetry {
+                b = b.telemetry(t);
+            }
+            let mut tx = GatewayBuilder::in_memory().build();
+            let mut rx = b.build();
+            tx.add_peer(3, b"parity-master");
+            rx.add_peer(3, b"parity-master");
+            let frames: Vec<_> = (0..40)
+                .map(|_| tx.protect(3, b"parity").unwrap().unwrap().wire)
+                .collect();
+            rx.push_wire_batch(&frames).unwrap();
+            rx.save_completed().unwrap();
+            rx.reset();
+            rx.recover().unwrap();
+            rx.push_wire_batch(&frames).unwrap(); // all replays
+            rx.poll_events()
+        };
+        let plain = mk(None);
+        let observed = mk(Some(reset_telemetry::Telemetry::new()));
+        assert_eq!(plain, observed);
     }
 }

@@ -39,6 +39,17 @@ impl CryptoSuite {
         CryptoSuite::HmacSha256AuthOnly,
     ];
 
+    /// Stable lowercase label (matches the concrete transform's
+    /// [`reset_crypto::CipherSuite::name`]); telemetry uses it as the
+    /// SA-class key.
+    pub fn name(self) -> &'static str {
+        match self {
+            CryptoSuite::HmacSha256WithKeystream => "hmac-sha256-keystream",
+            CryptoSuite::HmacSha256AuthOnly => "hmac-sha256-auth-only",
+            CryptoSuite::ChaCha20Poly1305 => "chacha20-poly1305",
+        }
+    }
+
     /// The transform identifier carried in IKE proposals and rekey
     /// exchanges.
     pub fn wire_id(self) -> u8 {

@@ -143,7 +143,7 @@ impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
         let workers = (0..n)
             .map(|idx| {
                 let f = Arc::clone(&factory);
-                let gateway = GatewayBuilder {
+                let mut gateway = GatewayBuilder {
                     suite: self.suite,
                     k: self.k,
                     w: self.w,
@@ -152,11 +152,15 @@ impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
                     skeyid: self.skeyid.clone(),
                     shards: None,
                     wakeup_buffer: self.wakeup_buffer,
+                    // Every shard records into the one shared handle,
+                    // each attributing its events to its own slot.
+                    telemetry: self.telemetry.clone(),
                     make_store: Box::new(move |spi, dir| {
                         (f.lock().expect("store factory poisoned"))(spi, dir)
                     }),
                 }
                 .build();
+                gateway.set_shard_index(idx);
                 if n == 1 {
                     // The degenerate pool: one shard spawns no thread —
                     // jobs run inline, keeping `shards(1)` identical to
@@ -1046,5 +1050,47 @@ mod tests {
         // Dropped with four workers' queues full: the pool must drain
         // and join without hanging or panicking.
         drop(q);
+    }
+
+    #[test]
+    fn telemetry_attributes_events_to_their_shards() {
+        use reset_telemetry::{EventKind, Telemetry};
+        let shards = 4;
+        let t = Telemetry::with_shards(shards);
+        let mut tx = GatewayBuilder::in_memory().build();
+        let mut rx = GatewayBuilder::in_memory()
+            .shards(shards)
+            .telemetry(t.clone())
+            .build_sharded();
+        let spis: Vec<u32> = (1..=32).collect();
+        for &spi in &spis {
+            tx.add_peer(spi, b"shard-telemetry");
+            rx.add_peer(spi, b"shard-telemetry");
+        }
+        let frames: Vec<_> = spis
+            .iter()
+            .map(|&spi| tx.protect(spi, b"x").unwrap().unwrap().wire)
+            .collect();
+        rx.push_wire_batch(&frames).unwrap();
+        let events = rx.poll_events();
+        assert_eq!(events.len(), 32);
+
+        let snap = t.snapshot();
+        assert_eq!(t.event_count(EventKind::Delivered), 32);
+        // Each frame was counted on the shard its SPI hashes to.
+        let mut expected = vec![0u64; shards];
+        for &spi in &spis {
+            expected[reset_wire::spi_shard(spi, shards)] += 1;
+        }
+        assert_eq!(snap.shard_frames(), expected);
+        for (idx, shard) in snap.shards.iter().enumerate() {
+            let delivered = shard
+                .events
+                .iter()
+                .find(|(name, _)| *name == "delivered")
+                .unwrap()
+                .1;
+            assert_eq!(delivered, expected[idx], "shard {idx}");
+        }
     }
 }

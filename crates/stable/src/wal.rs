@@ -37,6 +37,9 @@ use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use reset_telemetry::Telemetry;
 
 use crate::record::{decode_wal_record, encode_wal_record, WalRecord, WAL_RECORD_LEN};
 use crate::{Durability, SlotId, StableError, StableStore};
@@ -76,6 +79,10 @@ struct WalInner {
     compact_every: u64,
     compactions: u64,
     crash_next_compaction: Option<CompactionCrash>,
+    /// Optional instrumentation: append/compaction stats flow into the
+    /// shared [`Telemetry`] handle when one is attached. `None` (the
+    /// default) keeps the store unobserved at zero cost.
+    telemetry: Option<Telemetry>,
 }
 
 /// Shared-file write-ahead-log store. See the [module docs](self).
@@ -173,6 +180,7 @@ impl WalStable {
                 compact_every: DEFAULT_COMPACT_EVERY,
                 compactions: 0,
                 crash_next_compaction: None,
+                telemetry: None,
             })),
         })
     }
@@ -211,6 +219,14 @@ impl WalStable {
             .count()
     }
 
+    /// Attaches a [`Telemetry`] handle: every subsequent append records
+    /// its record size and every compaction its wall-clock duration.
+    /// All clones of this store share the attachment (it lives in the
+    /// shared log state, like the table itself).
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        self.lock().telemetry = Some(telemetry.clone());
+    }
+
     /// Arms an injected power loss inside the *next* compaction (consumed
     /// once). The compaction returns [`StableError::Injected`] with the
     /// on-disk state frozen at the chosen point; reopening the log from
@@ -237,8 +253,15 @@ impl WalStable {
             },
         );
         inner.appended_since_compact += 1;
+        if let Some(t) = &inner.telemetry {
+            t.record_wal_append(WAL_RECORD_LEN as u64);
+        }
         if inner.appended_since_compact >= inner.compact_every {
+            let started = Instant::now();
             Self::compact(&mut inner)?;
+            if let Some(t) = &inner.telemetry {
+                t.record_wal_compaction(started.elapsed().as_nanos() as u64);
+            }
         }
         Ok(generation)
     }
@@ -535,6 +558,26 @@ mod tests {
         for t in 0..4u32 {
             assert_eq!(w.load(SlotId::sender(t)).unwrap(), Some(49));
         }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn attached_telemetry_sees_appends_and_compactions() {
+        let path = tmpwal("telemetry");
+        let w = WalStable::open(&path, Durability::ProcessCrash).unwrap();
+        let t = Telemetry::new();
+        w.attach_telemetry(&t);
+        w.set_compact_every(8);
+        let mut clone = w.clone(); // shares the attachment
+        for v in 0..20u64 {
+            clone.store(SlotId::sender(1), v).unwrap();
+        }
+        let s = t.snapshot();
+        assert_eq!(s.wal_appends, 20);
+        assert_eq!(s.wal_append_bytes, 20 * WAL_RECORD_LEN as u64);
+        assert_eq!(s.wal_compactions, w.compactions());
+        assert!(s.wal_compactions >= 2, "20 appends at compact_every=8");
+        assert_eq!(s.wal_compact_ns.count, s.wal_compactions);
         cleanup(&path);
     }
 }

@@ -1,0 +1,204 @@
+//! Fixed-bucket log₂ histograms for latencies and sizes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds exact zeros, bucket `i` (for
+/// `i ≥ 1`) holds values in `[2^(i-1), 2^i)`, and the last bucket
+/// absorbs everything at or above `2^(BUCKETS-2)` (≈ 1.6 days in
+/// nanoseconds — far past any latency this workspace measures).
+pub const BUCKETS: usize = 48;
+
+/// A lock-free histogram over `u64` samples (nanoseconds, byte counts,
+/// queue depths). Buckets are powers of two, fixed at compile time, so
+/// recording is: one `leading_zeros`, four relaxed atomic RMWs, no
+/// allocation, no lock. Precision is one bucket (a factor of two),
+/// which is plenty for latency *distributions* — exact aggregates
+/// (count, sum, min, max) are tracked separately.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    fn index(value: u64) -> usize {
+        // Bit length: 0 → 0, 1 → 1, 2..4 → 2..3, …; clamped into range.
+        let bits = (64 - value.leading_zeros()) as usize;
+        bits.min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution. Concurrent recording
+    /// is allowed; the copy is per-field consistent, not a global
+    /// atomic snapshot (fine for statistics).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some(Bucket {
+                        upper: upper_bound(i),
+                        count: n,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Inclusive-exclusive upper bound of bucket `i` (`u64::MAX` for the
+/// final catch-all bucket).
+fn upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`]: `count` samples
+/// were strictly below `upper` (and at or above the previous bucket's
+/// `upper`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// Exclusive upper bound of the bucket's value range.
+    pub upper: u64,
+    /// Samples that landed in the bucket.
+    pub count: u64,
+}
+
+/// A plain-data copy of a [`Histogram`], safe to serialize or compare.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping add under extreme concurrency is
+    /// theoretically possible but needs > 2^64 total).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// The non-empty buckets, ascending by `upper`.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `⌈q·count⌉`-th sample (so within a factor
+    /// of two of the true value). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Histogram::index(0), 0);
+        assert_eq!(Histogram::index(1), 1);
+        assert_eq!(Histogram::index(2), 2);
+        assert_eq!(Histogram::index(3), 2);
+        assert_eq!(Histogram::index(4), 3);
+        assert_eq!(Histogram::index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn aggregates_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1_001_106);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1_000_000);
+        assert!(s.mean() > 0.0);
+        // p50 of 7 samples is the 4th (value 3) → bucket upper 4.
+        assert_eq!(s.quantile(0.5), 4);
+        // p100 caps at the observed max, not the bucket bound.
+        assert_eq!(s.quantile(1.0), 1_000_000);
+        let total: u64 = s.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! A bounded ring-buffer event trace with severity levels.
+//!
+//! The trace records *lifecycle* events — resets, recoveries, rekeys,
+//! fail-closed replacements — not per-packet traffic, so it sits off
+//! the hot path and a mutex-guarded ring is the right tradeoff: the
+//! counters and histograms stay lock-free, the trace stays bounded and
+//! ordered.
+
+use std::sync::Mutex;
+
+/// How loud a trace event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Normal lifecycle milestones (recovery completed, rekey done).
+    Info,
+    /// Degraded but working (reset observed, peer probe overdue).
+    Warn,
+    /// Protocol gave up on something (fail-closed SA replacement).
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label, used in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the trace's total order (monotonic, never reused —
+    /// gaps reveal overwritten events).
+    pub seq: u64,
+    /// Caller-supplied clock reading (the gateway's virtual `now_ns`).
+    pub at_ns: u64,
+    /// Severity level.
+    pub severity: Severity,
+    /// A short static code, e.g. `"recovered"` or `"failed_closed"`.
+    pub code: &'static str,
+    /// The SA the event concerns (0 when not SA-scoped).
+    pub spi: u32,
+    /// One event-specific number (latency, count, reason code…).
+    pub detail: u64,
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s. When full, the oldest event
+/// is overwritten and `dropped` counts the loss — the trace never
+/// grows and never blocks progress on a slow reader.
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    events: Vec<TraceEvent>,
+    /// Index of the logical start of the ring within `events`.
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            inner: Mutex::new(RingInner {
+                events: Vec::with_capacity(capacity),
+                head: 0,
+                next_seq: 0,
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if the ring is full.
+    pub fn push(&self, at_ns: u64, severity: Severity, code: &'static str, spi: u32, detail: u64) {
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let ev = TraceEvent {
+            seq,
+            at_ns,
+            severity,
+            code,
+            spi,
+            detail,
+        };
+        if inner.events.len() < self.capacity {
+            inner.events.push(ev);
+        } else {
+            let head = inner.head;
+            inner.events[head] = ev;
+            inner.head = (head + 1) % self.capacity;
+            inner.dropped += 1;
+        }
+    }
+
+    /// The retained events in chronological order, plus how many older
+    /// events were overwritten before them.
+    pub fn drain_ordered(&self) -> (Vec<TraceEvent>, u64) {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        let mut out = Vec::with_capacity(inner.events.len());
+        out.extend_from_slice(&inner.events[inner.head..]);
+        out.extend_from_slice(&inner.events[..inner.head]);
+        (out, inner.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push(i * 10, Severity::Info, "tick", 7, i);
+        }
+        let (events, dropped) = ring.drain_ordered();
+        assert_eq!(dropped, 2);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert!(events.iter().all(|e| e.code == "tick" && e.spi == 7));
+    }
+
+    #[test]
+    fn severity_ordering_and_names() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Error.name(), "error");
+    }
+}

@@ -14,6 +14,8 @@
 //!
 //! * `datapath/suite_rx` — the batched cipher-suite receive pipeline;
 //! * `window/in_order` — the anti-replay window fast path;
+//! * `datapath/telemetry_overhead` — the same sealed drain with and
+//!   without a `Telemetry` attached (the observability-cost sentinel);
 //! * `gateway_shard/recover_storm_256sa` — the pooled reset-storm
 //!   recovery (the spawn-overhead sentinel);
 //! * `store_save/fleet_save_1024sa` — the fleet-wide SAVE round on the
@@ -25,7 +27,9 @@
 //! failing). What gates instead is the *relative* claim, which is
 //! stable across that noise: the shared WAL must stay at least 5x
 //! cheaper per slot than file-per-slot in the same run (the
-//! `RATIO_FLOORS` table).
+//! `RATIO_FLOORS` table). The same-run trick also bounds *added* cost:
+//! `RATIO_CEILINGS` holds the telemetry-attached drain within 1.5x of
+//! the bare one regardless of how noisy the box is.
 //!
 //! Core-count awareness: baseline entries record the `cores` of the
 //! host that produced them. Multi-shard entries of the
@@ -48,9 +52,10 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Benchmark-id prefixes the gate enforces.
-const FAST_GROUPS: [&str; 4] = [
+const FAST_GROUPS: [&str; 5] = [
     "datapath/suite_rx",
     "window/in_order",
+    "datapath/telemetry_overhead",
     "gateway_shard/recover_storm_256sa",
     "store_save/fleet_save_1024sa",
 ];
@@ -79,6 +84,19 @@ const RATIO_FLOORS: [(&str, &str, f64); 1] = [(
     "store_save/fleet_save_1024sa/file_per_slot",
     "store_save/fleet_save_1024sa/wal_shared",
     5.0,
+)];
+
+/// Same-run relative ceilings: `candidate` must stay within `ceiling`
+/// times the measured time of `reference`, or the gate fails. The
+/// inverse of `RATIO_FLOORS`: these bound *added* cost rather than
+/// prove a speedup. Today this holds the telemetry hot path to its
+/// contract — attaching a `Telemetry` must never cost more than 50%
+/// over the bare drain in the same run (in practice it is within
+/// noise; the slack absorbs CI jitter, not a real overhead budget).
+const RATIO_CEILINGS: [(&str, &str, f64); 1] = [(
+    "datapath/telemetry_overhead/on/512",
+    "datapath/telemetry_overhead/off/512",
+    1.5,
 )];
 
 #[derive(Debug, Clone, PartialEq)]
@@ -287,6 +305,31 @@ fn run(baseline_path: &str, results_path: &str, threshold_pct: f64) -> Result<Ex
             );
         } else {
             println!("OK         {fast_id}: {ratio:.1}x cheaper than {slow_id} (floor {floor}x)");
+        }
+    }
+    // Same-run relative ceilings: bound added cost (e.g. telemetry on
+    // vs off) with the same noise immunity as the floors.
+    for (candidate_id, reference_id, ceiling) in RATIO_CEILINGS {
+        let (Some(candidate), Some(reference)) =
+            (results.get(candidate_id), results.get(reference_id))
+        else {
+            return Err(format!(
+                "ratio ceiling {candidate_id:?} / {reference_id:?} is missing a measurement \
+                 in {results_path} — did a bench get renamed or filtered out in ci.yml?"
+            ));
+        };
+        let ratio = candidate / reference;
+        if ratio > ceiling {
+            regressions += 1;
+            println!(
+                "REGRESSED  {candidate_id}: {ratio:.2}x the cost of {reference_id} \
+                 (ceiling {ceiling}x)"
+            );
+        } else {
+            println!(
+                "OK         {candidate_id}: {ratio:.2}x the cost of {reference_id} \
+                 (ceiling {ceiling}x)"
+            );
         }
     }
     println!(
@@ -499,6 +542,11 @@ not json at all\n\
             assert!(in_fast_groups(slow), "{slow} not in FAST_GROUPS");
             assert!(in_fast_groups(fast), "{fast} not in FAST_GROUPS");
             assert!(floor >= 1.0);
+        }
+        for (candidate, reference, ceiling) in RATIO_CEILINGS {
+            assert!(in_fast_groups(candidate), "{candidate} not in FAST_GROUPS");
+            assert!(in_fast_groups(reference), "{reference} not in FAST_GROUPS");
+            assert!(ceiling >= 1.0);
         }
     }
 
