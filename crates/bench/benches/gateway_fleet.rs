@@ -1,0 +1,130 @@
+//! Bench: control-plane tick cost at fleet scale (ROADMAP item 2).
+//!
+//! The hierarchical timer wheel exists so `Gateway::tick` costs
+//! O(due timers), not O(fleet). Two idle-tick groups pin that down:
+//!
+//! * `tick_idle_1k/plain_gateway` — idle tick over 10^3 SA pairs with
+//!   DPD armed and a rekey policy set (every SA holds a live wheel
+//!   entry; none are due).
+//! * `tick_idle_1m/plain_gateway` — the same tick over 10^6 SA pairs.
+//!
+//! `tools/bench_check.rs` enforces `tick_idle_1m <= 2x tick_idle_1k`:
+//! if tick cost grows with fleet size again, the ratio ceiling trips
+//! even on hosts whose absolute numbers drifted. (The pre-wheel sweep
+//! visited all 10^6 detectors and SAs per tick, so a reintroduced
+//! sweep lands orders of magnitude over the ceiling, not near it.)
+//!
+//! * `drain_4096f_1m/{1,4}` — a 4096-frame NIC-queue drain through a
+//!   million-SA sharded receiver: the slab SADB's cache-dense batch
+//!   path plus the `Arc<[Bytes]>` index-routed fan-out at full fleet
+//!   size. Multi-shard entries are core-sensitive (advisory off the
+//!   recording host's core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::Bytes;
+use reset_ipsec::{
+    DpdConfig, Gateway, GatewayBuilder, SaKeys, SaLifetime, SecurityAssociation, ShardedGateway,
+};
+use reset_stable::MemStable;
+
+const FRAMES: usize = 4096;
+const TX_SAS: u32 = 1_024;
+
+/// One derivation shared across the fleet — key uniqueness is
+/// irrelevant to timer-wheel and SADB-layout scaling.
+fn shared_keys() -> SaKeys {
+    SaKeys::derive(b"fleet-bench-master", b"fleet-shared")
+}
+
+/// A fleet with every control-plane timer armed: DPD detectors live on
+/// the wheel, a rekey lifetime is set. The post-build tick arms the
+/// detectors (the one fleet-proportional tick, off the clock).
+fn armed_fleet(n: u32) -> Gateway<MemStable> {
+    let keys = shared_keys();
+    let mut gw = GatewayBuilder::in_memory()
+        .save_interval(64)
+        .dpd(DpdConfig::default())
+        .rekey_after(SaLifetime {
+            max_packets: 1_000_000,
+            max_bytes: u64::MAX,
+        })
+        .build();
+    for spi in 1..=n {
+        gw.install_pair(SecurityAssociation::new(spi, keys.clone()));
+    }
+    gw.tick(1_000);
+    gw.poll_events();
+    gw
+}
+
+fn bench_tick_idle(c: &mut Criterion, label: &str, fleet_size: u32) {
+    let mut g = c.benchmark_group(format!("gateway_fleet_1m/{label}"));
+    g.sample_size(10);
+    let mut gw = armed_fleet(fleet_size);
+    let mut now = 1_000u64;
+    g.bench_function("plain_gateway", |b| {
+        b.iter(|| {
+            now += 1;
+            gw.tick(now);
+        })
+    });
+    g.finish();
+}
+
+fn bench_tick_idle_1k(c: &mut Criterion) {
+    bench_tick_idle(c, "tick_idle_1k", 1_000);
+}
+
+fn bench_tick_idle_1m(c: &mut Criterion) {
+    bench_tick_idle(c, "tick_idle_1m", 1_000_000);
+}
+
+fn bench_drain_1m(c: &mut Criterion) {
+    let keys = shared_keys();
+    let mut tx: Gateway<MemStable> = GatewayBuilder::in_memory().save_interval(64).build();
+    for spi in 1..=TX_SAS {
+        tx.install_outbound(SecurityAssociation::new(spi, keys.clone()));
+    }
+    let payload = [0x5Au8; 64];
+    let mut seal = move |n: usize| -> Vec<Bytes> {
+        (0..n)
+            .map(|i| {
+                let spi = 1 + (i as u32 % TX_SAS);
+                tx.protect(spi, &payload).unwrap().expect("tx up").wire
+            })
+            .collect()
+    };
+
+    let mut g = c.benchmark_group("gateway_fleet_1m/drain_4096f_1m");
+    g.throughput(Throughput::Elements(FRAMES as u64));
+    g.sample_size(10);
+    for shards in [1usize, 4] {
+        let mut rx: ShardedGateway<MemStable> = GatewayBuilder::in_memory_sharded(shards)
+            .save_interval(64)
+            .window(64)
+            .build_sharded();
+        for spi in 1..=1_000_000u32 {
+            rx.install_inbound(SecurityAssociation::new(spi, keys.clone()));
+        }
+        g.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter_batched(
+                || seal(FRAMES),
+                |frames| {
+                    rx.push_wire_batch(&frames).unwrap();
+                    rx.poll_events()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tick_idle_1k,
+    bench_tick_idle_1m,
+    bench_drain_1m
+);
+criterion_main!(benches);

@@ -120,6 +120,27 @@ impl DpdDetector {
         matches!(self.phase, DpdPhase::Grace { .. })
     }
 
+    /// The earliest instant at which [`DpdDetector::poll`] could do
+    /// anything other than return [`DpdAction::Idle`] — the deadline a
+    /// timer wheel should arm for this detector. `None` means the
+    /// detector never transitions again on its own: either it is
+    /// `Dead`, or the deadline arithmetic would overflow `u64`
+    /// nanoseconds (in which case `poll`'s saturating subtraction can
+    /// never reach the threshold either, so "never" is exact, not an
+    /// approximation).
+    pub fn next_deadline(&self) -> Option<u64> {
+        match self.phase {
+            DpdPhase::Alive => self.last_heard_ns.checked_add(self.cfg.idle_timeout_ns),
+            // Both the next probe and the presumed-down verdict fire
+            // one probe interval after the last probe.
+            DpdPhase::Probing { last_probe_ns, .. } => {
+                last_probe_ns.checked_add(self.cfg.probe_interval_ns)
+            }
+            DpdPhase::Grace { since_ns } => since_ns.checked_add(self.cfg.grace_period_ns),
+            DpdPhase::Dead => None,
+        }
+    }
+
     /// Advances the detector to `now_ns` and reports the action to take.
     pub fn poll(&mut self, now_ns: u64) -> DpdAction {
         match self.phase {
@@ -233,6 +254,77 @@ mod tests {
         assert!(d.sas_alive());
         assert!(!d.in_grace());
         assert_eq!(d.poll(6_500), DpdAction::Idle);
+    }
+
+    /// `next_deadline` must predict exactly when `poll` stops being
+    /// `Idle`, in every phase: one tick earlier is `Idle`, at the
+    /// deadline it transitions.
+    #[test]
+    fn next_deadline_predicts_every_transition() {
+        let mut d = DpdDetector::new(cfg());
+        d.on_traffic(100);
+        // Alive: idle timeout after last traffic.
+        assert_eq!(d.next_deadline(), Some(1_100));
+        assert_eq!(d.poll(1_099), DpdAction::Idle);
+        assert_eq!(d.poll(1_100), DpdAction::SendProbe);
+        // Probing: one probe interval after the last probe — both for
+        // the next probe and for the presumed-down verdict.
+        assert_eq!(d.next_deadline(), Some(1_600));
+        assert_eq!(d.poll(1_599), DpdAction::Idle);
+        assert_eq!(d.poll(1_600), DpdAction::SendProbe); // probe 2
+        assert_eq!(d.next_deadline(), Some(2_100));
+        assert_eq!(d.poll(2_100), DpdAction::SendProbe); // probe 3
+        assert_eq!(d.next_deadline(), Some(2_600));
+        assert_eq!(d.poll(2_599), DpdAction::Idle);
+        assert_eq!(d.poll(2_600), DpdAction::PeerPresumedDown);
+        // Grace: grace period after entering it.
+        assert_eq!(d.next_deadline(), Some(12_600));
+        assert_eq!(d.poll(12_599), DpdAction::Idle);
+        assert_eq!(d.poll(12_600), DpdAction::TearDown);
+        // Dead is terminal: nothing left to arm.
+        assert_eq!(d.next_deadline(), None);
+    }
+
+    /// Regression (the u64-overflow class PR 7 fixed in the save-due
+    /// threshold): deadlines computed near `u64::MAX` must not wrap.
+    /// A naive `last_heard_ns + idle_timeout_ns` would overflow here —
+    /// panicking in debug, or wrapping to a tiny deadline in release
+    /// that fires a probe for a peer heard from 10 ns ago.
+    #[test]
+    fn deadline_arithmetic_near_u64_max_does_not_wrap() {
+        let mut d = DpdDetector::new(cfg());
+        d.on_traffic(u64::MAX - 10);
+        // The true deadline overflows: the detector can never go
+        // silent long enough, so there is nothing to arm...
+        assert_eq!(d.next_deadline(), None);
+        // ...which matches poll: even at the end of time the idle gap
+        // (10 ns) is below the timeout.
+        assert_eq!(d.poll(u64::MAX), DpdAction::Idle);
+        assert!(d.sas_alive());
+
+        // Same class in the probing phase: a probe sent near the end
+        // of time never gets a follow-up deadline.
+        let mut d = DpdDetector::new(cfg());
+        d.on_traffic(u64::MAX - 2_000);
+        assert_eq!(d.poll(u64::MAX - 100), DpdAction::SendProbe);
+        assert_eq!(d.next_deadline(), None);
+        assert_eq!(d.poll(u64::MAX), DpdAction::Idle);
+
+        // And in grace: entering grace near the end of time keeps the
+        // SAs alive (bounded only by the clock itself).
+        let cfg_short = DpdConfig {
+            idle_timeout_ns: 100,
+            probe_interval_ns: 10,
+            max_probes: 1,
+            grace_period_ns: u64::MAX,
+        };
+        let mut d = DpdDetector::new(cfg_short);
+        d.on_traffic(0);
+        assert_eq!(d.poll(200), DpdAction::SendProbe);
+        assert_eq!(d.poll(300), DpdAction::PeerPresumedDown);
+        assert_eq!(d.next_deadline(), None);
+        assert_eq!(d.poll(u64::MAX), DpdAction::Idle);
+        assert!(d.in_grace());
     }
 
     #[test]

@@ -386,13 +386,27 @@ impl<S: StableStore> Inbound<S> {
     /// Reserved for non-per-packet infrastructure failures; today all
     /// failures are reported in-line and the call returns `Ok`.
     pub fn process_batch(&mut self, wires: &[Bytes]) -> Result<Vec<RxResult>, IpsecError> {
+        self.process_batch_gather(wires.len(), wires.iter())
+    }
+
+    /// Gather form of [`Inbound::process_batch`]: drains `n` frames
+    /// yielded by `wires` — e.g. route indices into a shard-shared batch
+    /// — without materializing a contiguous `Vec<Bytes>` first. This *is*
+    /// the slice form's implementation, so the two cannot drift.
+    pub(crate) fn process_batch_gather<'w, I>(
+        &mut self,
+        n: usize,
+        wires: I,
+    ) -> Result<Vec<RxResult>, IpsecError>
+    where
+        I: Iterator<Item = &'w Bytes> + Clone,
+    {
         // The phase only changes through external calls, never inside a
         // drain, so it gates the whole batch at once.
         match self.rx.phase() {
-            Phase::Down => return Ok(wires.iter().map(|_| RxResult::DroppedDown).collect()),
+            Phase::Down => return Ok(wires.map(|_| RxResult::DroppedDown).collect()),
             Phase::Waking => {
                 return Ok(wires
-                    .iter()
                     .map(|wire| {
                         if self.pending.len() >= self.wakeup_buffer {
                             RxResult::DroppedDown
@@ -430,9 +444,9 @@ impl<S: StableStore> Inbound<S> {
         let cipher = self.sa.cipher();
         let overhead = HEADER_LEN + cipher.iv_len() + cipher.icv_len();
         let body_off = HEADER_LEN + cipher.iv_len();
-        let mut parsed: Vec<Parsed> = Vec::with_capacity(wires.len());
-        let mut to_verify: Vec<FrameToVerify<'_>> = Vec::with_capacity(wires.len());
-        for wire in wires {
+        let mut parsed: Vec<Parsed> = Vec::with_capacity(n);
+        let mut to_verify: Vec<FrameToVerify<'_>> = Vec::with_capacity(n);
+        for wire in wires.clone() {
             if wire.len() < 8 {
                 parsed.push(Parsed::Bad(WireError::Truncated {
                     needed: 8,
@@ -489,9 +503,9 @@ impl<S: StableStore> Inbound<S> {
                 len: usize,
             },
         }
-        let mut slots: Vec<Slot> = Vec::with_capacity(wires.len());
+        let mut slots: Vec<Slot> = Vec::with_capacity(n);
         let mut arena = BytesMut::recycle(std::mem::take(&mut self.scratch), 0);
-        for (wire, p) in wires.iter().zip(parsed) {
+        for (wire, p) in wires.zip(parsed) {
             let (seq_lo, payload_len, guess_hi, slot) = match p {
                 Parsed::Bad(e) => {
                     self.auth_failures += 1;

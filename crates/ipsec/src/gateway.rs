@@ -42,6 +42,7 @@ use crate::esp::{RxReject, RxResult};
 use crate::rekey::{rekey, rekey_due, RekeyRequest};
 use crate::sa::{CryptoSuite, SaKeys, SaLifetime, SecurityAssociation};
 use crate::sadb::{RemovedSa, Sadb};
+use crate::timer::TimerWheel;
 use crate::IpsecError;
 
 /// Which directional endpoint a store is being created for (the
@@ -339,6 +340,10 @@ impl<S: StableStore> GatewayBuilder<S> {
             make_store: self.make_store,
             dpd: BTreeMap::new(),
             dpd_unarmed: BTreeSet::new(),
+            timer: TimerWheel::new(),
+            dpd_timer: BTreeMap::new(),
+            timer_scratch: Vec::new(),
+            rekey_due: BTreeSet::new(),
             rekey_generation: BTreeMap::new(),
             pending_fail_closed: Vec::new(),
             events: VecDeque::new(),
@@ -415,6 +420,24 @@ pub struct Gateway<S> {
     /// for the first [`Gateway::tick`] (or delivered frame) so the idle
     /// clock starts at the driver's real time, not at install time.
     dpd_unarmed: BTreeSet<u32>,
+    /// Hierarchical wheel holding every scheduled DPD deadline. Entries
+    /// are SPIs; only the entry whose deadline matches `dpd_timer` is
+    /// live — superseded or torn-down entries expire as stale no-ops.
+    timer: TimerWheel<u32>,
+    /// Deadline of the single *live* wheel entry per armed SPI. The
+    /// invariant is that the live deadline never exceeds the detector's
+    /// true next transition, so a tick can skip every SPI the wheel does
+    /// not surface; an entry that fires early merely polls `Idle` and
+    /// re-arms at the true deadline.
+    dpd_timer: BTreeMap<u32, u64>,
+    /// Reusable drain buffer for due timers — the idle tick touches it
+    /// without allocating.
+    timer_scratch: Vec<(u64, u32)>,
+    /// SPIs whose usage crossed the rekey lifetime, marked at accounting
+    /// time (protect / delivery / install) and drained by
+    /// [`Gateway::tick`] — dueness is usage-driven, so it cannot be
+    /// time-bucketed into the wheel.
+    rekey_due: BTreeSet<u32>,
     /// Rekey generation per SPI: folded into the deterministic nonces so
     /// each generation derives fresh key material.
     rekey_generation: BTreeMap<u32, u32>,
@@ -435,6 +458,7 @@ impl<S> fmt::Debug for Gateway<S> {
             .field("k", &self.k)
             .field("w", &self.w)
             .field("sas", &self.sadb.len())
+            .field("scheduled_timers", &self.timer.len())
             .field("pending_events", &self.events.len())
             .finish_non_exhaustive()
     }
@@ -497,6 +521,13 @@ impl<S: StableStore> Gateway<S> {
         if let Some(t) = &self.telemetry {
             t.class(sa.suite().name()).installs.incr();
         }
+        // Due-at-install edge (a zero lifetime): the tick sweep is gone,
+        // so dueness must be marked wherever usage state enters.
+        if let Some(lifetime) = self.rekey_after {
+            if rekey_due(&sa, &lifetime) {
+                self.rekey_due.insert(spi);
+            }
+        }
         let store = (self.make_store)(spi, SaDirection::Outbound);
         self.sadb.install_outbound(sa, store, self.k);
     }
@@ -510,6 +541,11 @@ impl<S: StableStore> Gateway<S> {
         let spi = sa.spi();
         if let Some(t) = &self.telemetry {
             t.class(sa.suite().name()).installs.incr();
+        }
+        if let Some(lifetime) = self.rekey_after {
+            if rekey_due(&sa, &lifetime) {
+                self.rekey_due.insert(spi);
+            }
         }
         let store = (self.make_store)(spi, SaDirection::Inbound);
         self.sadb
@@ -527,6 +563,10 @@ impl<S: StableStore> Gateway<S> {
     pub fn remove_peer(&mut self, spi: u32) -> bool {
         self.dpd.remove(&spi);
         self.dpd_unarmed.remove(&spi);
+        // Any wheel entry the SPI still has goes stale with its
+        // `dpd_timer` record gone; it expires as a no-op.
+        self.dpd_timer.remove(&spi);
+        self.rekey_due.remove(&spi);
         self.rekey_generation.remove(&spi);
         let removed = self.remove_and_erase(spi);
         if let (Some(t), Some(removed)) = (&self.telemetry, &removed) {
@@ -571,14 +611,26 @@ impl<S: StableStore> Gateway<S> {
     /// [`IpsecError::UnknownSa`], lifetime exhaustion, or store
     /// failures.
     pub fn protect(&mut self, spi: u32, payload: &[u8]) -> Result<Option<SentFrame>, IpsecError> {
+        let rekey_after = self.rekey_after;
         let out = self
             .sadb
             .outbound_mut(spi)
             .ok_or(IpsecError::UnknownSa { spi })?;
         let seq = out.seq_state().next_seq();
-        Ok(out
-            .protect(payload)?
-            .map(|wire| SentFrame { spi, seq, wire }))
+        let was_pending = out.seq_state().pending_save().is_some();
+        let wire = out.protect(payload)?;
+        // Capture while the borrow is live, record after it ends: the
+        // pending-save index and the rekey due-set are what let
+        // `save_completed` and `tick` skip the rest of the fleet.
+        let now_pending = out.seq_state().pending_save().is_some();
+        let due = rekey_after.is_some_and(|lifetime| rekey_due(out.sa(), &lifetime));
+        if now_pending && !was_pending {
+            self.sadb.note_outbound_save(spi);
+        }
+        if due {
+            self.rekey_due.insert(spi);
+        }
+        Ok(wire.map(|wire| SentFrame { spi, seq, wire }))
     }
 
     /// Feeds one received frame through authenticate → anti-replay →
@@ -631,6 +683,35 @@ impl<S: StableStore> Gateway<S> {
         Ok(())
     }
 
+    /// Routed form of [`Gateway::push_wire_batch`] for the sharded
+    /// fan-out: drains the frames of a *shared* batch selected by
+    /// `route` (indices into `batch`, in arrival order), so shards read
+    /// the one batch in place instead of receiving per-shard clones. One
+    /// event per routed frame; per-shard telemetry counts the routed
+    /// frames, keeping the occupancy signal for deferred rebalancing.
+    pub(crate) fn push_wire_routed(
+        &mut self,
+        batch: &[Bytes],
+        route: &[u32],
+    ) -> Result<(), IpsecError> {
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let results = self.sadb.process_batch_routed(batch, route)?;
+        for (&idx, result) in route.iter().zip(results) {
+            let spi = reset_wire::peek_spi(&batch[idx as usize]).unwrap_or(0);
+            let ev = self.event_from_rx(spi, result);
+            self.emit(ev);
+        }
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.record_drain(
+                self.shard_index,
+                route.len() as u64,
+                started.elapsed().as_nanos() as u64,
+                self.events.len() as u64,
+            );
+        }
+        Ok(())
+    }
+
     /// Appends `ev` to the event queue, counting its kind into the
     /// attached telemetry (one branch when uninstrumented).
     fn emit(&mut self, ev: GatewayEvent) {
@@ -661,6 +742,17 @@ impl<S: StableStore> Gateway<S> {
                 self.arm_dpd(spi);
                 if let Some(det) = self.dpd.get_mut(&spi) {
                     det.on_traffic(self.now_ns);
+                    // Usually a no-op (traffic pushes the deadline
+                    // later); a grace-exit can pull it earlier, which
+                    // must supersede the live entry.
+                    self.schedule_dpd(spi);
+                }
+                if let Some(lifetime) = self.rekey_after {
+                    if let Some(i) = self.sadb.inbound(spi) {
+                        if rekey_due(i.sa(), &lifetime) {
+                            self.rekey_due.insert(spi);
+                        }
+                    }
                 }
                 GatewayEvent::Delivered { spi, seq, payload }
             }
@@ -696,44 +788,57 @@ impl<S: StableStore> Gateway<S> {
         self.now_ns = now_ns;
         // Arm detectors installed since the last tick: their idle clock
         // starts now, the first instant the driver's time is known.
-        let unarmed: Vec<u32> = self.dpd_unarmed.iter().copied().collect();
-        for spi in unarmed {
-            self.arm_dpd(spi);
+        while let Some(spi) = self.dpd_unarmed.pop_first() {
+            self.arm_dpd_at_now(spi);
         }
         // DPD first: a peer torn down here must not be rekeyed below.
-        let mut probes = Vec::new();
-        let mut dead = Vec::new();
-        for (&spi, det) in self.dpd.iter_mut() {
-            match det.poll(now_ns) {
-                DpdAction::Idle | DpdAction::PeerPresumedDown => {}
-                DpdAction::SendProbe => probes.push(spi),
-                DpdAction::TearDown => dead.push(spi),
+        // Only SPIs the wheel surfaces as due are polled — tick cost is
+        // proportional to *due* timers, not fleet size, and an idle tick
+        // (nothing due) allocates nothing.
+        self.timer.expire_into(now_ns, &mut self.timer_scratch);
+        if !self.timer_scratch.is_empty() {
+            let mut due = std::mem::take(&mut self.timer_scratch);
+            for &(deadline, spi) in &due {
+                if self.dpd_timer.get(&spi) != Some(&deadline) {
+                    continue; // superseded or torn down: stale entry
+                }
+                self.dpd_timer.remove(&spi);
+                let Some(det) = self.dpd.get_mut(&spi) else {
+                    continue;
+                };
+                match det.poll(now_ns) {
+                    DpdAction::Idle | DpdAction::PeerPresumedDown => {}
+                    DpdAction::SendProbe => self.emit(GatewayEvent::ProbeDue { spi }),
+                    DpdAction::TearDown => {
+                        self.remove_peer(spi);
+                        self.trace(Severity::Warn, "peer_dead", spi, 0);
+                        self.emit(GatewayEvent::PeerDead { spi });
+                        continue; // detector gone; nothing to re-arm
+                    }
+                }
+                self.schedule_dpd(spi);
             }
+            due.clear();
+            self.timer_scratch = due;
         }
-        for spi in probes {
-            self.emit(GatewayEvent::ProbeDue { spi });
-        }
-        for spi in dead {
-            self.remove_peer(spi);
-            self.trace(Severity::Warn, "peer_dead", spi, 0);
-            self.emit(GatewayEvent::PeerDead { spi });
-        }
-        if let Some(lifetime) = self.rekey_after {
-            let due: Vec<u32> = self
-                .sadb
-                .iter_outbound()
-                .filter(|(_, o)| rekey_due(o.sa(), &lifetime))
-                .map(|(spi, _)| spi)
-                .chain(
-                    self.sadb
-                        .iter_inbound()
-                        .filter(|(_, i)| rekey_due(i.sa(), &lifetime))
-                        .map(|(spi, _)| spi),
-                )
-                .collect();
-            let mut seen = std::collections::BTreeSet::new();
+        // Rekeys fire from the due-set populated at accounting time.
+        // Drained by value so a rekey that immediately re-dues (e.g. a
+        // zero lifetime) waits for the next tick instead of looping. The
+        // set is a superset — dueness is re-verified against the live SA
+        // so a mark staled by a reset or teardown does not force a rekey.
+        if !self.rekey_due.is_empty() {
+            let due = std::mem::take(&mut self.rekey_due);
             for spi in due {
-                if seen.insert(spi) {
+                let still_due = self.rekey_after.is_some_and(|lifetime| {
+                    self.sadb
+                        .outbound(spi)
+                        .is_some_and(|o| rekey_due(o.sa(), &lifetime))
+                        || self
+                            .sadb
+                            .inbound(spi)
+                            .is_some_and(|i| rekey_due(i.sa(), &lifetime))
+                });
+                if still_due {
                     self.rekey_now(spi);
                 }
             }
@@ -746,10 +851,39 @@ impl<S: StableStore> Gateway<S> {
         if !self.dpd_unarmed.remove(&spi) {
             return;
         }
+        self.arm_dpd_at_now(spi);
+    }
+
+    /// [`Gateway::arm_dpd`] after the unarmed-queue membership check.
+    fn arm_dpd_at_now(&mut self, spi: u32) {
         let cfg = self.dpd_cfg.expect("only DPD-configured SPIs are queued");
         let mut det = DpdDetector::new(cfg);
         det.on_traffic(self.now_ns);
         self.dpd.insert(spi, det);
+        self.schedule_dpd(spi);
+    }
+
+    /// (Re-)schedules `spi`'s live wheel entry at its detector's next
+    /// transition deadline. An existing entry that is already at or
+    /// before the new deadline stays live (it fires early and re-arms);
+    /// a later one is superseded so detection is never delayed.
+    fn schedule_dpd(&mut self, spi: u32) {
+        let deadline = match self.dpd.get(&spi).and_then(|det| det.next_deadline()) {
+            Some(d) => d,
+            None => {
+                // Dead detector or no detector: whatever wheel entry
+                // remains is stale and will be ignored when it fires.
+                self.dpd_timer.remove(&spi);
+                return;
+            }
+        };
+        match self.dpd_timer.get(&spi) {
+            Some(&live) if live <= deadline => {}
+            _ => {
+                self.dpd_timer.insert(spi, deadline);
+                self.timer.schedule(deadline, spi);
+            }
+        }
     }
 
     /// Quick-mode-rekeys `spi` immediately: fresh keys and counters
@@ -899,35 +1033,22 @@ impl<S: StableStore> Gateway<S> {
     // ------------------------------------------------------------------
 
     /// True iff any SA has a background SAVE in flight (timed drivers
-    /// schedule a completion after the device latency).
+    /// schedule a completion after the device latency). Answered from
+    /// the SADB's pending-save index — O(SAs owing a save), not a fleet
+    /// sweep.
     pub fn pending_save(&self) -> bool {
-        self.sadb
-            .iter_outbound()
-            .any(|(_, o)| o.seq_state().pending_save().is_some())
-            || self
-                .sadb
-                .iter_inbound()
-                .any(|(_, i)| i.seq_state().pending_save().is_some())
+        self.sadb.has_pending_save()
     }
 
     /// Completes every in-flight background SAVE (the device finished
-    /// writing).
+    /// writing). Walks only the SADB's pending-save index, so a
+    /// million-SA fleet pays for the saves it owes, not for its size.
     ///
     /// # Errors
     ///
     /// Store failures (pending saves are retained for retry).
     pub fn save_completed(&mut self) -> Result<(), StableError> {
-        for (_, o) in self.sadb.iter_outbound_mut() {
-            if o.seq_state().pending_save().is_some() {
-                o.save_completed()?;
-            }
-        }
-        for (_, i) in self.sadb.iter_inbound_mut() {
-            if i.seq_state().pending_save().is_some() {
-                i.save_completed()?;
-            }
-        }
-        Ok(())
+        self.sadb.complete_pending_saves()
     }
 
     /// The next sequence number the outbound SA `spi` would send.

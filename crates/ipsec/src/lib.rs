@@ -63,6 +63,36 @@
 //! are identical too — see the [`shard`](ShardedGateway) module docs
 //! and `tests/it_sharded.rs`.
 //!
+//! # The million-SA control plane
+//!
+//! Three structural choices keep the control plane flat as the fleet
+//! grows from thousands of SAs to a million (ROADMAP item 2):
+//!
+//! * **Hierarchical timer wheel.** Every DPD probe/teardown deadline
+//!   lives in a private 11-level × 64-slot timer wheel (per-level
+//!   occupancy bitmaps, a cached next-due lower bound), and rekey
+//!   checks ride a due-set marked at accounting time, so
+//!   [`Gateway::tick`] touches only *due* work: an idle tick is a
+//!   single comparison — ~4ns and zero allocations whether the SADB
+//!   holds 10³ or 10⁶ SAs (`tests/idle_tick_alloc.rs` pins the
+//!   allocation claim with a counting global allocator;
+//!   `gateway_fleet_1m/tick_idle` and a same-run 2× ratio ceiling in
+//!   the bench gate pin the flatness).
+//! * **Slab SADB.** [`Sadb`] stores endpoints in slab vectors (freed
+//!   slots reused) so batch drains walk dense memory; the `BTreeMap`
+//!   survives only as the deterministic SPI → slot index that fixes
+//!   iteration order. A pending-save index over the slabs answers
+//!   [`Gateway::pending_save`] / [`Gateway::save_completed`] without
+//!   scanning a million endpoints; fleet-wide recovery sweeps defer
+//!   its maintenance behind a stale flag rather than paying per-SA
+//!   set surgery in the storm path.
+//! * **Zero-copy shard fan-out.** [`ShardedGateway::submit_batch`]
+//!   shares one `Arc<[Bytes]>` batch across the worker pool and routes
+//!   per-shard *frame indices* (`Vec<u32>`) instead of cloning `Bytes`
+//!   handles per shard; per-shard frame counts still flow to
+//!   telemetry, feeding the occupancy signal the deferred
+//!   rebalancing work (ROADMAP 2(iv)) will consume.
+//!
 //! ## Migrating from the free-standing style
 //!
 //! Earlier revisions of this crate were driven by hand-wiring the layer
@@ -114,6 +144,7 @@ mod rekey;
 mod sa;
 mod sadb;
 mod shard;
+mod timer;
 
 pub use dpd::{DpdAction, DpdConfig, DpdDetector};
 pub use error::IpsecError;

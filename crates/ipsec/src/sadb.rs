@@ -5,8 +5,31 @@
 //! keeps its SAs here. The §3 cost argument is about exactly this
 //! object: after a reboot, the IETF remedy renegotiates *every* SA, while
 //! SAVE/FETCH wakes them all up with one FETCH + SAVE each.
+//!
+//! # Storage layout
+//!
+//! Endpoints live in slab vectors (`Vec<Option<...>>`, one per
+//! direction, with free-lists for slot reuse), so the hot
+//! [`Sadb::process_batch`] drain walks cache-dense contiguous storage
+//! instead of chasing tree nodes. A `BTreeMap<spi, slot>` per direction
+//! is kept purely as the *deterministic index*: every SPI-ordered sweep
+//! — [`Sadb::recover_all`], [`Sadb::iter_outbound`], the wake-up event
+//! order a [`crate::Gateway`] reports — walks the index, which the
+//! seeded harness scenarios rely on.
+//!
+//! # The pending-save index
+//!
+//! Alongside the slabs, the database maintains one ordered due-set per
+//! direction of SPIs that *may* have a background SAVE in flight. Every
+//! datapath entry point records the no-save → save-pending transition
+//! into it, so [`crate::Gateway::save_completed`] completes in time
+//! proportional to the SAs that actually owe a save instead of sweeping
+//! a million-entry fleet. The set is a superset (entries are verified
+//! against the endpoint before completing, and false positives are
+//! dropped), which keeps the maintenance a single capture around each
+//! mutation instead of a bookkeeping protocol.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use reset_stable::{StableError, StableStore};
@@ -28,10 +51,10 @@ pub struct RemovedSa<S> {
 
 /// The SA database of one host.
 ///
-/// SPIs are kept ordered (`BTreeMap`), so every whole-database sweep —
-/// [`Sadb::recover_all`], [`Sadb::iter_outbound`], the wake-up event
-/// order a [`crate::Gateway`] reports — is deterministic, which the
-/// seeded harness scenarios rely on.
+/// Endpoint storage is slab-based with a `BTreeMap` SPI index per
+/// direction (see the [module docs](self)): lookups and iteration are
+/// SPI-deterministic, while the endpoints themselves sit in contiguous
+/// vectors for cache-dense batch drains.
 ///
 /// # Examples
 ///
@@ -48,8 +71,28 @@ pub struct RemovedSa<S> {
 /// ```
 #[derive(Debug, Default)]
 pub struct Sadb<S> {
-    outbound: BTreeMap<u32, Outbound<S>>,
-    inbound: BTreeMap<u32, Inbound<S>>,
+    /// Outbound endpoints, slab order (holes are free slots).
+    out_slots: Vec<Option<Outbound<S>>>,
+    /// Inbound endpoints, slab order.
+    in_slots: Vec<Option<Inbound<S>>>,
+    /// Deterministic SPI → slab-slot index, outbound.
+    out_index: BTreeMap<u32, u32>,
+    /// Deterministic SPI → slab-slot index, inbound.
+    in_index: BTreeMap<u32, u32>,
+    /// Reusable outbound slots.
+    out_free: Vec<u32>,
+    /// Reusable inbound slots.
+    in_free: Vec<u32>,
+    /// SPIs whose outbound endpoint may owe a background SAVE.
+    saves_out: BTreeSet<u32>,
+    /// SPIs whose inbound endpoint may owe a background SAVE.
+    saves_in: BTreeSet<u32>,
+    /// True when a fleet-wide recovery sweep left the save index out of
+    /// date (wake-up SAVEs issued or completed in bulk). Consumers
+    /// rebuild via [`Sadb::resync_saves`] before trusting the sets —
+    /// deferring the rebuild keeps the recover-storm loop free of
+    /// per-SA index maintenance it would immediately throw away.
+    saves_stale: bool,
 }
 
 impl<S> Sadb<S> {
@@ -57,12 +100,12 @@ impl<S> Sadb<S> {
     /// pair installed in both directions counts twice, matching what
     /// [`Sadb::recover_all`] reports).
     pub fn len(&self) -> usize {
-        self.outbound.len() + self.inbound.len()
+        self.out_index.len() + self.in_index.len()
     }
 
     /// True iff no SA is installed in either direction.
     pub fn is_empty(&self) -> bool {
-        self.outbound.is_empty() && self.inbound.is_empty()
+        self.out_index.is_empty() && self.in_index.is_empty()
     }
 }
 
@@ -70,13 +113,21 @@ impl<S: StableStore> Sadb<S> {
     /// An empty database.
     pub fn new() -> Self {
         Sadb {
-            outbound: BTreeMap::new(),
-            inbound: BTreeMap::new(),
+            out_slots: Vec::new(),
+            in_slots: Vec::new(),
+            out_index: BTreeMap::new(),
+            in_index: BTreeMap::new(),
+            out_free: Vec::new(),
+            in_free: Vec::new(),
+            saves_out: BTreeSet::new(),
+            saves_in: BTreeSet::new(),
+            saves_stale: false,
         }
     }
 
     /// Installs an outbound SA with its persistent store and save
-    /// interval. Replaces any previous SA with the same SPI.
+    /// interval. Replaces any previous SA with the same SPI (reusing its
+    /// slab slot).
     pub fn install_outbound(
         &mut self,
         sa: crate::SecurityAssociation,
@@ -84,8 +135,33 @@ impl<S: StableStore> Sadb<S> {
         k: u64,
     ) -> &mut Outbound<S> {
         let spi = sa.spi();
-        self.outbound.insert(spi, Outbound::new(sa, store, k));
-        self.outbound.get_mut(&spi).expect("just inserted")
+        let ep = Outbound::new(sa, store, k);
+        // A fresh endpoint owes no save; drop any stale index entry
+        // from a replaced predecessor.
+        self.saves_out.remove(&spi);
+        let slot = match self.out_index.get(&spi).copied() {
+            Some(slot) => {
+                self.out_slots[slot as usize] = Some(ep);
+                slot
+            }
+            None => {
+                let slot = match self.out_free.pop() {
+                    Some(slot) => {
+                        self.out_slots[slot as usize] = Some(ep);
+                        slot
+                    }
+                    None => {
+                        self.out_slots.push(Some(ep));
+                        (self.out_slots.len() - 1) as u32
+                    }
+                };
+                self.out_index.insert(spi, slot);
+                slot
+            }
+        };
+        self.out_slots[slot as usize]
+            .as_mut()
+            .expect("just installed")
     }
 
     /// Installs an inbound SA.
@@ -97,71 +173,135 @@ impl<S: StableStore> Sadb<S> {
         w: u64,
     ) -> &mut Inbound<S> {
         let spi = sa.spi();
-        self.inbound.insert(spi, Inbound::new(sa, store, k, w));
-        self.inbound.get_mut(&spi).expect("just inserted")
+        let ep = Inbound::new(sa, store, k, w);
+        self.saves_in.remove(&spi);
+        let slot = match self.in_index.get(&spi).copied() {
+            Some(slot) => {
+                self.in_slots[slot as usize] = Some(ep);
+                slot
+            }
+            None => {
+                let slot = match self.in_free.pop() {
+                    Some(slot) => {
+                        self.in_slots[slot as usize] = Some(ep);
+                        slot
+                    }
+                    None => {
+                        self.in_slots.push(Some(ep));
+                        (self.in_slots.len() - 1) as u32
+                    }
+                };
+                self.in_index.insert(spi, slot);
+                slot
+            }
+        };
+        self.in_slots[slot as usize]
+            .as_mut()
+            .expect("just installed")
     }
 
     /// Number of outbound SAs.
     pub fn outbound_count(&self) -> usize {
-        self.outbound.len()
+        self.out_index.len()
     }
 
     /// Number of inbound SAs.
     pub fn inbound_count(&self) -> usize {
-        self.inbound.len()
+        self.in_index.len()
     }
 
     /// Looks up an outbound SA (read-only).
     pub fn outbound(&self, spi: u32) -> Option<&Outbound<S>> {
-        self.outbound.get(&spi)
+        let slot = self.out_index.get(&spi).copied()?;
+        self.out_slots[slot as usize].as_ref()
     }
 
     /// Looks up an inbound SA (read-only).
     pub fn inbound(&self, spi: u32) -> Option<&Inbound<S>> {
-        self.inbound.get(&spi)
+        let slot = self.in_index.get(&spi).copied()?;
+        self.in_slots[slot as usize].as_ref()
     }
 
     /// Looks up an outbound SA.
+    ///
+    /// Note for direct datapath use: a background SAVE issued through
+    /// this handle (rather than through [`Sadb::protect`]) is invisible
+    /// to the pending-save index until the next indexed operation on
+    /// the SPI — complete such saves directly on the endpoint.
     pub fn outbound_mut(&mut self, spi: u32) -> Option<&mut Outbound<S>> {
-        self.outbound.get_mut(&spi)
+        let slot = self.out_index.get(&spi).copied()?;
+        self.out_slots[slot as usize].as_mut()
     }
 
-    /// Looks up an inbound SA.
+    /// Looks up an inbound SA (the caveat on [`Sadb::outbound_mut`]
+    /// applies here too).
     pub fn inbound_mut(&mut self, spi: u32) -> Option<&mut Inbound<S>> {
-        self.inbound.get_mut(&spi)
+        let slot = self.in_index.get(&spi).copied()?;
+        self.in_slots[slot as usize].as_mut()
     }
 
     /// Iterates over outbound endpoints in SPI order.
     pub fn iter_outbound(&self) -> impl Iterator<Item = (u32, &Outbound<S>)> {
-        self.outbound.iter().map(|(&spi, o)| (spi, o))
+        self.out_index.iter().map(|(&spi, &slot)| {
+            (
+                spi,
+                self.out_slots[slot as usize].as_ref().expect("indexed"),
+            )
+        })
     }
 
     /// Iterates over inbound endpoints in SPI order.
     pub fn iter_inbound(&self) -> impl Iterator<Item = (u32, &Inbound<S>)> {
-        self.inbound.iter().map(|(&spi, i)| (spi, i))
+        self.in_index
+            .iter()
+            .map(|(&spi, &slot)| (spi, self.in_slots[slot as usize].as_ref().expect("indexed")))
     }
 
     /// Mutably iterates over outbound endpoints in SPI order (save
-    /// completion sweeps, fault injection).
+    /// completion sweeps, fault injection). Collects the references up
+    /// front, so it is a cold-path tool, not a drain loop.
     pub fn iter_outbound_mut(&mut self) -> impl Iterator<Item = (u32, &mut Outbound<S>)> {
-        self.outbound.iter_mut().map(|(&spi, o)| (spi, o))
+        let mut refs: Vec<(u32, &mut Outbound<S>)> = self
+            .out_slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut())
+            .map(|o| (o.sa().spi(), o))
+            .collect();
+        refs.sort_unstable_by_key(|(spi, _)| *spi);
+        refs.into_iter()
     }
 
     /// Mutably iterates over inbound endpoints in SPI order.
     pub fn iter_inbound_mut(&mut self) -> impl Iterator<Item = (u32, &mut Inbound<S>)> {
-        self.inbound.iter_mut().map(|(&spi, i)| (spi, i))
+        let mut refs: Vec<(u32, &mut Inbound<S>)> = self
+            .in_slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut())
+            .map(|i| (i.sa().spi(), i))
+            .collect();
+        refs.sort_unstable_by_key(|(spi, _)| *spi);
+        refs.into_iter()
     }
 
     /// Removes both directions of `spi` (SA teardown). Returns the
     /// removed endpoints — e.g. to erase their persistent slots, which a
     /// correct teardown must do before the SPI can be reused — or `None`
-    /// if the SPI was not installed in either direction.
+    /// if the SPI was not installed in either direction. Freed slab
+    /// slots are reused by later installs.
     pub fn remove(&mut self, spi: u32) -> Option<RemovedSa<S>> {
-        let outbound = self.outbound.remove(&spi);
-        let inbound = self.inbound.remove(&spi);
+        let outbound = self.out_index.remove(&spi).map(|slot| {
+            self.out_free.push(slot);
+            self.out_slots[slot as usize].take().expect("indexed")
+        });
+        let inbound = self.in_index.remove(&spi).map(|slot| {
+            self.in_free.push(slot);
+            self.in_slots[slot as usize].take().expect("indexed")
+        });
         if outbound.is_none() && inbound.is_none() {
             return None;
         }
+        self.saves_out.remove(&spi);
+        self.saves_in.remove(&spi);
         Some(RemovedSa { outbound, inbound })
     }
 
@@ -171,10 +311,19 @@ impl<S: StableStore> Sadb<S> {
     ///
     /// [`IpsecError::UnknownSa`] if no such SA; datapath errors otherwise.
     pub fn protect(&mut self, spi: u32, payload: &[u8]) -> Result<Option<Bytes>, IpsecError> {
-        self.outbound
-            .get_mut(&spi)
-            .ok_or(IpsecError::UnknownSa { spi })?
-            .protect(payload)
+        let slot = self
+            .out_index
+            .get(&spi)
+            .copied()
+            .ok_or(IpsecError::UnknownSa { spi })?;
+        let out = self.out_slots[slot as usize].as_mut().expect("indexed");
+        let was_pending = out.seq_state().pending_save().is_some();
+        let res = out.protect(payload);
+        let now_pending = out.seq_state().pending_save().is_some();
+        if now_pending && !was_pending {
+            self.saves_out.insert(spi);
+        }
+        res
     }
 
     /// Dispatches an inbound wire packet to its SA by SPI.
@@ -190,10 +339,19 @@ impl<S: StableStore> Sadb<S> {
                 got: wire.len(),
             },
         ))?;
-        self.inbound
-            .get_mut(&spi)
-            .ok_or(IpsecError::UnknownSa { spi })?
-            .process(wire)
+        let slot = self
+            .in_index
+            .get(&spi)
+            .copied()
+            .ok_or(IpsecError::UnknownSa { spi })?;
+        let inbound = self.in_slots[slot as usize].as_mut().expect("indexed");
+        let was_pending = inbound.seq_state().pending_save().is_some();
+        let res = inbound.process(wire);
+        let now_pending = inbound.seq_state().pending_save().is_some();
+        if now_pending && !was_pending {
+            self.saves_in.insert(spi);
+        }
+        res
     }
 
     /// [`Sadb::process`] for shared buffers: auth-only payloads come
@@ -210,10 +368,19 @@ impl<S: StableStore> Sadb<S> {
                 got: wire.len(),
             },
         ))?;
-        self.inbound
-            .get_mut(&spi)
-            .ok_or(IpsecError::UnknownSa { spi })?
-            .process_bytes(wire)
+        let slot = self
+            .in_index
+            .get(&spi)
+            .copied()
+            .ok_or(IpsecError::UnknownSa { spi })?;
+        let inbound = self.in_slots[slot as usize].as_mut().expect("indexed");
+        let was_pending = inbound.seq_state().pending_save().is_some();
+        let res = inbound.process_bytes(wire);
+        let now_pending = inbound.seq_state().pending_save().is_some();
+        if now_pending && !was_pending {
+            self.saves_in.insert(spi);
+        }
+        res
     }
 
     /// Drains a queue of inbound packets, in arrival order, with one
@@ -271,8 +438,17 @@ impl<S: StableStore> Sadb<S> {
             while j < wires.len() && wires[j].len() >= 4 && wires[j][0..4] == wires[i][0..4] {
                 j += 1;
             }
-            match self.inbound.get_mut(&spi) {
-                Some(inbound) => out.extend(inbound.process_batch(&wires[i..j])?),
+            match self.in_index.get(&spi).copied() {
+                Some(slot) => {
+                    let inbound = self.in_slots[slot as usize].as_mut().expect("indexed");
+                    let was_pending = inbound.seq_state().pending_save().is_some();
+                    let res = inbound.process_batch(&wires[i..j]);
+                    let now_pending = inbound.seq_state().pending_save().is_some();
+                    if now_pending && !was_pending {
+                        self.saves_in.insert(spi);
+                    }
+                    out.extend(res?);
+                }
                 None => {
                     out.extend((i..j).map(|_| RxResult::Rejected(RxReject::UnknownSa { spi })));
                 }
@@ -282,14 +458,76 @@ impl<S: StableStore> Sadb<S> {
         Ok(out)
     }
 
-    /// A host-wide reset: every SA loses its volatile counters.
+    /// Routed form of [`Sadb::process_batch`] for the sharded fan-out:
+    /// drains the frames of a *shared* batch selected by `route`
+    /// (indices into `batch`, in arrival order) without cloning a
+    /// per-shard `Vec<Bytes>` first. Semantically identical to
+    /// `process_batch(&route.map(|i| batch[i]))` — runs of equal SPI are
+    /// detected over the routed view and dispatched through the same
+    /// gather drain.
+    pub(crate) fn process_batch_routed(
+        &mut self,
+        batch: &[Bytes],
+        route: &[u32],
+    ) -> Result<Vec<RxResult>, IpsecError> {
+        let mut out = Vec::with_capacity(route.len());
+        let mut i = 0;
+        while i < route.len() {
+            let wire = &batch[route[i] as usize];
+            let Some(spi) = reset_wire::peek_spi(wire) else {
+                out.push(RxResult::Rejected(RxReject::Wire(
+                    reset_wire::WireError::Truncated {
+                        needed: 4,
+                        got: wire.len(),
+                    },
+                )));
+                i += 1;
+                continue;
+            };
+            let mut j = i + 1;
+            while j < route.len() {
+                let next = &batch[route[j] as usize];
+                if next.len() >= 4 && next[0..4] == wire[0..4] {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            match self.in_index.get(&spi).copied() {
+                Some(slot) => {
+                    let inbound = self.in_slots[slot as usize].as_mut().expect("indexed");
+                    let was_pending = inbound.seq_state().pending_save().is_some();
+                    let res = inbound.process_batch_gather(
+                        j - i,
+                        route[i..j].iter().map(|&k| &batch[k as usize]),
+                    );
+                    let now_pending = inbound.seq_state().pending_save().is_some();
+                    if now_pending && !was_pending {
+                        self.saves_in.insert(spi);
+                    }
+                    out.extend(res?);
+                }
+                None => {
+                    out.extend((i..j).map(|_| RxResult::Rejected(RxReject::UnknownSa { spi })));
+                }
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+
+    /// A host-wide reset: every SA loses its volatile counters (and any
+    /// in-flight background SAVE with them).
     pub fn reset_all(&mut self) {
-        for o in self.outbound.values_mut() {
+        for o in self.out_slots.iter_mut().flatten() {
             o.reset();
         }
-        for i in self.inbound.values_mut() {
+        for i in self.in_slots.iter_mut().flatten() {
             i.reset();
         }
+        self.saves_out.clear();
+        self.saves_in.clear();
+        self.saves_stale = false;
     }
 
     /// SAVE/FETCH wake-up of the whole database; returns the number of
@@ -300,12 +538,20 @@ impl<S: StableStore> Sadb<S> {
     ///
     /// First store failure aborts the sweep.
     pub fn recover_all(&mut self) -> Result<usize, StableError> {
+        let res = self.recover_all_sweep();
+        self.saves_stale = true;
+        res
+    }
+
+    fn recover_all_sweep(&mut self) -> Result<usize, StableError> {
         let mut n = 0;
-        for o in self.outbound.values_mut() {
+        for &slot in self.out_index.values() {
+            let o = self.out_slots[slot as usize].as_mut().expect("indexed");
             o.wake_up()?;
             n += 1;
         }
-        for i in self.inbound.values_mut() {
+        for &slot in self.in_index.values() {
+            let i = self.in_slots[slot as usize].as_mut().expect("indexed");
             i.wake_up()?;
             n += 1;
         }
@@ -326,20 +572,26 @@ impl<S: StableStore> Sadb<S> {
     /// replaced rather than resumed.
     pub fn begin_recover_all(&mut self) -> Vec<(u32, StableError)> {
         let mut failed = Vec::new();
-        for (&spi, o) in self.outbound.iter_mut() {
+        for (&spi, &slot) in self.out_index.iter() {
+            let o = self.out_slots[slot as usize].as_mut().expect("indexed");
             if o.phase() == Phase::Down {
                 if let Err(e) = o.begin_wakeup() {
                     failed.push((spi, e));
                 }
             }
         }
-        for (&spi, i) in self.inbound.iter_mut() {
+        for (&spi, &slot) in self.in_index.iter() {
+            let i = self.in_slots[slot as usize].as_mut().expect("indexed");
             if i.phase() == Phase::Down {
                 if let Err(e) = i.begin_wakeup() {
                     failed.push((spi, e));
                 }
             }
         }
+        // The wake-up SAVEs issued above are pending until
+        // `finish_recover_all`; consumers resync before trusting the
+        // index.
+        self.saves_stale = true;
         failed
     }
 
@@ -354,15 +606,26 @@ impl<S: StableStore> Sadb<S> {
     /// First store failure aborts the sweep.
     #[allow(clippy::type_complexity)]
     pub fn finish_recover_all(&mut self) -> Result<(usize, Vec<(u32, RxResult)>), StableError> {
+        let res = self.finish_recover_all_sweep();
+        // The wake-up SAVEs are done, but classifying buffered frames
+        // can put *new* background SAVEs in flight — the deferred
+        // rebuild picks those up.
+        self.saves_stale = true;
+        res
+    }
+
+    fn finish_recover_all_sweep(&mut self) -> Result<(usize, Vec<(u32, RxResult)>), StableError> {
         let mut n = 0;
-        for o in self.outbound.values_mut() {
+        for &slot in self.out_index.values() {
+            let o = self.out_slots[slot as usize].as_mut().expect("indexed");
             if o.phase() == Phase::Waking {
                 o.finish_wakeup()?;
                 n += 1;
             }
         }
         let mut buffered = Vec::new();
-        for (&spi, i) in self.inbound.iter_mut() {
+        for (&spi, &slot) in self.in_index.iter() {
+            let i = self.in_slots[slot as usize].as_mut().expect("indexed");
             if i.phase() == Phase::Waking {
                 let outcomes = i.finish_wakeup()?;
                 buffered.extend(outcomes.into_iter().map(|r| (spi, r)));
@@ -372,14 +635,118 @@ impl<S: StableStore> Sadb<S> {
         Ok((n, buffered))
     }
 
+    /// Rebuilds the pending-save index from the endpoints' own state —
+    /// the bulk form of the per-endpoint transition tracking, for the
+    /// fleet-wide recovery sweeps where per-SPI set surgery would pay a
+    /// tree rebalance per SA (measured ~40% on a 256-SA recover storm).
+    /// Index iteration yields SPIs in ascending order, so the collect
+    /// takes `BTreeSet`'s O(n) sorted bulk-build path, and the rebuild
+    /// is exact: a superset of the truly pending endpoints with no
+    /// stale carry-over.
+    fn resync_saves(&mut self) {
+        let slots = &self.out_slots;
+        self.saves_out = self
+            .out_index
+            .iter()
+            .filter(|&(_, &slot)| {
+                slots[slot as usize]
+                    .as_ref()
+                    .expect("indexed")
+                    .seq_state()
+                    .pending_save()
+                    .is_some()
+            })
+            .map(|(&spi, _)| spi)
+            .collect();
+        let slots = &self.in_slots;
+        self.saves_in = self
+            .in_index
+            .iter()
+            .filter(|&(_, &slot)| {
+                slots[slot as usize]
+                    .as_ref()
+                    .expect("indexed")
+                    .seq_state()
+                    .pending_save()
+                    .is_some()
+            })
+            .map(|(&spi, _)| spi)
+            .collect();
+    }
+
+    /// Marks `spi`'s outbound endpoint as possibly owing a background
+    /// SAVE — for callers (the gateway's `protect`) that drive the
+    /// endpoint through [`Sadb::outbound_mut`] and observe the
+    /// no-save → save-pending transition themselves.
+    pub(crate) fn note_outbound_save(&mut self, spi: u32) {
+        self.saves_out.insert(spi);
+    }
+
+    /// True iff any SA actually has a background SAVE in flight. Walks
+    /// the pending-save index (a superset), verifying each candidate
+    /// against its endpoint — O(pending), not O(fleet).
+    pub(crate) fn has_pending_save(&self) -> bool {
+        if self.saves_stale {
+            // A recovery sweep invalidated the index; answer from the
+            // endpoints directly (`&self` can't rebuild the sets).
+            return self
+                .out_slots
+                .iter()
+                .flatten()
+                .any(|o| o.seq_state().pending_save().is_some())
+                || self
+                    .in_slots
+                    .iter()
+                    .flatten()
+                    .any(|i| i.seq_state().pending_save().is_some());
+        }
+        self.saves_out.iter().any(
+            |&spi| matches!(self.outbound(spi), Some(o) if o.seq_state().pending_save().is_some()),
+        ) || self.saves_in.iter().any(
+            |&spi| matches!(self.inbound(spi), Some(i) if i.seq_state().pending_save().is_some()),
+        )
+    }
+
+    /// Completes every in-flight background SAVE (outbound SPIs
+    /// ascending, then inbound), dropping verified-stale index entries
+    /// along the way. On a store failure the failing SPI (and everything
+    /// after it) stays indexed so the completion can be retried.
+    pub(crate) fn complete_pending_saves(&mut self) -> Result<(), StableError> {
+        if self.saves_stale {
+            self.resync_saves();
+            self.saves_stale = false;
+        }
+        while let Some(&spi) = self.saves_out.iter().next() {
+            let slot = self.out_index.get(&spi).copied();
+            if let Some(slot) = slot {
+                let o = self.out_slots[slot as usize].as_mut().expect("indexed");
+                if o.seq_state().pending_save().is_some() {
+                    o.save_completed()?;
+                }
+            }
+            self.saves_out.remove(&spi);
+        }
+        while let Some(&spi) = self.saves_in.iter().next() {
+            let slot = self.in_index.get(&spi).copied();
+            if let Some(slot) = slot {
+                let i = self.in_slots[slot as usize].as_mut().expect("indexed");
+                if i.seq_state().pending_save().is_some() {
+                    i.save_completed()?;
+                }
+            }
+            self.saves_in.remove(&spi);
+        }
+        Ok(())
+    }
+
     /// Every installed SPI (either direction), ascending and deduplicated
     /// — the sweep order fleet-wide operations (sharded recovery
     /// accounting, per-SA scenario bookkeeping) iterate in.
     pub fn spis(&self) -> Vec<u32> {
         let mut spis: Vec<u32> = self
-            .outbound
+            .out_index
             .keys()
-            .chain(self.inbound.keys())
+            .chain(self.in_index.keys())
             .copied()
             .collect();
         spis.sort_unstable();
@@ -389,9 +756,8 @@ impl<S: StableStore> Sadb<S> {
 
     /// Iterates over outbound `(spi, next_seq)` pairs.
     pub fn outbound_seqs(&self) -> impl Iterator<Item = (u32, SeqNum)> + '_ {
-        self.outbound
-            .iter()
-            .map(|(&spi, o)| (spi, o.seq_state().next_seq()))
+        self.iter_outbound()
+            .map(|(spi, o)| (spi, o.seq_state().next_seq()))
     }
 }
 
@@ -459,6 +825,63 @@ mod tests {
         assert_eq!(db.len(), 2);
         assert!(!db.is_empty());
         assert!(db.protect(1, b"x").is_err());
+    }
+
+    #[test]
+    fn freed_slots_are_reused_and_churn_keeps_spi_order() {
+        let mut db = sadb_with(4);
+        let slots_before = db.out_slots.len();
+        db.remove(2);
+        db.remove(3);
+        // Two new SPIs must reuse the two freed slots, not grow the slab.
+        db.install_outbound(sa(100), MemStable::new(), 10);
+        db.install_inbound(sa(100), MemStable::new(), 10, 64);
+        db.install_outbound(sa(50), MemStable::new(), 10);
+        db.install_inbound(sa(50), MemStable::new(), 10, 64);
+        assert_eq!(db.out_slots.len(), slots_before, "slab did not grow");
+        assert!(db.out_free.is_empty(), "both free slots consumed");
+        // The deterministic index still iterates in SPI order.
+        let outs: Vec<u32> = db.iter_outbound().map(|(spi, _)| spi).collect();
+        assert_eq!(outs, vec![1, 4, 50, 100]);
+        let ins: Vec<u32> = db.iter_inbound().map(|(spi, _)| spi).collect();
+        assert_eq!(ins, outs);
+        // And the datapath routes to the right endpoints after churn.
+        let wire = db.protect(50, b"to fifty").unwrap().unwrap();
+        match db.process(&wire).unwrap() {
+            RxResult::Delivered { payload, .. } => assert_eq!(&payload[..], b"to fifty"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_save_index_tracks_background_saves() {
+        let mut db = sadb_with(2);
+        assert!(!db.has_pending_save());
+        // K=10: the 10th packet puts a background save in flight on
+        // both the sender and (after processing) the receiver.
+        for _ in 0..10 {
+            let w = db.protect(1, b"data").unwrap().unwrap();
+            db.process(&w).unwrap();
+        }
+        assert!(db.has_pending_save());
+        assert!(db.saves_out.contains(&1));
+        assert!(db.saves_in.contains(&1));
+        assert!(!db.saves_out.contains(&2), "untouched SA not indexed");
+        db.complete_pending_saves().unwrap();
+        assert!(!db.has_pending_save());
+        assert!(db.saves_out.is_empty() && db.saves_in.is_empty());
+
+        // Completing a save directly on the endpoint (the documented
+        // escape hatch) leaves a stale index entry — a false positive
+        // the next sweep verifies away without touching the store.
+        for _ in 0..10 {
+            db.protect(2, b"data").unwrap().unwrap();
+        }
+        assert!(db.has_pending_save());
+        db.outbound_mut(2).unwrap().save_completed().unwrap();
+        assert!(!db.has_pending_save(), "index verifies, never trusts");
+        db.complete_pending_saves().unwrap();
+        assert!(db.saves_out.is_empty());
     }
 
     #[test]
@@ -552,6 +975,34 @@ mod tests {
     }
 
     #[test]
+    fn process_batch_routed_agrees_with_contiguous_batch() {
+        let mut db_routed = sadb_with(4);
+        let mut db_contig = sadb_with(4);
+        let mut batch: Vec<Bytes> = Vec::new();
+        for round in 0..8u32 {
+            for spi in 1..=4u32 {
+                let payload = format!("r{round} s{spi}");
+                batch.push(db_routed.protect(spi, payload.as_bytes()).unwrap().unwrap());
+                // Keep db_contig's outbound counters identical so both
+                // receivers face byte-identical wires.
+                db_contig.protect(spi, payload.as_bytes()).unwrap();
+            }
+        }
+        let mut foreign = batch[0].to_vec();
+        foreign[3] = 99;
+        batch.push(Bytes::from(foreign)); // unknown SPI
+        batch.push(Bytes::copy_from_slice(&[0xCD; 3])); // runt
+                                                        // A shard's view: every other frame, arrival order preserved.
+        let route: Vec<u32> = (0..batch.len() as u32).filter(|i| i % 2 == 0).collect();
+        let gathered: Vec<Bytes> = route.iter().map(|&i| batch[i as usize].clone()).collect();
+        let routed = db_routed.process_batch_routed(&batch, &route).unwrap();
+        let contig = db_contig.process_batch(&gathered).unwrap();
+        assert_eq!(routed.len(), route.len());
+        assert_eq!(routed, contig);
+        assert!(routed.iter().any(|r| r.is_delivered()));
+    }
+
+    #[test]
     fn outbound_seqs_iterates() {
         let mut db = sadb_with(3);
         db.protect(1, b"x").unwrap();
@@ -583,6 +1034,10 @@ mod tests {
         let ins: Vec<u32> = db.iter_inbound().map(|(spi, _)| spi).collect();
         assert_eq!(outs, vec![1, 3, 7, 9], "deterministic SPI order");
         assert_eq!(ins, outs);
+        let outs_mut: Vec<u32> = db.iter_outbound_mut().map(|(spi, _)| spi).collect();
+        let ins_mut: Vec<u32> = db.iter_inbound_mut().map(|(spi, _)| spi).collect();
+        assert_eq!(outs_mut, vec![1, 3, 7, 9]);
+        assert_eq!(ins_mut, outs_mut);
     }
 
     #[test]

@@ -481,19 +481,28 @@ impl<S: StableStore + Send + 'static> ShardedGateway<S> {
     /// Submissions queue FIFO — submitting twice before draining is
     /// fine, and the merged event order is the same as two sequential
     /// `push_wire_batch` calls.
+    ///
+    /// The fan-out is zero-copy: the batch is shared (`Arc<[Bytes]>`,
+    /// one reference-count bump per frame total) and each shard receives
+    /// only the *indices* of its frames, in arrival order — no per-shard
+    /// `Bytes` clones, no per-destination queue materialization.
     pub fn submit_batch(&mut self, wires: &[Bytes]) {
         let n = self.workers.len();
-        let mut queues: Vec<Vec<Bytes>> = vec![Vec::new(); n];
-        for wire in wires {
+        let batch: Arc<[Bytes]> = Arc::from(wires);
+        let mut routes: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, wire) in batch.iter().enumerate() {
             let spi = reset_wire::peek_spi(wire).unwrap_or(0);
-            queues[reset_wire::spi_shard(spi, n)].push(wire.clone());
+            routes[reset_wire::spi_shard(spi, n)].push(i as u32);
         }
         let group: Vec<Completion<BatchDone>> = self
             .workers
             .iter()
-            .zip(queues)
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(w, q)| w.submit(move |g| (g.push_wire_batch(&q), g.poll_events())))
+            .zip(routes)
+            .filter(|(_, route)| !route.is_empty())
+            .map(|(w, route)| {
+                let batch = Arc::clone(&batch);
+                w.submit(move |g| (g.push_wire_routed(&batch, &route), g.poll_events()))
+            })
             .collect();
         self.in_flight.push_back(group);
     }
@@ -1050,6 +1059,71 @@ mod tests {
         // Dropped with four workers' queues full: the pool must drain
         // and join without hanging or panicking.
         drop(q);
+    }
+
+    #[test]
+    fn index_fanout_is_byte_identical_and_attributes_shard_frames() {
+        use reset_telemetry::Telemetry;
+        let shards = 4;
+        let t = Telemetry::with_shards(shards);
+        let mut tx = GatewayBuilder::in_memory().save_interval(10).build();
+        let mut reference = GatewayBuilder::in_memory().save_interval(10).build();
+        let mut rx = GatewayBuilder::in_memory_sharded(shards)
+            .save_interval(10)
+            .telemetry(t.clone())
+            .build_sharded();
+        let spis: Vec<u32> = (1..=24).collect();
+        for &spi in &spis {
+            tx.add_peer(spi, b"fanout-master");
+            reference.add_peer(spi, b"fanout-master");
+            rx.add_peer(spi, b"fanout-master");
+        }
+        let mut wires: Vec<Bytes> = Vec::new();
+        for round in 0..6u32 {
+            for &spi in &spis {
+                wires.push(
+                    tx.protect(spi, format!("r{round} s{spi}").as_bytes())
+                        .unwrap()
+                        .unwrap()
+                        .wire,
+                );
+            }
+        }
+        wires.push(wires[10].clone()); // replay
+        let mut forged = wires[11].to_vec();
+        *forged.last_mut().unwrap() ^= 0x01;
+        wires.push(Bytes::from(forged)); // bad ICV
+        wires.push(Bytes::copy_from_slice(&[7])); // runt → spi 0
+        reference.push_wire_batch(&wires).unwrap();
+        rx.submit_batch(&wires); // the shared-batch + index-route path
+        let sharded = rx.drain_events().unwrap();
+        let plain = reference.poll_events();
+        assert_eq!(sharded.len(), plain.len());
+        // Byte-identical per-SPI event subsequences (payload bytes
+        // included — `GatewayEvent`'s `Eq` compares them).
+        let spi_of = |e: &GatewayEvent| match e {
+            GatewayEvent::Delivered { spi, .. }
+            | GatewayEvent::ReplayDropped { spi, .. }
+            | GatewayEvent::AuthFailed { spi }
+            | GatewayEvent::UnknownSa { spi }
+            | GatewayEvent::Buffered { spi }
+            | GatewayEvent::DroppedDown { spi } => *spi,
+            _ => u32::MAX,
+        };
+        for &spi in spis.iter().chain([0u32].iter()) {
+            let a: Vec<_> = plain.iter().filter(|e| spi_of(e) == spi).collect();
+            let b: Vec<_> = sharded.iter().filter(|e| spi_of(e) == spi).collect();
+            assert_eq!(a, b, "per-SPI stream diverged for spi {spi}");
+        }
+        // Telemetry attributed every routed frame to its owning shard —
+        // the occupancy signal deferred rebalancing (ROADMAP 2(iv))
+        // will consume.
+        let mut expected = vec![0u64; shards];
+        for wire in &wires {
+            let spi = reset_wire::peek_spi(wire).unwrap_or(0);
+            expected[reset_wire::spi_shard(spi, shards)] += 1;
+        }
+        assert_eq!(t.snapshot().shard_frames(), expected);
     }
 
     #[test]

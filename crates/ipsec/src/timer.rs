@@ -1,0 +1,386 @@
+//! Hierarchical timer wheel for O(due) deadline dispatch.
+//!
+//! [`Gateway::tick`](crate::Gateway::tick) used to sweep every DPD
+//! detector and every SADB entry on every call — O(fleet) work even
+//! when nothing was due. This wheel replaces the sweep: deadlines are
+//! bucketed into a Tokio-style hierarchy of 11 levels × 64 slots
+//! (6 bits per level, 66 bits total, so any `u64` nanosecond deadline
+//! is schedulable, including `u64::MAX`), and [`TimerWheel::expire_into`]
+//! does work proportional to the timers that actually fire plus the
+//! occasional cascade.
+//!
+//! Steady-state operation is allocation-free:
+//!
+//! * the idle path (`now < next_due`) is a cached-bound comparison and
+//!   an immediate return — zero work, zero allocation;
+//! * firing drains a slot `Vec` into the caller's reusable scratch and
+//!   puts the emptied `Vec` (capacity retained) back into the slot;
+//! * cascading re-inserts entries into strictly lower levels, so the
+//!   taken slot `Vec` can likewise be returned with its capacity.
+//!
+//! The wheel never reorders equal work: level-0 slots hold exact
+//! deadlines, and entries within a slot fire in insertion order, so
+//! dispatch order is a pure function of (deadline, insertion order) —
+//! independent of fleet size and of when `expire_into` is called.
+//! Deadlines at or before the wheel's current time clamp into the
+//! current level-0 slot and fire on the next expiry call.
+//!
+//! There is no `cancel`: callers that need revocation (the gateway's
+//! DPD integration) keep a side map of the single *live* deadline per
+//! key and ignore stale entries when they fire. Stale entries are
+//! bounded by the number of supersede/remove operations and cost one
+//! slot visit each when their bucket comes due.
+
+/// Six bits per level: 64 slots.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Slot index mask.
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// 11 levels × 6 bits = 66 bits ≥ the 64-bit deadline space.
+const LEVELS: usize = 11;
+
+/// One level: a 64-bit occupancy bitmap plus 64 slot buckets holding
+/// `(deadline, value)` pairs.
+struct Level<T> {
+    occupied: u64,
+    slots: [Vec<(u64, T)>; SLOTS],
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Self {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+/// A hierarchical timer wheel mapping `u64` deadlines to values of
+/// type `T`. See the module docs for the design.
+pub(crate) struct TimerWheel<T> {
+    levels: Vec<Level<T>>,
+    /// The wheel's notion of "now": the last slot deadline processed
+    /// (or the last `expire_into` instant). Only ever moves forward.
+    elapsed: u64,
+    /// Cached lower bound on the earliest scheduled deadline; `None`
+    /// when the wheel is empty. The idle fast path compares against
+    /// this and returns without touching any level.
+    next_due: Option<u64>,
+    len: usize,
+}
+
+/// The level an entry belongs to: the highest 6-bit group in which
+/// `when` differs from `elapsed` (level 0 when they agree above the
+/// slot bits).
+fn level_for(elapsed: u64, when: u64) -> usize {
+    let masked = (elapsed ^ when) | SLOT_MASK;
+    let significant = 63 - masked.leading_zeros() as usize;
+    significant / LEVEL_BITS as usize
+}
+
+impl<T> TimerWheel<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            elapsed: 0,
+            next_due: None,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled (not yet fired) entries, stale ones included.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Lower bound on the earliest scheduled deadline; `None` when
+    /// empty. `expire_into(now, ..)` with `now < next_due()` is
+    /// guaranteed to be a no-op.
+    #[cfg(test)]
+    pub(crate) fn next_due(&self) -> Option<u64> {
+        self.next_due
+    }
+
+    /// Schedule `value` to fire once `expire_into` is called with
+    /// `now >= deadline`. Deadlines at or before the wheel's current
+    /// time fire on the very next expiry call.
+    pub(crate) fn schedule(&mut self, deadline: u64, value: T) {
+        self.insert(deadline, value);
+        self.len += 1;
+        // A clamped past deadline fires at the wheel's current time,
+        // not at its nominal (already elapsed) deadline.
+        let effective = deadline.max(self.elapsed);
+        self.next_due = Some(match self.next_due {
+            Some(d) => d.min(effective),
+            None => effective,
+        });
+    }
+
+    /// Placement only — no length or `next_due` bookkeeping (shared by
+    /// `schedule` and the cascade path, which re-inserts entries that
+    /// are already counted).
+    fn insert(&mut self, deadline: u64, value: T) {
+        let (level, slot) = if deadline <= self.elapsed {
+            // Already due: clamp into the current level-0 slot.
+            (0, (self.elapsed & SLOT_MASK) as usize)
+        } else {
+            let level = level_for(self.elapsed, deadline);
+            let slot = ((deadline >> (LEVEL_BITS as u64 * level as u64)) & SLOT_MASK) as usize;
+            (level, slot)
+        };
+        let lv = &mut self.levels[level];
+        lv.occupied |= 1u64 << slot;
+        lv.slots[slot].push((deadline, value));
+    }
+
+    /// Fire every entry with `deadline <= now` into `out` (appending,
+    /// in deadline-then-insertion order), cascading higher-level slots
+    /// as the wheel's time advances. Allocation-free when nothing is
+    /// due; otherwise allocates only if `out` or a slot bucket must
+    /// grow beyond its retained capacity.
+    pub(crate) fn expire_into(&mut self, now: u64, out: &mut Vec<(u64, T)>) {
+        // Time only moves forward: a stale `now` can still legitimately
+        // fire entries that were already due (clamped ones), but must
+        // never fire future ones.
+        let now = now.max(self.elapsed);
+        match self.next_due {
+            None => return,
+            Some(d) if now < d => return,
+            Some(_) => {}
+        }
+        loop {
+            let Some((level, slot)) = self.next_occupied_slot() else {
+                self.elapsed = now;
+                self.next_due = None;
+                return;
+            };
+            let deadline = self.slot_deadline(level, slot);
+            if deadline > now {
+                // `deadline` is the earliest slot start, which lower-
+                // bounds every remaining entry's deadline.
+                self.next_due = Some(deadline);
+                self.elapsed = now;
+                return;
+            }
+            debug_assert!(
+                deadline >= self.elapsed,
+                "slot deadline regressed: {deadline} < elapsed {}",
+                self.elapsed
+            );
+            self.elapsed = deadline;
+            let mut entries = std::mem::take(&mut self.levels[level].slots[slot]);
+            self.levels[level].occupied &= !(1u64 << slot);
+            if level == 0 {
+                // A level-0 slot holds exact deadlines (clamped entries
+                // may carry an earlier nominal deadline — still due).
+                debug_assert!(entries.iter().all(|(d, _)| *d <= deadline));
+                self.len -= entries.len();
+                out.append(&mut entries);
+            } else {
+                // Cascade: with `elapsed` now at the slot start, every
+                // entry re-inserts at a strictly lower level, so the
+                // taken bucket is never the re-insertion target.
+                for (d, v) in entries.drain(..) {
+                    self.insert(d, v);
+                }
+            }
+            // Hand the emptied bucket back with its capacity intact.
+            self.levels[level].slots[slot] = entries;
+        }
+    }
+
+    /// The earliest occupied slot, scanning levels bottom-up. Within
+    /// each level every occupied slot is at or after the current
+    /// position (entries behind it would already have been processed),
+    /// and every level-`l` deadline precedes every level-`l+1`
+    /// deadline, so the first hit is the global minimum.
+    fn next_occupied_slot(&self) -> Option<(usize, usize)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .find(|(_, lv)| lv.occupied != 0)
+            .map(|(level, lv)| (level, lv.occupied.trailing_zeros() as usize))
+    }
+
+    /// Absolute time at which `slot` of `level` comes due: the slot's
+    /// start within the level's current rotation. Computed in `u128`
+    /// because level 10's rotation (2^66 ns) overflows `u64`.
+    fn slot_deadline(&self, level: usize, slot: usize) -> u64 {
+        let level_range = 1u128 << (LEVEL_BITS as u128 * (level as u128 + 1));
+        let slot_range = 1u128 << (LEVEL_BITS as u128 * level as u128);
+        let level_start = self.elapsed as u128 - (self.elapsed as u128 % level_range);
+        (level_start + slot as u128 * slot_range) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain everything due at `now` into a fresh Vec of values.
+    fn fire(wheel: &mut TimerWheel<u32>, now: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        wheel.expire_into(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn level_assignment_matches_bit_groups() {
+        assert_eq!(level_for(0, 0), 0);
+        assert_eq!(level_for(0, 63), 0);
+        assert_eq!(level_for(0, 64), 1);
+        assert_eq!(level_for(0, (1 << 12) - 1), 1);
+        assert_eq!(level_for(0, 1 << 12), 2);
+        assert_eq!(level_for(0, u64::MAX), LEVELS - 1);
+        // Only the differing bits matter.
+        assert_eq!(level_for(1 << 30, (1 << 30) + 5), 0);
+    }
+
+    #[test]
+    fn fires_exactly_at_deadline_not_before() {
+        let mut w = TimerWheel::new();
+        w.schedule(100, 1);
+        assert!(fire(&mut w, 99).is_empty());
+        assert_eq!(fire(&mut w, 100), vec![(100, 1)]);
+        assert_eq!(w.len(), 0);
+        assert!(fire(&mut w, 100_000).is_empty());
+    }
+
+    #[test]
+    fn cascade_boundaries_fire_in_order() {
+        // Deadlines straddling the level-0/1 and level-1/2 boundaries.
+        let mut w = TimerWheel::new();
+        for (d, v) in [(63, 0), (64, 1), (65, 2), (4095, 3), (4096, 4), (4097, 5)] {
+            w.schedule(d, v);
+        }
+        assert!(fire(&mut w, 62).is_empty());
+        assert_eq!(fire(&mut w, 63), vec![(63, 0)]);
+        assert_eq!(fire(&mut w, 64), vec![(64, 1)]);
+        // Jump over several boundaries at once: everything due fires,
+        // ordered by deadline.
+        assert_eq!(fire(&mut w, 4096), vec![(65, 2), (4095, 3), (4096, 4)]);
+        assert_eq!(fire(&mut w, u64::MAX), vec![(4097, 5)]);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn far_future_deadlines_cascade_down_to_exact_fire() {
+        let mut w = TimerWheel::new();
+        let far = (1u64 << 40) + 12345;
+        w.schedule(far, 7);
+        assert!(fire(&mut w, far - 1).is_empty());
+        assert_eq!(fire(&mut w, far), vec![(far, 7)]);
+    }
+
+    #[test]
+    fn deadline_exactly_at_the_horizon_is_schedulable() {
+        let mut w = TimerWheel::new();
+        w.schedule(u64::MAX, 9);
+        assert!(fire(&mut w, u64::MAX - 1).is_empty());
+        assert_eq!(fire(&mut w, u64::MAX), vec![(u64::MAX, 9)]);
+        // The wheel remains usable pinned at the horizon: already-due
+        // deadlines still clamp and fire.
+        w.schedule(5, 10);
+        assert_eq!(fire(&mut w, u64::MAX), vec![(5, 10)]);
+    }
+
+    #[test]
+    fn re_arm_after_fire_keeps_relative_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(1_000, 1);
+        assert_eq!(fire(&mut w, 1_000), vec![(1_000, 1)]);
+        // Re-arm from the new elapsed position, same level-0 window and
+        // across a cascade boundary.
+        w.schedule(1_001, 2);
+        w.schedule(1_000 + 4096, 3);
+        assert_eq!(fire(&mut w, 1_001), vec![(1_001, 2)]);
+        assert_eq!(fire(&mut w, 1_000 + 4096), vec![(1_000 + 4096, 3)]);
+    }
+
+    #[test]
+    fn past_deadlines_clamp_and_fire_next_expiry() {
+        let mut w = TimerWheel::new();
+        w.schedule(500, 1);
+        assert_eq!(fire(&mut w, 500), vec![(500, 1)]);
+        // Nominal deadline already elapsed: fires on the next call, at
+        // any `now`, reporting its nominal (stale) deadline.
+        w.schedule(100, 2);
+        assert_eq!(w.next_due(), Some(500));
+        assert_eq!(fire(&mut w, 500), vec![(100, 2)]);
+    }
+
+    #[test]
+    fn idle_expire_is_a_no_op() {
+        let mut w = TimerWheel::new();
+        w.schedule(1 << 20, 1);
+        let due = w.next_due().unwrap();
+        assert!(due <= 1 << 20);
+        let mut out = Vec::new();
+        w.expire_into(due - 1, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(w.len(), 1);
+        // Empty wheel: also a no-op at any time.
+        assert_eq!(fire(&mut w, u64::MAX), vec![((1 << 20), 1)]);
+        w.expire_into(u64::MAX, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_insertion_order() {
+        let mut w = TimerWheel::new();
+        for v in 0..8 {
+            w.schedule(777, v);
+        }
+        assert_eq!(
+            fire(&mut w, 777),
+            (0..8).map(|v| (777, v)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Differential against a sorted reference model: pseudo-random
+    /// schedules and expiries must fire exactly the due set, in
+    /// deadline order, at every step.
+    #[test]
+    fn random_schedule_matches_reference_model() {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let mut model: Vec<(u64, u32)> = Vec::new();
+        let mut now = 0u64;
+        let mut next_id = 0u32;
+        for step in 0..2_000 {
+            if rng() % 3 != 0 {
+                // Mixed magnitudes: same-slot, same-level, far-future.
+                let span = match rng() % 4 {
+                    0 => rng() % 64,
+                    1 => rng() % 4_096,
+                    2 => rng() % (1 << 20),
+                    _ => rng() % (1 << 44),
+                };
+                let deadline = now.saturating_add(span);
+                w.schedule(deadline, next_id);
+                model.push((deadline, next_id));
+                next_id += 1;
+            } else {
+                now += rng() % (1 << (rng() % 24));
+                let mut fired = Vec::new();
+                w.expire_into(now, &mut fired);
+                let (due, pending): (Vec<_>, Vec<_>) = model.iter().partition(|(d, _)| *d <= now);
+                model = pending;
+                // Same multiset, and the wheel's order is sorted by
+                // deadline (insertion order breaks ties, which the
+                // model preserves by construction).
+                let mut want = due;
+                want.sort_by_key(|(d, _)| *d);
+                assert_eq!(fired, want, "step {step} now {now}");
+                assert_eq!(w.len(), model.len(), "step {step}");
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Idle `Gateway::tick` must be allocation-free.
+//!
+//! The pre-wheel implementation built four temporaries (due-probe,
+//! dead-peer, rekey, and sweep vectors) on *every* tick, even when no
+//! timer was due. With the hierarchical timer wheel and the rekey
+//! due-set, an idle tick only compares `now` against the wheel's cached
+//! lower bound — no buckets are drained, nothing is allocated.
+//!
+//! A counting `#[global_allocator]` gates on a thread-local flag so the
+//! assertion only observes the ticks under test, not the fixture setup.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use reset_ipsec::{DpdConfig, GatewayBuilder, SaLifetime};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.with(Cell::get) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACK.with(Cell::get) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation tracking enabled and return how many
+/// allocations it performed on this thread.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    TRACK.with(|t| t.set(true));
+    f();
+    TRACK.with(|t| t.set(false));
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn idle_tick_does_not_allocate() {
+    let mut gw = GatewayBuilder::in_memory()
+        .dpd(DpdConfig::default())
+        .rekey_after(SaLifetime {
+            max_packets: 1_000_000,
+            max_bytes: u64::MAX,
+        })
+        .build();
+
+    // A fleet with live DPD detectors, scheduled wheel entries, and an
+    // active rekey policy — the paths the old sweep allocated on.
+    for spi in 1..=256u32 {
+        gw.add_peer(spi, b"alloc-probe-master");
+    }
+    let frame = gw.protect(7, b"warm the datapath").unwrap().unwrap();
+    gw.push_wire(&frame.wire).unwrap();
+
+    // First tick arms every detector and populates the wheel; it may
+    // allocate (wheel buckets grow, detectors are created).
+    gw.tick(1_000);
+    gw.poll_events();
+
+    // Subsequent ticks before any deadline must be pure comparisons.
+    let allocs = allocations_during(|| {
+        for step in 1..=64u64 {
+            gw.tick(1_000 + step);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "idle tick allocated {allocs} times across 64 ticks; \
+         the wheel's cached lower bound should have short-circuited"
+    );
+    assert_eq!(gw.poll_events(), vec![], "idle ticks must not emit events");
+}
