@@ -11,7 +11,13 @@
 //! * `icv_batch_64B` — per-packet `verify_frame` vs the HMAC suite's
 //!   amortized `verify_batch` over a 512-frame SA queue.
 //! * `suite_rx` — the batched receive pipeline per negotiable cipher
-//!   suite (legacy HMAC+keystream, auth-only, ChaCha20-Poly1305).
+//!   suite (legacy HMAC+keystream, auth-only, ChaCha20-Poly1305),
+//!   pinned to the scalar crypto backend so the CI-gated numbers are
+//!   comparable across hosts.
+//! * `suite_rx_<backend>` — the same pipeline per SIMD backend
+//!   supported on this host (`lanes4`, `avx2`). Advisory in the gate:
+//!   their baseline entries carry a `backend` field and are skipped on
+//!   runners lacking the feature.
 //! * `wire_64B` — `seal`/`open` (key schedule + payload copy) vs
 //!   `seal_into`/`open_zc` (reused buffer, zero-copy payload).
 //! * `rx_pipeline` — a full `Inbound` receive of a 64-byte packet:
@@ -29,7 +35,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use bytes::{Bytes, BytesMut};
 use reset_crypto::{hmac_sha256_96, sha256, CipherSuite, FrameToVerify, HmacKey, HmacSha256Suite};
 use reset_ipsec::{
-    CryptoSuite, GatewayBuilder, Inbound, Outbound, SaKeys, Sadb, SecurityAssociation,
+    Backend, CryptoSuite, GatewayBuilder, Inbound, Outbound, SaKeys, Sadb, SecurityAssociation,
 };
 use reset_stable::MemStable;
 use reset_telemetry::Telemetry;
@@ -110,16 +116,18 @@ fn bench_icv_batch(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_suite_rx(c: &mut Criterion) {
+fn suite_rx_group(c: &mut Criterion, group: &str, backend: Backend) {
     // The per-suite receive pipeline: batched drain of a 1024-packet
     // in-order stream per negotiable suite (the harness `suites`
     // experiment's hot loop, pinned here for the perf trajectory).
     const STREAM: usize = 1024;
-    let mut g = c.benchmark_group("datapath/suite_rx");
+    let mut g = c.benchmark_group(group);
     g.throughput(Throughput::Elements(STREAM as u64));
     for &suite in CryptoSuite::ALL {
         let keys = SaKeys::derive(b"suite-bench", b"d");
-        let sa = SecurityAssociation::new(0x5111, keys).with_suite(suite);
+        let sa = SecurityAssociation::new(0x5111, keys)
+            .with_suite(suite)
+            .with_backend(backend);
         let mut tx = Outbound::new(sa.clone(), MemStable::new(), 1 << 40);
         let wires: Vec<Bytes> = (0..STREAM)
             .map(|_| tx.protect(&[0xC3u8; 64]).unwrap().unwrap())
@@ -132,7 +140,47 @@ fn bench_suite_rx(c: &mut Criterion) {
             })
         });
     }
+    // MTU-sized AEAD frames: the entry where the multi-lane backend
+    // pays off most — bulk ChaCha20 dominates, so the same-key lane
+    // mode and cross-packet OTK batching carry the whole pipeline.
+    {
+        let keys = SaKeys::derive(b"suite-bench", b"d");
+        let sa = SecurityAssociation::new(0x5112, keys)
+            .with_suite(CryptoSuite::ChaCha20Poly1305)
+            .with_backend(backend);
+        let mut tx = Outbound::new(sa.clone(), MemStable::new(), 1 << 40);
+        let wires: Vec<Bytes> = (0..STREAM)
+            .map(|_| tx.protect(&[0xC3u8; 1400]).unwrap().unwrap())
+            .collect();
+        let name = sa.cipher().name();
+        g.bench_function(BenchmarkId::new("process_batch_1400B", name), |b| {
+            b.iter(|| {
+                let mut rx = Inbound::new(sa.clone(), MemStable::new(), 1 << 40, 1024);
+                std::hint::black_box(rx.process_batch(&wires).unwrap())
+            })
+        });
+    }
     g.finish();
+}
+
+fn bench_suite_rx(c: &mut Criterion) {
+    // The gated group runs on the scalar backend so its numbers mean
+    // the same thing on every runner; the production datapath still
+    // auto-detects (Backend::select).
+    suite_rx_group(c, "datapath/suite_rx", Backend::Scalar);
+}
+
+fn bench_suite_rx_backends(c: &mut Criterion) {
+    // One advisory group per SIMD backend the host supports. Absent
+    // backends simply produce no results; bench_check skips their
+    // baseline entries with a notice instead of failing completeness.
+    for backend in Backend::ALL {
+        if backend == Backend::Scalar || !backend.is_supported() {
+            continue;
+        }
+        let group = format!("datapath/suite_rx_{backend}");
+        suite_rx_group(c, &group, backend);
+    }
 }
 
 fn bench_wire_64b(c: &mut Criterion) {
@@ -309,6 +357,7 @@ criterion_group!(
     bench_sha256,
     bench_icv_batch,
     bench_suite_rx,
+    bench_suite_rx_backends,
     bench_wire_64b,
     bench_rx_pipeline,
     bench_gateway_drain,

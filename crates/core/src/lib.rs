@@ -39,6 +39,11 @@
 //! * [`apn_model`] — the same processes transcribed into the Abstract
 //!   Protocol Notation runtime for exhaustive interleaving exploration.
 //!
+//! This crate is the root of the workspace's dependency graph; the
+//! repo-level `ARCHITECTURE.md` maps the crates built on top of it
+//! (wire format, IPsec substrate, stores, harnesses) and the
+//! invariants they share.
+//!
 //! # Performance
 //!
 //! The paper's premise is that the anti-replay check must be negligible

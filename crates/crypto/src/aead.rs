@@ -25,7 +25,19 @@ pub fn chacha20_poly1305_tag(
     let otk_block = chacha20_block(key, 0, nonce);
     let mut otk = [0u8; 32];
     otk.copy_from_slice(&otk_block[..32]);
-    let mut mac = Poly1305::new(&otk);
+    poly1305_aead_tag(&otk, aad_parts, ciphertext)
+}
+
+/// The Poly1305 half of the RFC 8439 tag, given an already-derived
+/// one-time key. The batch verify path computes OTKs for several frames
+/// in one multi-lane ChaCha20 pass and feeds them through here;
+/// [`chacha20_poly1305_tag`] is exactly `otk-from-block-0` + this.
+pub(crate) fn poly1305_aead_tag(
+    otk: &[u8; 32],
+    aad_parts: &[&[u8]],
+    ciphertext: &[u8],
+) -> [u8; AEAD_TAG_LEN] {
+    let mut mac = Poly1305::new(otk);
     let zeros = [0u8; 16];
     let mut aad_len = 0usize;
     for part in aad_parts {

@@ -11,7 +11,10 @@ pub const CHACHA_KEY_LEN: usize = 32;
 /// Nonce length in bytes (the RFC 8439 96-bit IETF nonce).
 pub const CHACHA_NONCE_LEN: usize = 12;
 
-const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+/// The "expand 32-byte k" constants — state words 0..4. Shared with the
+/// multi-lane kernels in [`crate::lanes`], which build the same initial
+/// state with lane-uniform key words.
+pub(crate) const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
 #[inline(always)]
 fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {

@@ -117,6 +117,17 @@ impl HmacKey {
         self.inner.clone()
     }
 
+    /// The eight chain-value words after absorbing `key ⊕ ipad` — the
+    /// lane seed for the multi-buffer batch verify path.
+    pub(crate) fn inner_state_words(&self) -> [u32; 8] {
+        self.inner.state_words()
+    }
+
+    /// The eight chain-value words after absorbing `key ⊕ opad`.
+    pub(crate) fn outer_state_words(&self) -> [u32; 8] {
+        self.outer.state_words()
+    }
+
     /// One-shot MAC over the concatenation of `parts` with minimal
     /// bookkeeping: the inner hash runs straight from the precomputed
     /// ipad chain value through a stack block buffer (no hasher clone,

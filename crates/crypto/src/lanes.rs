@@ -1,0 +1,935 @@
+//! Multi-lane kernels: interleaved ChaCha20 blocks and multi-buffer
+//! SHA-256 compression.
+//!
+//! Each kernel computes N independent streams per pass by holding one
+//! state *word* across N lanes of a vector register — the classic
+//! multi-buffer layout. Three implementations share one generic body via
+//! the [`Vec32`] trait: a portable `[u32; 4]` manual-lane fallback, SSE2
+//! (`__m128i`, 4 lanes), and AVX2 (`__m256i`, 8 lanes). The arithmetic
+//! is identical in all of them, so every backend is byte-for-byte equal
+//! to the scalar functions in [`crate::chacha`] / [`crate::sha256`] —
+//! the unit tests below pin that per lane position, and
+//! `tests/backend_differential.rs` pins it end-to-end through the
+//! suites.
+//!
+//! This is the only module in the crate allowed to contain `unsafe`
+//! code, and every unsafe block is one of exactly two shapes: a call to
+//! a `std::arch` intrinsic (safe by the target-feature contract of the
+//! enclosing dispatch, documented at each site) or a `transmute` between
+//! a vector register and its exact-size `[u32; N]` representation.
+
+use crate::backend::Backend;
+use crate::chacha::{chacha20_block, chacha20_xor, CHACHA_KEY_LEN, CHACHA_NONCE_LEN, SIGMA};
+use crate::sha256::K;
+use core::ops::Range;
+
+/// The widest lane count any backend uses ([`Backend::Avx2`]).
+pub(crate) const MAX_LANES: usize = 8;
+
+/// One ChaCha20 block request: `(counter, nonce)` under a shared key.
+pub(crate) type BlockJob = (u32, [u8; CHACHA_NONCE_LEN]);
+
+/// 32-bit SIMD lane abstraction. One value holds `LANES` independent
+/// `u32` streams; all ops are lane-wise with wrapping arithmetic.
+trait Vec32: Copy {
+    /// Number of lanes.
+    const LANES: usize;
+    /// Broadcasts `x` into every lane.
+    fn splat(x: u32) -> Self;
+    /// Loads the first `LANES` values of `xs`.
+    fn load(xs: &[u32]) -> Self;
+    /// Stores the lanes into the first `LANES` slots of `out`.
+    fn store(self, out: &mut [u32]);
+    /// Lane-wise wrapping add.
+    fn add(self, o: Self) -> Self;
+    /// Lane-wise XOR.
+    fn xor(self, o: Self) -> Self;
+    /// Lane-wise AND.
+    fn and(self, o: Self) -> Self;
+    /// Lane-wise `(!self) & o` (the SHA-256 `Ch` building block).
+    fn andnot(self, o: Self) -> Self;
+    /// Lane-wise logical shift left by `n` bits (`0 < n < 32`).
+    fn shl(self, n: u32) -> Self;
+    /// Lane-wise logical shift right by `n` bits (`0 < n < 32`).
+    fn shr(self, n: u32) -> Self;
+    /// Lane-wise rotate left.
+    #[inline(always)]
+    fn rotl(self, n: u32) -> Self {
+        self.shl(n).xor(self.shr(32 - n))
+    }
+    /// Lane-wise rotate left by 16 — byte-aligned, so backends can use
+    /// a byte/halfword shuffle (1–2 ops) instead of the shift pair (3).
+    #[inline(always)]
+    fn rotl16(self) -> Self {
+        self.rotl(16)
+    }
+    /// Lane-wise rotate left by 8 — byte-aligned, as above.
+    #[inline(always)]
+    fn rotl8(self) -> Self {
+        self.rotl(8)
+    }
+    /// Lane-wise rotate right.
+    #[inline(always)]
+    fn rotr(self, n: u32) -> Self {
+        self.rotl(32 - n)
+    }
+    /// Writes 16 finalized state words (one vector per word, lanes
+    /// across blocks) as `LANES` contiguous little-endian 64-byte
+    /// blocks. The default scatters through a stack array; the x86
+    /// types override it with in-register transposes, turning 16·LANES
+    /// four-byte stores into LANES·2 full-width ones.
+    #[inline(always)]
+    fn store_blocks(words: &[Self; 16], out: &mut [[u8; 64]]) {
+        let mut tmp = [0u32; MAX_LANES];
+        for (i, w) in words.iter().enumerate() {
+            w.store(&mut tmp);
+            for (l, block) in out.iter_mut().enumerate() {
+                block[i * 4..i * 4 + 4].copy_from_slice(&tmp[l].to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Portable 4-lane fallback: plain arrays the optimizer may or may not
+/// vectorize. Used for `Backend::Lanes4` off x86_64 and as a kernel
+/// cross-check in tests.
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+#[derive(Copy, Clone)]
+struct P4([u32; 4]);
+
+impl Vec32 for P4 {
+    const LANES: usize = 4;
+    #[inline(always)]
+    fn splat(x: u32) -> Self {
+        P4([x; 4])
+    }
+    #[inline(always)]
+    fn load(xs: &[u32]) -> Self {
+        P4([xs[0], xs[1], xs[2], xs[3]])
+    }
+    #[inline(always)]
+    fn store(self, out: &mut [u32]) {
+        out[..4].copy_from_slice(&self.0);
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        P4([
+            self.0[0].wrapping_add(o.0[0]),
+            self.0[1].wrapping_add(o.0[1]),
+            self.0[2].wrapping_add(o.0[2]),
+            self.0[3].wrapping_add(o.0[3]),
+        ])
+    }
+    #[inline(always)]
+    fn xor(self, o: Self) -> Self {
+        P4([
+            self.0[0] ^ o.0[0],
+            self.0[1] ^ o.0[1],
+            self.0[2] ^ o.0[2],
+            self.0[3] ^ o.0[3],
+        ])
+    }
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        P4([
+            self.0[0] & o.0[0],
+            self.0[1] & o.0[1],
+            self.0[2] & o.0[2],
+            self.0[3] & o.0[3],
+        ])
+    }
+    #[inline(always)]
+    fn andnot(self, o: Self) -> Self {
+        P4([
+            !self.0[0] & o.0[0],
+            !self.0[1] & o.0[1],
+            !self.0[2] & o.0[2],
+            !self.0[3] & o.0[3],
+        ])
+    }
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        P4([
+            self.0[0] << n,
+            self.0[1] << n,
+            self.0[2] << n,
+            self.0[3] << n,
+        ])
+    }
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        P4([
+            self.0[0] >> n,
+            self.0[1] >> n,
+            self.0[2] >> n,
+            self.0[3] >> n,
+        ])
+    }
+    #[inline(always)]
+    fn rotl(self, n: u32) -> Self {
+        P4([
+            self.0[0].rotate_left(n),
+            self.0[1].rotate_left(n),
+            self.0[2].rotate_left(n),
+            self.0[3].rotate_left(n),
+        ])
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    //! SSE2 and AVX2 lane types plus the `#[target_feature]` kernel
+    //! entry points. Safety model: SSE2 is part of the x86_64 baseline
+    //! ISA, so the SSE2 intrinsics are sound on every x86_64 host; the
+    //! AVX2 intrinsics only execute inside `*_avx2` entry points, which
+    //! the dispatchers in the parent module call strictly behind a
+    //! runtime `is_x86_feature_detected!("avx2")` check.
+
+    use super::{chacha_blocks_kernel, sha256_multiway_kernel, BlockJob, Vec32};
+    use crate::chacha::CHACHA_KEY_LEN;
+    use std::arch::x86_64::*;
+
+    /// Four lanes in one `__m128i` (SSE2).
+    #[derive(Copy, Clone)]
+    pub(super) struct S4(__m128i);
+
+    impl Vec32 for S4 {
+        const LANES: usize = 4;
+        #[inline(always)]
+        fn splat(x: u32) -> Self {
+            // SAFETY: sse2 is part of the x86_64 baseline ISA.
+            S4(unsafe { _mm_set1_epi32(x as i32) })
+        }
+        #[inline(always)]
+        fn load(xs: &[u32]) -> Self {
+            // SAFETY: as above; lane values pass by register, not pointer.
+            S4(unsafe { _mm_set_epi32(xs[3] as i32, xs[2] as i32, xs[1] as i32, xs[0] as i32) })
+        }
+        #[inline(always)]
+        fn store(self, out: &mut [u32]) {
+            // SAFETY: `__m128i` and `[u32; 4]` have identical size and
+            // no invalid bit patterns.
+            let lanes: [u32; 4] = unsafe { core::mem::transmute(self.0) };
+            out[..4].copy_from_slice(&lanes);
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            // SAFETY: sse2 is part of the x86_64 baseline ISA.
+            S4(unsafe { _mm_add_epi32(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn xor(self, o: Self) -> Self {
+            // SAFETY: as above.
+            S4(unsafe { _mm_xor_si128(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn and(self, o: Self) -> Self {
+            // SAFETY: as above.
+            S4(unsafe { _mm_and_si128(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn andnot(self, o: Self) -> Self {
+            // SAFETY: as above. `_mm_andnot_si128(a, b)` computes `!a & b`.
+            S4(unsafe { _mm_andnot_si128(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn shl(self, n: u32) -> Self {
+            // SAFETY: as above.
+            S4(unsafe { _mm_sll_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+        }
+        #[inline(always)]
+        fn shr(self, n: u32) -> Self {
+            // SAFETY: as above.
+            S4(unsafe { _mm_srl_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+        }
+        #[inline(always)]
+        fn rotl16(self) -> Self {
+            // Swapping the 16-bit halves of each 32-bit word IS the
+            // 16-bit rotate; two SSE2 halfword shuffles beat the
+            // three-op shift pair.
+            // SAFETY: sse2 is part of the x86_64 baseline ISA.
+            S4(unsafe {
+                _mm_shufflehi_epi16(_mm_shufflelo_epi16(self.0, 0b10_11_00_01), 0b10_11_00_01)
+            })
+        }
+        #[inline(always)]
+        fn store_blocks(words: &[Self; 16], out: &mut [[u8; 64]]) {
+            debug_assert_eq!(out.len(), 4);
+            // Four 4×4 in-register transposes: quartet q of state words
+            // becomes bytes 16q..16q+16 of each lane's block, stored as
+            // one unaligned 128-bit write (x86 is little-endian, so a
+            // register store IS the LE serialization).
+            // SAFETY: sse2 is part of the x86_64 baseline ISA; each
+            // store targets 16 in-bounds bytes of a 64-byte block.
+            unsafe {
+                for q in 0..4 {
+                    let t0 = _mm_unpacklo_epi32(words[q * 4].0, words[q * 4 + 1].0);
+                    let t1 = _mm_unpacklo_epi32(words[q * 4 + 2].0, words[q * 4 + 3].0);
+                    let t2 = _mm_unpackhi_epi32(words[q * 4].0, words[q * 4 + 1].0);
+                    let t3 = _mm_unpackhi_epi32(words[q * 4 + 2].0, words[q * 4 + 3].0);
+                    let rows = [
+                        _mm_unpacklo_epi64(t0, t1),
+                        _mm_unpackhi_epi64(t0, t1),
+                        _mm_unpacklo_epi64(t2, t3),
+                        _mm_unpackhi_epi64(t2, t3),
+                    ];
+                    for (l, row) in rows.iter().enumerate() {
+                        _mm_storeu_si128(out[l][q * 16..].as_mut_ptr().cast::<__m128i>(), *row);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Eight lanes in one `__m256i` (AVX2). Values of this type only
+    /// flow inside the `*_avx2` entry points below.
+    #[derive(Copy, Clone)]
+    pub(super) struct A8(__m256i);
+
+    impl Vec32 for A8 {
+        const LANES: usize = 8;
+        #[inline(always)]
+        fn splat(x: u32) -> Self {
+            // SAFETY: reachable only from the `*_avx2` entry points,
+            // which dispatch strictly behind a runtime AVX2 check.
+            A8(unsafe { _mm256_set1_epi32(x as i32) })
+        }
+        #[inline(always)]
+        fn load(xs: &[u32]) -> Self {
+            // SAFETY: as above.
+            A8(unsafe {
+                _mm256_set_epi32(
+                    xs[7] as i32,
+                    xs[6] as i32,
+                    xs[5] as i32,
+                    xs[4] as i32,
+                    xs[3] as i32,
+                    xs[2] as i32,
+                    xs[1] as i32,
+                    xs[0] as i32,
+                )
+            })
+        }
+        #[inline(always)]
+        fn store(self, out: &mut [u32]) {
+            // SAFETY: `__m256i` and `[u32; 8]` have identical size and
+            // no invalid bit patterns.
+            let lanes: [u32; 8] = unsafe { core::mem::transmute(self.0) };
+            out[..8].copy_from_slice(&lanes);
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            // SAFETY: reachable only behind the runtime AVX2 check.
+            A8(unsafe { _mm256_add_epi32(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn xor(self, o: Self) -> Self {
+            // SAFETY: as above.
+            A8(unsafe { _mm256_xor_si256(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn and(self, o: Self) -> Self {
+            // SAFETY: as above.
+            A8(unsafe { _mm256_and_si256(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn andnot(self, o: Self) -> Self {
+            // SAFETY: as above. `_mm256_andnot_si256(a, b)` computes `!a & b`.
+            A8(unsafe { _mm256_andnot_si256(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn shl(self, n: u32) -> Self {
+            // SAFETY: as above.
+            A8(unsafe { _mm256_sll_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+        }
+        #[inline(always)]
+        fn shr(self, n: u32) -> Self {
+            // SAFETY: as above.
+            A8(unsafe { _mm256_srl_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+        }
+        #[inline(always)]
+        fn rotl16(self) -> Self {
+            // Byte-aligned rotate as a single in-lane byte shuffle: for
+            // each little-endian word [b0 b1 b2 b3], rotl16 permutes to
+            // [b2 b3 b0 b1]. Indices repeat per 128-bit half, which is
+            // exactly `vpshufb`'s lane model.
+            const MASK: [u8; 32] = [
+                2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13, //
+                2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13,
+            ];
+            // SAFETY: reachable only behind the runtime AVX2 check;
+            // `[u8; 32]` and `__m256i` are layout-identical.
+            A8(unsafe {
+                _mm256_shuffle_epi8(self.0, core::mem::transmute::<[u8; 32], __m256i>(MASK))
+            })
+        }
+        #[inline(always)]
+        fn rotl8(self) -> Self {
+            // rotl8 permutes each word [b0 b1 b2 b3] to [b3 b0 b1 b2].
+            const MASK: [u8; 32] = [
+                3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14, //
+                3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14,
+            ];
+            // SAFETY: as above.
+            A8(unsafe {
+                _mm256_shuffle_epi8(self.0, core::mem::transmute::<[u8; 32], __m256i>(MASK))
+            })
+        }
+        #[inline(always)]
+        fn store_blocks(words: &[Self; 16], out: &mut [[u8; 64]]) {
+            debug_assert_eq!(out.len(), 8);
+            // Two 8×8 in-register transposes (state words 0..8 and
+            // 8..16): unpack 32-bit pairs, then 64-bit quads, then stitch
+            // the 128-bit halves. Each lane's half-block leaves as one
+            // unaligned 256-bit store — `_mm256_unpack*_epi32/64` work
+            // per 128-bit half, which is why lane j and lane j+4 fall
+            // out of the same `u` pair via the two permute selectors.
+            // SAFETY: reachable only behind the runtime AVX2 check; each
+            // store targets 32 in-bounds bytes of a 64-byte block.
+            unsafe {
+                for half in 0..2 {
+                    let w = &words[half * 8..half * 8 + 8];
+                    let t0 = _mm256_unpacklo_epi32(w[0].0, w[1].0);
+                    let t1 = _mm256_unpackhi_epi32(w[0].0, w[1].0);
+                    let t2 = _mm256_unpacklo_epi32(w[2].0, w[3].0);
+                    let t3 = _mm256_unpackhi_epi32(w[2].0, w[3].0);
+                    let t4 = _mm256_unpacklo_epi32(w[4].0, w[5].0);
+                    let t5 = _mm256_unpackhi_epi32(w[4].0, w[5].0);
+                    let t6 = _mm256_unpacklo_epi32(w[6].0, w[7].0);
+                    let t7 = _mm256_unpackhi_epi32(w[6].0, w[7].0);
+                    let pairs = [
+                        (_mm256_unpacklo_epi64(t0, t2), _mm256_unpacklo_epi64(t4, t6)),
+                        (_mm256_unpackhi_epi64(t0, t2), _mm256_unpackhi_epi64(t4, t6)),
+                        (_mm256_unpacklo_epi64(t1, t3), _mm256_unpacklo_epi64(t5, t7)),
+                        (_mm256_unpackhi_epi64(t1, t3), _mm256_unpackhi_epi64(t5, t7)),
+                    ];
+                    for (j, (lo, hi)) in pairs.iter().enumerate() {
+                        let row_lo = _mm256_permute2x128_si256::<0x20>(*lo, *hi);
+                        let row_hi = _mm256_permute2x128_si256::<0x31>(*lo, *hi);
+                        _mm256_storeu_si256(
+                            out[j][half * 32..].as_mut_ptr().cast::<__m256i>(),
+                            row_lo,
+                        );
+                        _mm256_storeu_si256(
+                            out[j + 4][half * 32..].as_mut_ptr().cast::<__m256i>(),
+                            row_hi,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) fn chacha_blocks_sse2(
+        key: &[u8; CHACHA_KEY_LEN],
+        jobs: &[BlockJob],
+        out: &mut [[u8; 64]],
+    ) {
+        chacha_blocks_kernel::<S4>(key, jobs, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn chacha_blocks_avx2(
+        key: &[u8; CHACHA_KEY_LEN],
+        jobs: &[BlockJob],
+        out: &mut [[u8; 64]],
+    ) {
+        chacha_blocks_kernel::<A8>(key, jobs, out);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) fn sha256_multiway_sse2(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        sha256_multiway_kernel::<S4>(states, blocks);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn sha256_multiway_avx2(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        sha256_multiway_kernel::<A8>(states, blocks);
+    }
+}
+
+/// N interleaved ChaCha20 blocks under one key: lane `l` computes the
+/// RFC 8439 block for `jobs[l] = (counter, nonce)`. Identical output to
+/// N calls of [`chacha20_block`].
+#[inline(always)]
+fn chacha_blocks_kernel<V: Vec32>(
+    key: &[u8; CHACHA_KEY_LEN],
+    jobs: &[BlockJob],
+    out: &mut [[u8; 64]],
+) {
+    let lanes = V::LANES;
+    debug_assert_eq!(jobs.len(), lanes);
+    debug_assert_eq!(out.len(), lanes);
+    // State words 0..12 are lane-uniform (constants + shared key); the
+    // counter (word 12) and nonce (words 13..16) differ per lane.
+    let mut init = [V::splat(0); 16];
+    for i in 0..4 {
+        init[i] = V::splat(SIGMA[i]);
+    }
+    for i in 0..8 {
+        init[4 + i] = V::splat(u32::from_le_bytes(
+            key[i * 4..i * 4 + 4].try_into().expect("fixed"),
+        ));
+    }
+    let mut tmp = [0u32; MAX_LANES];
+    for (l, job) in jobs.iter().enumerate() {
+        tmp[l] = job.0;
+    }
+    init[12] = V::load(&tmp);
+    for w in 0..3 {
+        for (l, job) in jobs.iter().enumerate() {
+            tmp[l] = u32::from_le_bytes(job.1[w * 4..w * 4 + 4].try_into().expect("fixed"));
+        }
+        init[13 + w] = V::load(&tmp);
+    }
+    let mut x = init;
+    for _ in 0..10 {
+        // Column round.
+        vector_quarter_round(&mut x, 0, 4, 8, 12);
+        vector_quarter_round(&mut x, 1, 5, 9, 13);
+        vector_quarter_round(&mut x, 2, 6, 10, 14);
+        vector_quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        vector_quarter_round(&mut x, 0, 5, 10, 15);
+        vector_quarter_round(&mut x, 1, 6, 11, 12);
+        vector_quarter_round(&mut x, 2, 7, 8, 13);
+        vector_quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        x[i] = x[i].add(init[i]);
+    }
+    V::store_blocks(&x, out);
+}
+
+#[inline(always)]
+fn vector_quarter_round<V: Vec32>(x: &mut [V; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].add(x[b]);
+    x[d] = x[d].xor(x[a]).rotl16();
+    x[c] = x[c].add(x[d]);
+    x[b] = x[b].xor(x[c]).rotl(12);
+    x[a] = x[a].add(x[b]);
+    x[d] = x[d].xor(x[a]).rotl8();
+    x[c] = x[c].add(x[d]);
+    x[b] = x[b].xor(x[c]).rotl(7);
+}
+
+/// N-way SHA-256 compression: lane `l` compresses `blocks[l]` into
+/// `states[l]`. Identical to N calls of the scalar `compress_block`.
+#[inline(always)]
+fn sha256_multiway_kernel<V: Vec32>(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    let lanes = V::LANES;
+    debug_assert_eq!(states.len(), lanes);
+    debug_assert_eq!(blocks.len(), lanes);
+    let mut tmp = [0u32; MAX_LANES];
+    let mut w = [V::splat(0); 64];
+    for i in 0..16 {
+        for (l, block) in blocks.iter().enumerate() {
+            tmp[l] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("fixed"));
+        }
+        w[i] = V::load(&tmp);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15]
+            .rotr(7)
+            .xor(w[i - 15].rotr(18))
+            .xor(w[i - 15].shr(3));
+        let s1 = w[i - 2]
+            .rotr(17)
+            .xor(w[i - 2].rotr(19))
+            .xor(w[i - 2].shr(10));
+        w[i] = w[i - 16].add(s0).add(w[i - 7]).add(s1);
+    }
+    let mut v = [V::splat(0); 8];
+    for (j, slot) in v.iter_mut().enumerate() {
+        for (l, state) in states.iter().enumerate() {
+            tmp[l] = state[j];
+        }
+        *slot = V::load(&tmp);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = v;
+    for i in 0..64 {
+        let s1 = e.rotr(6).xor(e.rotr(11)).xor(e.rotr(25));
+        let ch = e.and(f).xor(e.andnot(g));
+        let t1 = h.add(s1).add(ch).add(V::splat(K[i])).add(w[i]);
+        let s0 = a.rotr(2).xor(a.rotr(13)).xor(a.rotr(22));
+        let maj = a.and(b).xor(a.and(c)).xor(b.and(c));
+        let t2 = s0.add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.add(t2);
+    }
+    for (j, vv) in [a, b, c, d, e, f, g, h].iter().enumerate() {
+        vv.store(&mut tmp);
+        for (l, state) in states.iter_mut().enumerate() {
+            state[j] = state[j].wrapping_add(tmp[l]);
+        }
+    }
+}
+
+/// Computes `jobs.len()` ChaCha20 blocks under one key. For SIMD
+/// backends `jobs.len()` must equal [`Backend::lanes`]; the scalar
+/// backend accepts any length.
+#[allow(unsafe_code)]
+pub(crate) fn chacha_blocks(
+    backend: Backend,
+    key: &[u8; CHACHA_KEY_LEN],
+    jobs: &[BlockJob],
+    out: &mut [[u8; 64]],
+) {
+    assert_eq!(jobs.len(), out.len());
+    match backend {
+        Backend::Scalar => {
+            for (job, block) in jobs.iter().zip(out.iter_mut()) {
+                *block = chacha20_block(key, job.0, &job.1);
+            }
+        }
+        Backend::Lanes4 => {
+            assert_eq!(jobs.len(), 4);
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: sse2 is part of the x86_64 baseline ISA.
+            unsafe {
+                x86::chacha_blocks_sse2(key, jobs, out)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            chacha_blocks_kernel::<P4>(key, jobs, out)
+        }
+        Backend::Avx2 => {
+            assert_eq!(jobs.len(), 8);
+            assert!(
+                Backend::Avx2.is_supported(),
+                "avx2 backend invoked on a host without AVX2"
+            );
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the assert above proves runtime AVX2 support.
+            unsafe {
+                x86::chacha_blocks_avx2(key, jobs, out)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 backend is never supported off x86_64")
+        }
+    }
+}
+
+/// Compresses `blocks[l]` into `states[l]` for each lane. For SIMD
+/// backends the slice lengths must equal [`Backend::lanes`]; the scalar
+/// backend accepts any length.
+#[allow(unsafe_code)]
+pub(crate) fn sha256_multiway(backend: Backend, states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    assert_eq!(states.len(), blocks.len());
+    match backend {
+        Backend::Scalar => {
+            for (state, block) in states.iter_mut().zip(blocks.iter()) {
+                crate::sha256::compress_block(state, block);
+            }
+        }
+        Backend::Lanes4 => {
+            assert_eq!(states.len(), 4);
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: sse2 is part of the x86_64 baseline ISA.
+            unsafe {
+                x86::sha256_multiway_sse2(states, blocks)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            sha256_multiway_kernel::<P4>(states, blocks)
+        }
+        Backend::Avx2 => {
+            assert_eq!(states.len(), 8);
+            assert!(
+                Backend::Avx2.is_supported(),
+                "avx2 backend invoked on a host without AVX2"
+            );
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the assert above proves runtime AVX2 support.
+            unsafe {
+                x86::sha256_multiway_avx2(states, blocks)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 backend is never supported off x86_64")
+        }
+    }
+}
+
+/// XORs up to 64 keystream bytes into `dst` in `u64` words (the
+/// optimizer widens the pair of word loads/stores to vector ops), with a
+/// byte tail for non-multiple-of-8 payload ends.
+#[inline(always)]
+fn xor_keystream(dst: &mut [u8], ks: &[u8; 64]) {
+    let words = dst.len() / 8;
+    for i in 0..words {
+        let off = i * 8;
+        let v = u64::from_ne_bytes(dst[off..off + 8].try_into().expect("fixed"))
+            ^ u64::from_ne_bytes(ks[off..off + 8].try_into().expect("fixed"));
+        dst[off..off + 8].copy_from_slice(&v.to_ne_bytes());
+    }
+    for i in words * 8..dst.len() {
+        dst[i] ^= ks[i];
+    }
+}
+
+/// XORs the ChaCha20 keystream into one contiguous payload, filling the
+/// lanes with this payload's *sequential* block counters — the same-key
+/// multi-block mode used by `encrypt`/`decrypt` on large payloads.
+/// Byte-identical to [`chacha20_xor`], including the counter-overflow
+/// panic.
+pub(crate) fn chacha20_xor_backend(
+    backend: Backend,
+    key: &[u8; CHACHA_KEY_LEN],
+    counter: u32,
+    nonce: &[u8; CHACHA_NONCE_LEN],
+    data: &mut [u8],
+) {
+    let lanes = backend.lanes();
+    if lanes == 1 || data.len() <= 64 {
+        chacha20_xor(key, counter, nonce, data);
+        return;
+    }
+    let mut jobs = [(0u32, [0u8; CHACHA_NONCE_LEN]); MAX_LANES];
+    let mut ks = [[0u8; 64]; MAX_LANES];
+    let mut ctr = counter;
+    for group in data.chunks_mut(64 * lanes) {
+        let nblocks = group.len().div_ceil(64);
+        if nblocks == lanes {
+            for (l, job) in jobs.iter_mut().take(lanes).enumerate() {
+                let lane_ctr = ctr
+                    .checked_add(l as u32)
+                    .expect("chacha20 counter overflow");
+                *job = (lane_ctr, *nonce);
+            }
+            chacha_blocks(backend, key, &jobs[..lanes], &mut ks[..lanes]);
+            for (l, chunk) in group.chunks_mut(64).enumerate() {
+                xor_keystream(chunk, &ks[l]);
+            }
+            ctr = ctr
+                .checked_add(nblocks as u32)
+                .expect("chacha20 counter overflow");
+        } else {
+            // Short tail: the scalar path advances (and overflow-checks)
+            // the counter exactly like the full-lane path above.
+            chacha20_xor(key, ctr, nonce, group);
+            ctr = ctr
+                .checked_add(nblocks as u32)
+                .expect("chacha20 counter overflow");
+        }
+    }
+}
+
+/// XORs the ChaCha20 keystream into several disjoint regions of `buf`,
+/// one `(nonce, start counter, byte range)` job per region, batching
+/// 64-byte blocks *across* jobs so small packets still fill every lane.
+/// Byte-identical to running [`chacha20_xor`] per job.
+pub(crate) fn chacha20_xor_jobs(
+    backend: Backend,
+    key: &[u8; CHACHA_KEY_LEN],
+    buf: &mut [u8],
+    jobs: &[([u8; CHACHA_NONCE_LEN], u32, Range<usize>)],
+) {
+    let lanes = backend.lanes();
+    if lanes == 1 {
+        for (nonce, counter, range) in jobs {
+            chacha20_xor(key, *counter, nonce, &mut buf[range.clone()]);
+        }
+        return;
+    }
+    // Flatten every job into 64-byte keystream units so lanes fill up
+    // across packet boundaries. Capacity bound: ranges are disjoint, so
+    // at most one partial unit per job on top of the full ones.
+    let mut units: Vec<(u32, [u8; CHACHA_NONCE_LEN], usize, usize)> =
+        Vec::with_capacity(buf.len() / 64 + jobs.len());
+    for (nonce, counter, range) in jobs {
+        let mut off = range.start;
+        let mut ctr = *counter;
+        while off < range.end {
+            let len = (range.end - off).min(64);
+            units.push((ctr, *nonce, off, len));
+            ctr = ctr.checked_add(1).expect("chacha20 counter overflow");
+            off += len;
+        }
+    }
+    let mut lane_jobs = [(0u32, [0u8; CHACHA_NONCE_LEN]); MAX_LANES];
+    let mut ks = [[0u8; 64]; MAX_LANES];
+    for chunk in units.chunks(lanes) {
+        if chunk.len() == lanes {
+            for (l, unit) in chunk.iter().enumerate() {
+                lane_jobs[l] = (unit.0, unit.1);
+            }
+            chacha_blocks(backend, key, &lane_jobs[..lanes], &mut ks[..lanes]);
+            for (l, unit) in chunk.iter().enumerate() {
+                xor_keystream(&mut buf[unit.2..unit.2 + unit.3], &ks[l]);
+            }
+        } else {
+            for unit in chunk {
+                let block = chacha20_block(key, unit.0, &unit.1);
+                xor_keystream(&mut buf[unit.2..unit.2 + unit.3], &block);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::Sha256;
+
+    fn supported_simd_backends() -> Vec<Backend> {
+        Backend::ALL
+            .into_iter()
+            .filter(|b| *b != Backend::Scalar && b.is_supported())
+            .collect()
+    }
+
+    /// Deterministic xorshift for test data — no RNG dependency.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn fill(state: &mut u64, buf: &mut [u8]) {
+        for b in buf.iter_mut() {
+            *b = (xorshift(state) & 0xff) as u8;
+        }
+    }
+
+    #[test]
+    fn chacha_blocks_matches_scalar_rfc_vector_in_every_lane() {
+        // The RFC 8439 §2.3.2 block, placed in each lane position with
+        // differing jobs in the other lanes.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rfc_nonce = [0u8; 12];
+        rfc_nonce[3] = 0x09;
+        rfc_nonce[7] = 0x4a;
+        let expect = chacha20_block(&key, 1, &rfc_nonce);
+        for backend in supported_simd_backends() {
+            let lanes = backend.lanes();
+            for pos in 0..lanes {
+                let mut jobs = Vec::new();
+                for l in 0..lanes {
+                    if l == pos {
+                        jobs.push((1u32, rfc_nonce));
+                    } else {
+                        jobs.push((l as u32 * 7 + 2, [l as u8; 12]));
+                    }
+                }
+                let mut out = vec![[0u8; 64]; lanes];
+                chacha_blocks(backend, &key, &jobs, &mut out);
+                assert_eq!(out[pos], expect, "{backend} lane {pos}");
+                for (l, job) in jobs.iter().enumerate() {
+                    let scalar = chacha20_block(&key, job.0, &job.1);
+                    assert_eq!(out[l], scalar, "{backend} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portable_kernel_matches_scalar() {
+        // The portable fallback is dead code on x86_64 production
+        // builds; keep it honest here regardless of host ISA.
+        let key = [0x42u8; 32];
+        let jobs: Vec<BlockJob> = (0..4)
+            .map(|l| (l as u32 + 1, [l as u8 ^ 0x5a; 12]))
+            .collect();
+        let mut out = [[0u8; 64]; 4];
+        chacha_blocks_kernel::<P4>(&key, &jobs, &mut out);
+        for (l, job) in jobs.iter().enumerate() {
+            assert_eq!(out[l], chacha20_block(&key, job.0, &job.1), "lane {l}");
+        }
+        let mut states = [[0u32; 8]; 4];
+        let mut blocks = [[0u8; 64]; 4];
+        let mut seed = 99u64;
+        for l in 0..4 {
+            states[l] = Sha256::new().state_words();
+            fill(&mut seed, &mut blocks[l]);
+        }
+        let mut expect = states;
+        for l in 0..4 {
+            crate::sha256::compress_block(&mut expect[l], &blocks[l]);
+        }
+        sha256_multiway_kernel::<P4>(&mut states, &blocks);
+        assert_eq!(states, expect);
+    }
+
+    #[test]
+    fn sha256_multiway_matches_scalar_compression() {
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        for backend in supported_simd_backends() {
+            let lanes = backend.lanes();
+            for _round in 0..16 {
+                let mut states = vec![[0u32; 8]; lanes];
+                let mut blocks = vec![[0u8; 64]; lanes];
+                for l in 0..lanes {
+                    // Start from the real IV and from random chain values.
+                    if l % 2 == 0 {
+                        states[l] = Sha256::new().state_words();
+                    } else {
+                        for w in states[l].iter_mut() {
+                            *w = xorshift(&mut seed) as u32;
+                        }
+                    }
+                    fill(&mut seed, &mut blocks[l]);
+                }
+                let mut expect = states.clone();
+                for l in 0..lanes {
+                    crate::sha256::compress_block(&mut expect[l], &blocks[l]);
+                }
+                sha256_multiway(backend, &mut states, &blocks);
+                assert_eq!(states, expect, "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_backend_matches_scalar_for_all_sizes() {
+        let key = [0x31u8; 32];
+        let nonce = [0x77u8; 12];
+        let mut seed = 7u64;
+        for backend in supported_simd_backends() {
+            for len in [0usize, 1, 63, 64, 65, 128, 257, 512, 513, 1400, 4096, 4097] {
+                let mut data = vec![0u8; len];
+                fill(&mut seed, &mut data);
+                let mut expect = data.clone();
+                chacha20_xor(&key, 1, &nonce, &mut expect);
+                chacha20_xor_backend(backend, &key, 1, &nonce, &mut data);
+                assert_eq!(data, expect, "{backend} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_jobs_matches_scalar_per_job() {
+        let key = [0x09u8; 32];
+        let mut seed = 1234u64;
+        for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+            // Mixed job sizes across several nonces/counters, all packed
+            // into one buffer.
+            let sizes = [0usize, 1, 63, 64, 65, 130, 1400, 64, 64, 64, 64];
+            let total: usize = sizes.iter().sum();
+            let mut buf = vec![0u8; total];
+            fill(&mut seed, &mut buf);
+            let mut jobs = Vec::new();
+            let mut off = 0;
+            for (i, len) in sizes.iter().enumerate() {
+                let nonce = [i as u8; 12];
+                jobs.push((nonce, 1u32 + i as u32, off..off + len));
+                off += len;
+            }
+            let mut expect = buf.clone();
+            for (nonce, counter, range) in &jobs {
+                chacha20_xor(&key, *counter, nonce, &mut expect[range.clone()]);
+            }
+            chacha20_xor_jobs(backend, &key, &mut buf, &jobs);
+            assert_eq!(buf, expect, "{backend}");
+        }
+    }
+}

@@ -39,6 +39,15 @@
 //! it from derived key material; `tests/it_suites.rs` differential-runs
 //! every registered suite through the wire codec.
 //!
+//! # Backends
+//!
+//! Each suite runs its bulk primitives through a [`Backend`] chosen once
+//! at construction: the scalar reference path, 4-lane SSE2/portable
+//! kernels, or 8-lane AVX2 kernels (see the [`suite`](CipherSuite)
+//! rustdoc for the selection order and the scalar-oracle guarantee, and
+//! the repo-level `ARCHITECTURE.md` for where backends sit in the crate
+//! map and how to add one).
+//!
 //! Scope note: these implementations model *behaviour and cost* for the
 //! reproduction. They are not hardened against side channels (except
 //! [`ct_eq`]) and must not be lifted into production use.
@@ -55,15 +64,20 @@
 //! assert!(ct_eq(&icv, &hmac_sha256_96(key, packet)));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SIMD kernels in `lanes` carry a scoped
+// `allow(unsafe_code)` for `std::arch` intrinsics and register↔array
+// transmutes. Everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aead;
+mod backend;
 mod bignum;
 mod chacha;
 mod ct;
 mod dh;
 mod hmac;
+mod lanes;
 mod poly1305;
 mod prf;
 mod sha256;
@@ -72,6 +86,7 @@ mod suite;
 pub use aead::{
     chacha20_poly1305_open, chacha20_poly1305_seal, chacha20_poly1305_tag, AEAD_TAG_LEN,
 };
+pub use backend::{Backend, BACKEND_ENV};
 pub use bignum::BigUint;
 pub use chacha::{chacha20_block, chacha20_xor, CHACHA_KEY_LEN, CHACHA_NONCE_LEN};
 pub use ct::ct_eq;

@@ -1,10 +1,16 @@
 //! Poly1305 one-time authenticator (RFC 8439 §2.5), from scratch.
 //!
-//! Radix-2²⁶ accumulator with 64-bit products (the classic "donna"
-//! shape), so the whole thing stays in safe integer arithmetic. The key
-//! is one-time: the AEAD suite derives a fresh one per packet from the
-//! ChaCha20 block at counter 0. Validated against the RFC 8439 §2.5.2
-//! vector and the §2.6.2 key-generation vector.
+//! Radix-2⁴⁴ accumulator (three limbs) with 128-bit products — the
+//! 64-bit "donna" shape: 9 wide multiplies per 16-byte block instead of
+//! the 25 a 26-bit-limb accumulator needs, while staying entirely in
+//! safe integer arithmetic (`u128` is a built-in). Poly1305 runs once
+//! per packet over the whole AEAD layout and is inherently sequential
+//! (each block multiplies the accumulator), so unlike ChaCha20 it gets
+//! no help from the multi-lane backend — per-block cost here sets the
+//! floor under every backend's AEAD receive time. The key is one-time:
+//! the AEAD suite derives a fresh one per packet from the ChaCha20
+//! block at counter 0. Validated against the RFC 8439 §2.5.2 vector
+//! and the §2.6.2 key-generation vector.
 
 /// Key length in bytes (`r || s`).
 pub const POLY1305_KEY_LEN: usize = 32;
@@ -27,77 +33,76 @@ pub const POLY1305_TAG_LEN: usize = 16;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Poly1305 {
-    /// Clamped `r`, radix 2²⁶.
-    r: [u32; 5],
-    /// Accumulator, radix 2²⁶.
-    h: [u32; 5],
+    /// Clamped `r`, radix 2⁴⁴ (limbs of 44, 44, 42 bits).
+    r: [u64; 3],
+    /// Precomputed wrap terms `20·r1`, `20·r2`: a product spilling past
+    /// 2¹³⁰ re-enters at `·5`, and the limb offsets contribute the `·4`.
+    s: [u64; 2],
+    /// Accumulator, radix 2⁴⁴.
+    h: [u64; 3],
     /// The `s` half of the key, added at the end mod 2¹²⁸.
-    pad: [u32; 4],
+    pad: [u64; 2],
     buf: [u8; 16],
     buf_len: usize,
 }
 
+/// Low-limb mask (44 bits).
+const MASK44: u64 = 0x0fff_ffff_ffff;
+/// High-limb mask (42 bits).
+const MASK42: u64 = 0x03ff_ffff_ffff;
+
 impl Poly1305 {
     /// A MAC context for the 32-byte one-time key `r || s`.
     pub fn new(key: &[u8; POLY1305_KEY_LEN]) -> Self {
-        let le = |i: usize| u32::from_le_bytes(key[i..i + 4].try_into().expect("fixed"));
-        // Clamp r (RFC 8439 §2.5: top bits of limbs cleared) and split
-        // into 26-bit limbs.
+        let le = |i: usize| u64::from_le_bytes(key[i..i + 8].try_into().expect("fixed"));
+        let (t0, t1) = (le(0), le(8));
+        // Clamp r (RFC 8439 §2.5: top bits of key nibbles cleared) and
+        // split into 44/44/42-bit limbs; the clamp masks are the §2.5
+        // byte masks re-expressed at the limb boundaries.
         let r = [
-            le(0) & 0x03ff_ffff,
-            (le(3) >> 2) & 0x03ff_ff03,
-            (le(6) >> 4) & 0x03ff_c0ff,
-            (le(9) >> 6) & 0x03f0_3fff,
-            (le(12) >> 8) & 0x000f_ffff,
+            t0 & 0x0ffc_0fff_ffff,
+            ((t0 >> 44) | (t1 << 20)) & 0x0fff_ffc0_ffff,
+            (t1 >> 24) & 0x000f_ffff_fc0f,
         ];
-        let pad = [le(16), le(20), le(24), le(28)];
+        let s = [r[1] * 20, r[2] * 20];
+        let pad = [le(16), le(24)];
         Poly1305 {
             r,
-            h: [0; 5],
+            s,
+            h: [0; 3],
             pad,
             buf: [0; 16],
             buf_len: 0,
         }
     }
 
-    /// Absorbs one 16-byte block; `hibit` is `1 << 24` for full blocks
-    /// and 0 for the padded final partial block.
-    fn block(&mut self, m: &[u8; 16], hibit: u32) {
-        let le = |i: usize| u32::from_le_bytes(m[i..i + 4].try_into().expect("fixed"));
-        let h0 = (self.h[0] + (le(0) & 0x03ff_ffff)) as u64;
-        let h1 = (self.h[1] + ((le(3) >> 2) & 0x03ff_ffff)) as u64;
-        let h2 = (self.h[2] + ((le(6) >> 4) & 0x03ff_ffff)) as u64;
-        let h3 = (self.h[3] + ((le(9) >> 6) & 0x03ff_ffff)) as u64;
-        let h4 = (self.h[4] + ((le(12) >> 8) | hibit)) as u64;
-        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
-        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
-        // h *= r (mod 2^130 - 5): limb products with the wrap folded in
-        // via the s_i = 5 * r_i terms.
-        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
-        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
-        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
-        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
-        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
-        // Partial carry propagation back to 26-bit limbs.
-        let mut c = d0 >> 26;
-        let mut h = [0u32; 5];
-        h[0] = (d0 & 0x03ff_ffff) as u32;
-        let d1 = d1 + c;
-        c = d1 >> 26;
-        h[1] = (d1 & 0x03ff_ffff) as u32;
-        let d2 = d2 + c;
-        c = d2 >> 26;
-        h[2] = (d2 & 0x03ff_ffff) as u32;
-        let d3 = d3 + c;
-        c = d3 >> 26;
-        h[3] = (d3 & 0x03ff_ffff) as u32;
-        let d4 = d4 + c;
-        c = d4 >> 26;
-        h[4] = (d4 & 0x03ff_ffff) as u32;
-        h[0] += (c * 5) as u32;
-        h[1] += h[0] >> 26;
-        h[0] &= 0x03ff_ffff;
-        self.h = h;
+    /// Absorbs one 16-byte block; `hibit` is `1 << 40` (bit 128 at limb
+    /// 2's offset) for full blocks and 0 for the padded final block.
+    fn block(&mut self, m: &[u8; 16], hibit: u64) {
+        let t0 = u64::from_le_bytes(m[..8].try_into().expect("fixed"));
+        let t1 = u64::from_le_bytes(m[8..].try_into().expect("fixed"));
+        let h0 = self.h[0] + (t0 & MASK44);
+        let h1 = self.h[1] + (((t0 >> 44) | (t1 << 20)) & MASK44);
+        let h2 = self.h[2] + ((t1 >> 24) | hibit);
+        let [r0, r1, r2] = self.r;
+        let [s1, s2] = self.s;
+        // h *= r (mod 2^130 - 5): three column products in u128, the
+        // wrap folded in via the precomputed s terms.
+        let d0 = h0 as u128 * r0 as u128 + h1 as u128 * s2 as u128 + h2 as u128 * s1 as u128;
+        let d1 = h0 as u128 * r1 as u128 + h1 as u128 * r0 as u128 + h2 as u128 * s2 as u128;
+        let d2 = h0 as u128 * r2 as u128 + h1 as u128 * r1 as u128 + h2 as u128 * r0 as u128;
+        // Partial carry propagation back to 44/44/42-bit limbs.
+        let mut c = (d0 >> 44) as u64;
+        let h0 = d0 as u64 & MASK44;
+        let d1 = d1 + c as u128;
+        c = (d1 >> 44) as u64;
+        let h1 = d1 as u64 & MASK44;
+        let d2 = d2 + c as u128;
+        c = (d2 >> 42) as u64;
+        let h2 = d2 as u64 & MASK42;
+        let h0 = h0 + c * 5;
+        c = h0 >> 44;
+        self.h = [h0 & MASK44, h1 + c, h2];
     }
 
     /// Absorbs message bytes.
@@ -109,13 +114,13 @@ impl Poly1305 {
             data = &data[take..];
             if self.buf_len == 16 {
                 let block = self.buf;
-                self.block(&block, 1 << 24);
+                self.block(&block, 1 << 40);
                 self.buf_len = 0;
             }
         }
         while data.len() >= 16 {
             let (block, rest) = data.split_at(16);
-            self.block(block.try_into().expect("fixed"), 1 << 24);
+            self.block(block.try_into().expect("fixed"), 1 << 40);
             data = rest;
         }
         if !data.is_empty() {
@@ -134,49 +139,48 @@ impl Poly1305 {
             self.block(&block, 0);
         }
         // Full carry.
-        let mut h = self.h;
-        let mut c = h[1] >> 26;
-        h[1] &= 0x03ff_ffff;
-        h[2] += c;
-        c = h[2] >> 26;
-        h[2] &= 0x03ff_ffff;
-        h[3] += c;
-        c = h[3] >> 26;
-        h[3] &= 0x03ff_ffff;
-        h[4] += c;
-        c = h[4] >> 26;
-        h[4] &= 0x03ff_ffff;
-        h[0] += c * 5;
-        c = h[0] >> 26;
-        h[0] &= 0x03ff_ffff;
-        h[1] += c;
-        // g = h + 5 - 2^130; select g when h >= p.
-        let mut g = [0u32; 5];
-        let mut carry = 5u32;
-        for i in 0..5 {
-            let t = h[i] + carry;
-            g[i] = t & 0x03ff_ffff;
-            carry = t >> 26;
-        }
-        // carry is 1 iff h + 5 overflowed 2^130, i.e. h >= 2^130 - 5.
-        let mask = carry.wrapping_mul(u32::MAX); // all-ones when h >= p
-        for i in 0..5 {
-            h[i] = (h[i] & !mask) | (g[i] & mask);
-        }
+        let [mut h0, mut h1, mut h2] = self.h;
+        let mut c = h1 >> 44;
+        h1 &= MASK44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= MASK42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= MASK44;
+        h1 += c;
+        c = h1 >> 44;
+        h1 &= MASK44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= MASK42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= MASK44;
+        h1 += c;
+        // g = h + 5 - 2^130; select g when h >= p = 2^130 - 5.
+        let mut g0 = h0 + 5;
+        c = g0 >> 44;
+        g0 &= MASK44;
+        let mut g1 = h1 + c;
+        c = g1 >> 44;
+        g1 &= MASK44;
+        let g2 = h2.wrapping_add(c).wrapping_sub(1 << 42);
+        // g2's sign bit is set iff the subtraction borrowed (h < p):
+        // all-ones mask selects g when it did not.
+        let mask = (g2 >> 63).wrapping_sub(1);
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & mask);
         // Serialize h mod 2^128 and add s.
-        let words = [
-            h[0] | (h[1] << 26),
-            (h[1] >> 6) | (h[2] << 20),
-            (h[2] >> 12) | (h[3] << 14),
-            (h[3] >> 18) | (h[4] << 8),
-        ];
+        let lo = h0 | (h1 << 44);
+        let hi = (h1 >> 20) | (h2 << 24);
+        let t = lo as u128 + self.pad[0] as u128;
+        let lo = t as u64;
+        let hi = hi.wrapping_add(self.pad[1]).wrapping_add((t >> 64) as u64);
         let mut out = [0u8; POLY1305_TAG_LEN];
-        let mut carry = 0u64;
-        for i in 0..4 {
-            let t = words[i] as u64 + self.pad[i] as u64 + carry;
-            out[i * 4..i * 4 + 4].copy_from_slice(&(t as u32).to_le_bytes());
-            carry = t >> 32;
-        }
+        out[..8].copy_from_slice(&lo.to_le_bytes());
+        out[8..].copy_from_slice(&hi.to_le_bytes());
         out
     }
 }

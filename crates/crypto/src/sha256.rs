@@ -22,7 +22,9 @@ const H0: [u32; 8] = [
     0x5be0_cd19,
 ];
 
-const K: [u32; 64] = [
+/// The round constants — shared with the multi-buffer compression in
+/// [`crate::lanes`], which runs the same schedule across N lanes.
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,

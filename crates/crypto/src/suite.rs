@@ -18,13 +18,71 @@
 //! IPsec guarantees unique per SA per direction, so neither suite
 //! carries an explicit IV on the wire ([`CipherSuite::iv_len`] is 0);
 //! the frame layout nevertheless honours non-zero IV lengths.
+//!
+//! # The backend model
+//!
+//! Both suites run their bulk primitives — ChaCha20 block generation and
+//! SHA-256 compression — through a [`Backend`] fixed **once at suite
+//! construction** and never re-probed on the datapath:
+//!
+//! * [`Backend::Scalar`] — one stream at a time, pure safe Rust; the
+//!   reference implementation.
+//! * [`Backend::Lanes4`] — 4 interleaved lanes (SSE2 on x86_64, a
+//!   portable manual-lane fallback elsewhere).
+//! * [`Backend::Avx2`] — 8 interleaved lanes (x86_64 with runtime-
+//!   detected AVX2 only).
+//!
+//! The auto-selecting constructors ([`ChaCha20Poly1305Suite::new`],
+//! [`HmacSha256Suite::with_keystream`], …) pick a backend in this order:
+//!
+//! 1. the `RESET_CRYPTO_BACKEND` environment variable, when it names a
+//!    backend this host supports (`scalar` / `lanes4` / `avx2`) — the
+//!    CI determinism knob;
+//! 2. runtime feature detection — AVX2 if the CPU has it, else 4-lane;
+//! 3. scalar, unconditionally, everywhere else.
+//!
+//! **The scalar path is the oracle.** A backend may only change how many
+//! packets (or blocks) one pass computes, never an output byte: every
+//! ICV verdict, tag, ciphertext, and plaintext must be byte-identical
+//! across backends. The per-lane kernel KATs in `crate::lanes`, the
+//! existing suite KATs re-run per backend, and the randomized 10k-frame
+//! differential in `tests/backend_differential.rs` enforce this for
+//! every backend the host supports.
+//!
+//! Forcing a backend (tests, benches, the differential oracle) bypasses
+//! selection entirely:
+//!
+//! ```
+//! use reset_crypto::{Backend, ChaCha20Poly1305Suite, CipherSuite};
+//!
+//! let key = [7u8; 32];
+//! // The scalar oracle, regardless of host features or environment:
+//! let oracle = ChaCha20Poly1305Suite::new(key).with_backend(Backend::Scalar);
+//! assert_eq!(oracle.backend(), Backend::Scalar);
+//! // The strongest backend this host supports (panics if forced to an
+//! // unsupported one, so probe with `Backend::is_supported` first):
+//! let best = Backend::ALL.into_iter().rev().find(|b| b.is_supported()).unwrap();
+//! let fast = ChaCha20Poly1305Suite::new(key).with_backend(best);
+//!
+//! let mut a = *b"one hundred and twenty-eight bytes of payload ..........";
+//! let mut b = a;
+//! oracle.encrypt(5, &mut a);
+//! fast.encrypt(5, &mut b);
+//! assert_eq!(a, b, "backends are byte-identical");
+//! ```
 
-use crate::aead::{chacha20_poly1305_tag, AEAD_TAG_LEN};
-use crate::chacha::{chacha20_xor, CHACHA_KEY_LEN, CHACHA_NONCE_LEN};
+use crate::aead::{chacha20_poly1305_tag, poly1305_aead_tag, AEAD_TAG_LEN};
+use crate::backend::Backend;
+use crate::chacha::{CHACHA_KEY_LEN, CHACHA_NONCE_LEN};
 use crate::ct::ct_eq;
 use crate::hmac::HmacKey;
+use crate::lanes::{
+    chacha20_xor_backend, chacha20_xor_jobs, chacha_blocks, sha256_multiway, MAX_LANES,
+};
 use crate::prf::xor_keystream_with;
-use crate::sha256::DIGEST_LEN;
+use crate::sha256::{BLOCK_LEN, DIGEST_LEN};
+use core::ops::Range;
+use std::collections::BTreeMap;
 
 /// The largest ICV any in-repo suite emits (the Poly1305 tag).
 pub const MAX_ICV_LEN: usize = 16;
@@ -155,6 +213,17 @@ pub trait CipherSuite {
         ok.clear();
         ok.extend(frames.iter().map(|f| self.verify(f)));
     }
+
+    /// Decrypts several already-verified frames that share one arena
+    /// buffer: each job is `(seq, byte range)` and the ranges are
+    /// disjoint. Equivalent to calling [`CipherSuite::decrypt`] per job
+    /// — suites override this only to amortize (e.g. filling SIMD lanes
+    /// with blocks from *different* packets), never to change results.
+    fn decrypt_batch(&self, buf: &mut [u8], jobs: &[(u64, Range<usize>)]) {
+        for (seq, range) in jobs {
+            self.decrypt(*seq, &mut buf[range.clone()]);
+        }
+    }
 }
 
 /// ICV length of [`HmacSha256Suite`] (HMAC-SHA-256 truncated to 96
@@ -179,27 +248,64 @@ pub const HMAC_ICV_LEN: usize = 12;
 /// suite.decrypt(7, &mut body);
 /// assert_eq!(&body, b"secret");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HmacSha256Suite {
     auth: HmacKey,
     enc: Option<HmacKey>,
+    backend: Backend,
 }
+
+/// Equality is over the key material only: the backend changes how the
+/// bytes are computed, never what they are, so two suites that differ
+/// only in backend are interchangeable.
+impl PartialEq for HmacSha256Suite {
+    fn eq(&self, other: &Self) -> bool {
+        self.auth == other.auth && self.enc == other.enc
+    }
+}
+
+impl Eq for HmacSha256Suite {}
 
 impl HmacSha256Suite {
     /// Integrity + keystream confidentiality (the default transform).
+    /// The backend is auto-selected (see [`Backend::select`]).
     pub fn with_keystream(auth_key: &[u8], enc_key: &[u8]) -> Self {
         HmacSha256Suite {
             auth: HmacKey::new(auth_key),
             enc: Some(HmacKey::new(enc_key)),
+            backend: Backend::select(),
         }
     }
 
     /// Integrity only (ESP with null encryption, RFC 2410 style).
+    /// The backend is auto-selected (see [`Backend::select`]).
     pub fn auth_only(auth_key: &[u8]) -> Self {
         HmacSha256Suite {
             auth: HmacKey::new(auth_key),
             enc: None,
+            backend: Backend::select(),
         }
+    }
+
+    /// Forces a specific backend, bypassing auto-selection — tests,
+    /// benches, and the scalar differential oracle use this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot run `backend`
+    /// ([`Backend::is_supported`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        assert!(
+            backend.is_supported(),
+            "backend {backend} is not supported on this host"
+        );
+        self.backend = backend;
+        self
+    }
+
+    /// The backend this suite computes its bulk primitives with.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The precomputed authentication key schedule (legacy-codec
@@ -221,6 +327,122 @@ impl HmacSha256Suite {
             h.update(&hi.to_be_bytes());
         }
         h.finalize()
+    }
+
+    /// The scalar amortized verify ([`HmacKey::mac_parts`]): the fallback
+    /// for partial lane groups on the multi-buffer path, and the whole
+    /// batch path on [`Backend::Scalar`].
+    fn verify_frame_amortized(&self, f: &FrameToVerify<'_>) -> bool {
+        let full = match f.esn_hi {
+            Some(hi) => self
+                .auth
+                .mac_parts(&[f.header, f.ciphertext, &hi.to_be_bytes()]),
+            None => self.auth.mac_parts(&[f.header, f.ciphertext]),
+        };
+        f.icv.len() == HMAC_ICV_LEN && ct_eq(f.icv, &full[..HMAC_ICV_LEN])
+    }
+
+    /// Multi-buffer batch verify: frames are bucketed by inner padded
+    /// block count so full lane groups compress in lockstep through
+    /// [`sha256_multiway`]; the outer hash is always the one
+    /// fixed-layout block of [`HmacKey::finish_outer`], so it lanes
+    /// perfectly. Partial groups fall back to the scalar amortized path
+    /// — byte-identical either way.
+    fn verify_batch_multiway(&self, frames: &[FrameToVerify<'_>], ok: &mut Vec<bool>) {
+        let lanes = self.backend.lanes();
+        ok.resize(frames.len(), false);
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, f) in frames.iter().enumerate() {
+            let msg_len =
+                f.header.len() + f.ciphertext.len() + if f.esn_hi.is_some() { 4 } else { 0 };
+            buckets
+                .entry((msg_len + 9).div_ceil(64))
+                .or_default()
+                .push(i);
+        }
+        let mut states = [[0u32; 8]; MAX_LANES];
+        let mut blocks = [[0u8; 64]; MAX_LANES];
+        let mut esn_bytes = [[0u8; 4]; MAX_LANES];
+        for (nblocks, idxs) in &buckets {
+            for chunk in idxs.chunks(lanes) {
+                if chunk.len() < lanes {
+                    for &i in chunk {
+                        ok[i] = self.verify_frame_amortized(&frames[i]);
+                    }
+                    continue;
+                }
+                for (l, &i) in chunk.iter().enumerate() {
+                    states[l] = self.auth.inner_state_words();
+                    if let Some(hi) = frames[i].esn_hi {
+                        esn_bytes[l] = hi.to_be_bytes();
+                    }
+                }
+                for b in 0..*nblocks {
+                    for (l, &i) in chunk.iter().enumerate() {
+                        let f = &frames[i];
+                        let esn: &[u8] = match f.esn_hi {
+                            Some(_) => &esn_bytes[l],
+                            None => &[],
+                        };
+                        fill_padded_block(&[f.header, f.ciphertext, esn], b, &mut blocks[l]);
+                    }
+                    sha256_multiway(self.backend, &mut states[..lanes], &blocks[..lanes]);
+                }
+                // Outer hash: digest ‖ 0x80 ‖ zeros ‖ bit length 768,
+                // one compression per lane from the opad state.
+                for l in 0..lanes {
+                    let mut block = [0u8; BLOCK_LEN];
+                    for (j, w) in states[l].iter().enumerate() {
+                        block[j * 4..j * 4 + 4].copy_from_slice(&w.to_be_bytes());
+                    }
+                    block[DIGEST_LEN] = 0x80;
+                    let bit_len = ((BLOCK_LEN + DIGEST_LEN) as u64) * 8;
+                    block[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
+                    blocks[l] = block;
+                    states[l] = self.auth.outer_state_words();
+                }
+                sha256_multiway(self.backend, &mut states[..lanes], &blocks[..lanes]);
+                for (l, &i) in chunk.iter().enumerate() {
+                    let mut full = [0u8; DIGEST_LEN];
+                    for (j, w) in states[l].iter().enumerate() {
+                        full[j * 4..j * 4 + 4].copy_from_slice(&w.to_be_bytes());
+                    }
+                    let f = &frames[i];
+                    ok[i] = f.icv.len() == HMAC_ICV_LEN && ct_eq(f.icv, &full[..HMAC_ICV_LEN]);
+                }
+            }
+        }
+    }
+}
+
+/// Materializes 64-byte block `block_idx` of the SHA-256 padded stream
+/// for a message given as concatenated `parts`, as absorbed *after* one
+/// already-compressed key block (HMAC's ipad prefix): padding is `0x80`,
+/// zeros, then the 64-bit bit length of `BLOCK_LEN + message`.
+fn fill_padded_block(parts: &[&[u8]], block_idx: usize, out: &mut [u8; BLOCK_LEN]) {
+    out.fill(0);
+    let start = block_idx * BLOCK_LEN;
+    let end = start + BLOCK_LEN;
+    let mut off = 0usize;
+    for p in parts {
+        let p_end = off + p.len();
+        if p_end > start && off < end {
+            let s = start.max(off);
+            let e = end.min(p_end);
+            out[s - start..e - start].copy_from_slice(&p[s - off..e - off]);
+        }
+        off = p_end;
+    }
+    if (start..end).contains(&off) {
+        out[off - start] = 0x80;
+    }
+    let padded_len = (off + 9).div_ceil(BLOCK_LEN) * BLOCK_LEN;
+    let bits = ((BLOCK_LEN + off) as u64) * 8;
+    for (k, &bb) in bits.to_be_bytes().iter().enumerate() {
+        let pos = padded_len - 8 + k;
+        if pos >= start && pos < end {
+            out[pos - start] = bb;
+        }
     }
 }
 
@@ -264,26 +486,26 @@ impl CipherSuite for HmacSha256Suite {
         Icv::new(&self.tag(header, ciphertext, esn_hi)[..HMAC_ICV_LEN])
     }
 
-    /// The amortized batch path, built on [`HmacKey::mac_parts`]: every
-    /// frame's inner hash resumes straight from the one precomputed
-    /// ipad chain value through a stack block buffer (no hasher clone,
-    /// no buffered `update`, no per-frame padding-tail assembly), and
-    /// the outer hash is the single fixed-layout compression of
-    /// [`HmacKey::finish_outer`]. The sequential [`CipherSuite::verify`]
-    /// deliberately stays on the independent reference path
-    /// (`begin`/`update`/`finalize`), so the differential tests compare
-    /// two genuinely distinct implementations.
+    /// The amortized batch path. On [`Backend::Scalar`] it is built on
+    /// [`HmacKey::mac_parts`]: every frame's inner hash resumes straight
+    /// from the one precomputed ipad chain value through a stack block
+    /// buffer, and the outer hash is the single fixed-layout compression
+    /// of [`HmacKey::finish_outer`]. On SIMD backends, frames with equal
+    /// inner block counts additionally compress
+    /// [`Backend::lanes`]-at-a-time through the multi-buffer SHA-256
+    /// kernel (partial lane groups stay on the scalar path). The
+    /// sequential [`CipherSuite::verify`] deliberately stays on the
+    /// independent reference path (`begin`/`update`/`finalize`), so the
+    /// differential tests compare genuinely distinct implementations.
     fn verify_batch(&self, frames: &[FrameToVerify<'_>], ok: &mut Vec<bool>) {
         ok.clear();
+        if self.backend != Backend::Scalar && frames.len() >= self.backend.lanes() {
+            self.verify_batch_multiway(frames, ok);
+            return;
+        }
         ok.reserve(frames.len());
         for f in frames {
-            let full = match f.esn_hi {
-                Some(hi) => self
-                    .auth
-                    .mac_parts(&[f.header, f.ciphertext, &hi.to_be_bytes()]),
-                None => self.auth.mac_parts(&[f.header, f.ciphertext]),
-            };
-            ok.push(f.icv.len() == HMAC_ICV_LEN && ct_eq(f.icv, &full[..HMAC_ICV_LEN]));
+            ok.push(self.verify_frame_amortized(f));
         }
     }
 }
@@ -311,18 +533,34 @@ impl CipherSuite for HmacSha256Suite {
 ///     icv: &icv,
 /// }));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ChaCha20Poly1305Suite {
     key: [u8; CHACHA_KEY_LEN],
+    backend: Backend,
 }
 
+/// Equality is over the key only — the backend changes how the bytes
+/// are computed, never what they are.
+impl PartialEq for ChaCha20Poly1305Suite {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for ChaCha20Poly1305Suite {}
+
 impl ChaCha20Poly1305Suite {
-    /// A suite over the 256-bit cipher key.
+    /// A suite over the 256-bit cipher key. The backend is
+    /// auto-selected (see [`Backend::select`]).
     pub fn new(key: [u8; CHACHA_KEY_LEN]) -> Self {
-        ChaCha20Poly1305Suite { key }
+        ChaCha20Poly1305Suite {
+            key,
+            backend: Backend::select(),
+        }
     }
 
-    /// Builds from derived key material (first 32 bytes).
+    /// Builds from derived key material (first 32 bytes). The backend is
+    /// auto-selected (see [`Backend::select`]).
     ///
     /// # Panics
     ///
@@ -334,13 +572,47 @@ impl ChaCha20Poly1305Suite {
         );
         let mut key = [0u8; CHACHA_KEY_LEN];
         key.copy_from_slice(&material[..CHACHA_KEY_LEN]);
-        ChaCha20Poly1305Suite { key }
+        ChaCha20Poly1305Suite::new(key)
+    }
+
+    /// Forces a specific backend, bypassing auto-selection — tests,
+    /// benches, and the scalar differential oracle use this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot run `backend`
+    /// ([`Backend::is_supported`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        assert!(
+            backend.is_supported(),
+            "backend {backend} is not supported on this host"
+        );
+        self.backend = backend;
+        self
+    }
+
+    /// The backend this suite computes its bulk primitives with.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     fn nonce(seq: u64) -> [u8; CHACHA_NONCE_LEN] {
         let mut n = [0u8; CHACHA_NONCE_LEN];
         n[4..].copy_from_slice(&seq.to_be_bytes());
         n
+    }
+
+    /// Poly1305 over the RFC 8439 AEAD layout, given a lane-computed
+    /// one-time key.
+    fn verify_with_otk(&self, f: &FrameToVerify<'_>, otk: &[u8; 32]) -> bool {
+        let tag = match f.esn_hi {
+            Some(hi) => {
+                let hi = hi.to_be_bytes();
+                poly1305_aead_tag(otk, &[f.header, &hi], f.ciphertext)
+            }
+            None => poly1305_aead_tag(otk, &[f.header], f.ciphertext),
+        };
+        f.icv.len() == AEAD_TAG_LEN && ct_eq(f.icv, &tag)
     }
 }
 
@@ -362,7 +634,10 @@ impl CipherSuite for ChaCha20Poly1305Suite {
     }
 
     fn encrypt(&self, seq: u64, body: &mut [u8]) {
-        chacha20_xor(&self.key, 1, &Self::nonce(seq), body);
+        // Large payloads fill the lanes with this packet's sequential
+        // block counters (the same-key multi-block mode); on
+        // `Backend::Scalar` this is exactly `chacha20_xor`.
+        chacha20_xor_backend(self.backend, &self.key, 1, &Self::nonce(seq), body);
     }
 
     fn decrypt(&self, seq: u64, body: &mut [u8]) {
@@ -380,6 +655,64 @@ impl CipherSuite for ChaCha20Poly1305Suite {
             None => chacha20_poly1305_tag(&self.key, &nonce, &[header], ciphertext),
         };
         Icv::new(&tag)
+    }
+
+    /// The laned batch verify: every frame needs one ChaCha20 block at
+    /// counter 0 (the Poly1305 one-time key), and those blocks differ
+    /// only in their seq-derived nonces — exactly the shape the
+    /// interleaved kernel wants. Full lane groups compute their OTKs in
+    /// one pass; the Poly1305 tag itself stays scalar per frame, as does
+    /// any partial tail group. On [`Backend::Scalar`] this is the trait
+    /// default (per-frame [`CipherSuite::verify`]), kept as the
+    /// independent oracle path.
+    fn verify_batch(&self, frames: &[FrameToVerify<'_>], ok: &mut Vec<bool>) {
+        ok.clear();
+        if self.backend == Backend::Scalar {
+            ok.extend(frames.iter().map(|f| self.verify(f)));
+            return;
+        }
+        let lanes = self.backend.lanes();
+        ok.reserve(frames.len());
+        let mut jobs = [(0u32, [0u8; CHACHA_NONCE_LEN]); MAX_LANES];
+        let mut blocks = [[0u8; 64]; MAX_LANES];
+        for chunk in frames.chunks(lanes) {
+            if chunk.len() < lanes {
+                ok.extend(chunk.iter().map(|f| self.verify(f)));
+                continue;
+            }
+            for (l, f) in chunk.iter().enumerate() {
+                jobs[l] = (0, Self::nonce(f.seq));
+            }
+            chacha_blocks(
+                self.backend,
+                &self.key,
+                &jobs[..lanes],
+                &mut blocks[..lanes],
+            );
+            for (l, f) in chunk.iter().enumerate() {
+                let mut otk = [0u8; 32];
+                otk.copy_from_slice(&blocks[l][..32]);
+                ok.push(self.verify_with_otk(f, &otk));
+            }
+        }
+    }
+
+    /// The laned batch decrypt: jobs are flattened into 64-byte
+    /// keystream units so lanes fill across packet boundaries (eight
+    /// 64-byte packets decrypt in one AVX2 pass). On [`Backend::Scalar`]
+    /// this is the trait default loop.
+    fn decrypt_batch(&self, buf: &mut [u8], jobs: &[(u64, Range<usize>)]) {
+        if self.backend == Backend::Scalar {
+            for (seq, range) in jobs {
+                self.decrypt(*seq, &mut buf[range.clone()]);
+            }
+            return;
+        }
+        let lane_jobs: Vec<([u8; CHACHA_NONCE_LEN], u32, Range<usize>)> = jobs
+            .iter()
+            .map(|(seq, range)| (Self::nonce(*seq), 1u32, range.clone()))
+            .collect();
+        chacha20_xor_jobs(self.backend, &self.key, buf, &lane_jobs);
     }
 }
 

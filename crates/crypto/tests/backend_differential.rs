@@ -1,0 +1,244 @@
+//! Scalar-vs-lane differential: every SIMD backend must be
+//! byte-identical to the scalar oracle through the full suite surface —
+//! `encrypt`, `decrypt`, `icv`, `verify_batch`, `decrypt_batch` — over
+//! randomized batches of mixed payload sizes, mixed suites, ESN and
+//! non-ESN frames, and deliberate corruptions. The suite-level KATs
+//! (RFC 8439 seal equivalence, raw-HMAC equivalence) re-run per backend.
+
+use reset_crypto::{
+    chacha20_poly1305_seal, hmac_sha256_96, Backend, ChaCha20Poly1305Suite, CipherSuite,
+    FrameToVerify, HmacSha256Suite,
+};
+
+/// Payload sizes exercising block boundaries of both suites.
+const SIZES: [usize; 6] = [0, 1, 63, 64, 65, 1400];
+
+const TOTAL_FRAMES: usize = 10_000;
+const BATCH: usize = 32;
+
+/// Owned frame material backing a `FrameToVerify` borrow:
+/// (seq, header, ciphertext, esn_hi, icv — possibly corrupted).
+type OwnedFrame = (u64, Vec<u8>, Vec<u8>, Option<u32>, Vec<u8>);
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) {
+        for b in buf.iter_mut() {
+            *b = (self.next() & 0xff) as u8;
+        }
+    }
+}
+
+/// The three registered suite configurations, as (oracle, backend) pairs
+/// over identical key material.
+fn suite_pairs(backend: Backend) -> Vec<(Box<dyn CipherSuite>, Box<dyn CipherSuite>)> {
+    vec![
+        (
+            Box::new(
+                HmacSha256Suite::with_keystream(b"diff-auth", b"diff-enc")
+                    .with_backend(Backend::Scalar),
+            ),
+            Box::new(
+                HmacSha256Suite::with_keystream(b"diff-auth", b"diff-enc").with_backend(backend),
+            ),
+        ),
+        (
+            Box::new(HmacSha256Suite::auth_only(b"diff-auth").with_backend(Backend::Scalar)),
+            Box::new(HmacSha256Suite::auth_only(b"diff-auth").with_backend(backend)),
+        ),
+        (
+            Box::new(ChaCha20Poly1305Suite::new([0x42; 32]).with_backend(Backend::Scalar)),
+            Box::new(ChaCha20Poly1305Suite::new([0x42; 32]).with_backend(backend)),
+        ),
+    ]
+}
+
+fn simd_backends() -> Vec<Backend> {
+    Backend::ALL
+        .into_iter()
+        .filter(|b| *b != Backend::Scalar && b.is_supported())
+        .collect()
+}
+
+#[test]
+fn randomized_10k_frame_differential_every_supported_backend() {
+    for backend in simd_backends() {
+        let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+        let pairs = suite_pairs(backend);
+        let mut frames_done = 0usize;
+        let mut batch_no = 0u64;
+        while frames_done < TOTAL_FRAMES {
+            let (oracle, lane) = &pairs[(batch_no % pairs.len() as u64) as usize];
+            batch_no += 1;
+            let n = BATCH.min(TOTAL_FRAMES - frames_done);
+            frames_done += n;
+
+            // Build n frames: random size, random header, seq-derived
+            // body, ESN on some, corruption on some.
+            let mut storage: Vec<OwnedFrame> = Vec::new();
+            for i in 0..n {
+                let seq = batch_no * 1000 + i as u64;
+                let size = SIZES[(rng.next() % SIZES.len() as u64) as usize];
+                let mut header = vec![0u8; 12];
+                rng.fill(&mut header);
+                let mut body = vec![0u8; size];
+                rng.fill(&mut body);
+                let esn_hi = if rng.next().is_multiple_of(3) {
+                    Some((rng.next() & 0xffff_ffff) as u32)
+                } else {
+                    None
+                };
+                // Encrypt with both suites; ciphertexts must agree.
+                let mut ct_oracle = body.clone();
+                oracle.encrypt(seq, &mut ct_oracle);
+                let mut ct_lane = body;
+                lane.encrypt(seq, &mut ct_lane);
+                assert_eq!(
+                    ct_oracle, ct_lane,
+                    "{backend} encrypt seq {seq} size {size}"
+                );
+
+                // ICVs from both suites must agree too.
+                let icv_oracle = oracle.icv(seq, &header, &ct_oracle, esn_hi);
+                let icv_lane = lane.icv(seq, &header, &ct_oracle, esn_hi);
+                assert_eq!(&icv_oracle[..], &icv_lane[..], "{backend} icv seq {seq}");
+
+                let mut icv = icv_oracle.to_vec();
+                match rng.next() % 8 {
+                    0 => icv[0] ^= 0x01,              // flipped tag bit
+                    1 => icv.truncate(icv.len() - 1), // truncated tag
+                    _ => {}
+                }
+                storage.push((seq, header, ct_oracle, esn_hi, icv));
+            }
+            let frames: Vec<FrameToVerify<'_>> = storage
+                .iter()
+                .map(|(seq, h, ct, esn, icv)| FrameToVerify {
+                    seq: *seq,
+                    header: h,
+                    ciphertext: ct,
+                    esn_hi: *esn,
+                    icv,
+                })
+                .collect();
+
+            // verify_batch verdicts must be identical.
+            let mut ok_oracle = Vec::new();
+            let mut ok_lane = Vec::new();
+            oracle.verify_batch(&frames, &mut ok_oracle);
+            lane.verify_batch(&frames, &mut ok_lane);
+            assert_eq!(ok_oracle, ok_lane, "{backend} batch {batch_no}");
+            // Both against the per-frame reference.
+            let sequential: Vec<bool> = frames.iter().map(|f| oracle.verify(f)).collect();
+            assert_eq!(ok_oracle, sequential, "oracle batch vs sequential");
+
+            // decrypt_batch: pack all ciphertexts into one arena.
+            if oracle.encrypts() {
+                let mut arena_oracle = Vec::new();
+                let mut jobs = Vec::new();
+                for (seq, _, ct, _, _) in &storage {
+                    let start = arena_oracle.len();
+                    arena_oracle.extend_from_slice(ct);
+                    jobs.push((*seq, start..start + ct.len()));
+                }
+                let mut arena_lane = arena_oracle.clone();
+                oracle.decrypt_batch(&mut arena_oracle, &jobs);
+                lane.decrypt_batch(&mut arena_lane, &jobs);
+                assert_eq!(
+                    arena_oracle, arena_lane,
+                    "{backend} decrypt batch {batch_no}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn aead_suite_kat_per_backend() {
+    // The suite must equal the validated one-shot RFC 8439 seal for the
+    // same (key, nonce, aad) on every backend — including the multi-lane
+    // same-key mode on a payload long enough to fill all lanes.
+    let key = [0x5Au8; 32];
+    let header = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+    let seq = 0x0102_0304_0506_0708u64;
+    let mut nonce = [0u8; 12];
+    nonce[4..].copy_from_slice(&seq.to_be_bytes());
+    for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+        let suite = ChaCha20Poly1305Suite::new(key).with_backend(backend);
+        for size in [16usize, 600] {
+            let plain: Vec<u8> = (0..size).map(|i| (i * 7) as u8).collect();
+            let mut body = plain.clone();
+            suite.encrypt(seq, &mut body);
+            let icv = suite.icv(seq, &header, &body, None);
+
+            let mut reference = plain.clone();
+            let tag = chacha20_poly1305_seal(&key, &nonce, &header, &mut reference);
+            assert_eq!(body, reference, "{backend} ciphertext size {size}");
+            assert_eq!(&icv[..], &tag, "{backend} tag size {size}");
+
+            suite.decrypt(seq, &mut body);
+            assert_eq!(body, plain, "{backend} round trip size {size}");
+        }
+    }
+}
+
+#[test]
+fn hmac_suite_kat_per_backend() {
+    // Batch verify must accept exactly the tags raw HMAC-SHA-256-96
+    // produces over header ‖ ciphertext ‖ esn, on every backend, for a
+    // batch large enough to exercise full lane groups.
+    for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+        let suite = HmacSha256Suite::with_keystream(b"kat-auth", b"kat-enc").with_backend(backend);
+        let mut storage = Vec::new();
+        for i in 0..24u64 {
+            let header = vec![i as u8; 12];
+            let ct: Vec<u8> = (0..(i as usize % 5) * 31)
+                .map(|j| (i as usize + j) as u8)
+                .collect();
+            let esn = if i.is_multiple_of(2) {
+                Some(i as u32 + 9)
+            } else {
+                None
+            };
+            let mut concat = header.clone();
+            concat.extend_from_slice(&ct);
+            if let Some(hi) = esn {
+                concat.extend_from_slice(&hi.to_be_bytes());
+            }
+            let icv = hmac_sha256_96(b"kat-auth", &concat).to_vec();
+            storage.push((i, header, ct, esn, icv));
+        }
+        let frames: Vec<FrameToVerify<'_>> = storage
+            .iter()
+            .map(|(seq, h, ct, esn, icv)| FrameToVerify {
+                seq: *seq,
+                header: h,
+                ciphertext: ct,
+                esn_hi: *esn,
+                icv,
+            })
+            .collect();
+        let mut ok = Vec::new();
+        suite.verify_batch(&frames, &mut ok);
+        assert_eq!(ok, vec![true; frames.len()], "{backend}");
+    }
+}
+
+#[test]
+fn forced_backend_construction_panics_when_unsupported() {
+    if Backend::Avx2.is_supported() {
+        return; // nothing to assert on an AVX2 host
+    }
+    let caught = std::panic::catch_unwind(|| {
+        let _ = ChaCha20Poly1305Suite::new([0u8; 32]).with_backend(Backend::Avx2);
+    });
+    assert!(caught.is_err(), "forcing an unsupported backend must panic");
+}

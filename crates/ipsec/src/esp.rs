@@ -505,6 +505,11 @@ impl<S: StableStore> Inbound<S> {
         }
         let mut slots: Vec<Slot> = Vec::with_capacity(n);
         let mut arena = BytesMut::recycle(std::mem::take(&mut self.scratch), 0);
+        // Decryption is deferred: Phase B appends raw ciphertext to the
+        // arena and records (seq, range) jobs, then one batched suite
+        // call below decrypts everything — SIMD backends fill their
+        // lanes across packet boundaries.
+        let mut decrypt_jobs: Vec<(u64, std::ops::Range<usize>)> = Vec::new();
         for (wire, p) in wires.zip(parsed) {
             let (seq_lo, payload_len, guess_hi, slot) = match p {
                 Parsed::Bad(e) => {
@@ -567,12 +572,14 @@ impl<S: StableStore> Inbound<S> {
                             seq,
                         }));
                     } else {
-                        let (start, len) = self.decrypt_append(
+                        let start = arena.len();
+                        arena.extend_from_slice(&wire[body_off..body_off + payload_len]);
+                        decrypt_jobs.push((seq.value(), start..start + payload_len));
+                        slots.push(Slot::Arena {
                             seq,
-                            &wire[body_off..body_off + payload_len],
-                            &mut arena,
-                        );
-                        slots.push(Slot::Arena { seq, start, len });
+                            start,
+                            len: payload_len,
+                        });
                     }
                 }
                 outcome @ (RxOutcome::DiscardedStale | RxOutcome::DiscardedDuplicate) => {
@@ -582,6 +589,11 @@ impl<S: StableStore> Inbound<S> {
                     unreachable!("phase checked before classification")
                 }
             }
+        }
+        if !decrypt_jobs.is_empty() {
+            self.sa
+                .cipher()
+                .decrypt_batch(arena.as_mut(), &decrypt_jobs);
         }
         let frozen = arena.freeze();
         self.scratch = frozen.clone();

@@ -46,7 +46,7 @@ use crate::timer::TimerWheel;
 use crate::IpsecError;
 
 /// Which directional endpoint a store is being created for (the
-/// argument to the [`GatewayBuilder::stores`] factory).
+/// argument to the [`GatewayBuilder::with_stores`] factory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SaDirection {
     /// The sender half (persists the send counter).
@@ -265,10 +265,13 @@ impl<S: StableStore> GatewayBuilder<S> {
         self
     }
 
-    /// Enables the rekey policy: [`Gateway::tick`] quick-mode-rekeys any
-    /// SA whose usage reaches `lifetime` (fresh keys and counters under
-    /// the builder's suite; the adversary's replay library dies with the
-    /// old keys). Disabled by default.
+    /// Enables the rekey policy: an SA whose usage reaches `lifetime` is
+    /// marked in a due-set at accounting time (protect/deliver/install —
+    /// wherever usage state changes), and the next [`Gateway::tick`]
+    /// quick-mode-rekeys exactly the marked SAs (fresh keys and counters
+    /// under the builder's suite; the adversary's replay library dies
+    /// with the old keys). No per-tick fleet sweep happens: an idle tick
+    /// stays O(1) no matter how large the SADB is. Disabled by default.
     pub fn rekey_after(mut self, lifetime: SaLifetime) -> Self {
         self.rekey_after = Some(lifetime);
         self
@@ -277,7 +280,9 @@ impl<S: StableStore> GatewayBuilder<S> {
     /// Enables dead-peer detection: [`Gateway::tick`] emits
     /// [`GatewayEvent::ProbeDue`] after silence and tears the pair down
     /// ([`GatewayEvent::PeerDead`]) when the §6 grace period expires.
-    /// Disabled by default.
+    /// Probe/teardown deadlines live in a hierarchical timer wheel, so a
+    /// tick visits only detectors whose deadline has arrived — never the
+    /// whole fleet. Disabled by default.
     pub fn dpd(mut self, cfg: DpdConfig) -> Self {
         self.dpd = Some(cfg);
         self
@@ -366,7 +371,7 @@ impl<S> fmt::Debug for GatewayBuilder<S> {
 }
 
 /// The engine: owns the SADB and every lifecycle manager, exposes the
-/// event-driven surface described in the [module docs](self).
+/// event-driven surface described in the [crate docs](crate).
 ///
 /// # Examples
 ///
@@ -491,7 +496,8 @@ impl<S: StableStore> Gateway<S> {
     /// inbound expects `remote → local`. The peer gateway calls this
     /// with the names swapped, so the two interoperate while a frame a
     /// host sent can never be reflected back into that same host (it
-    /// fails authentication, like [`IpsecPeer`]'s directional SAs).
+    /// fails authentication, like [`IpsecPeer`](crate::IpsecPeer)'s
+    /// directional SAs).
     pub fn add_peer_between(&mut self, spi: u32, master: &[u8], local: &[u8], remote: &[u8]) {
         let label = |from: &[u8], to: &[u8]| {
             let mut l = Vec::with_capacity(4 + from.len() + 2 + to.len());
@@ -780,9 +786,12 @@ impl<S: StableStore> Gateway<S> {
     // Clock-driven policies
     // ------------------------------------------------------------------
 
-    /// Advances the gateway's clock and runs the configured policies:
-    /// DPD probing/teardown and lifetime-driven rekeys. Emits
-    /// [`GatewayEvent::ProbeDue`], [`GatewayEvent::PeerDead`],
+    /// Advances the gateway's clock and runs the *due* work only: DPD
+    /// deadlines that the hierarchical timer wheel says have expired,
+    /// and rekeys for SAs the accounting paths marked in the due-set
+    /// since the last tick. There is no per-SA sweep — an idle tick
+    /// (nothing due) is a single wheel comparison regardless of SADB
+    /// size. Emits [`GatewayEvent::ProbeDue`], [`GatewayEvent::PeerDead`],
     /// [`GatewayEvent::RekeyStarted`]/[`GatewayEvent::RekeyCompleted`].
     pub fn tick(&mut self, now_ns: u64) {
         self.now_ns = now_ns;

@@ -7,6 +7,11 @@
 //! them (RFC 2408/2412), dead-peer detection (the drafts in the paper's
 //! references \[3\] and \[7\]), and the §6 bidirectional recovery scheme.
 //!
+//! The repo-level `ARCHITECTURE.md` maps how this crate sits on top of
+//! `anti-replay`, `reset-wire`, `reset-crypto` and `reset-stable`, and
+//! documents the gateway lifecycle and the shard determinism contract
+//! in one place.
+//!
 //! # The `Gateway` engine
 //!
 //! The primary public API is [`Gateway`], an event-driven engine that
@@ -156,6 +161,7 @@ pub use ike::{
 };
 pub use recovery::{IpsecPeer, PeerEvent};
 pub use rekey::{rekey, rekey_auth_tag, rekey_due, RekeyOutcome, RekeyRequest};
+pub use reset_crypto::Backend;
 pub use sa::{CryptoSuite, SaKeys, SaLifetime, SaUsage, SecurityAssociation};
 pub use sadb::{RemovedSa, Sadb};
 pub use shard::ShardedGateway;

@@ -6,7 +6,7 @@
 //! SA's lifetime — so persisting the two counters is enough to rescue the
 //! whole SA across a reset, avoiding a full renegotiation.
 
-use reset_crypto::{prf_plus, ChaCha20Poly1305Suite, CipherSuite, HmacSha256Suite};
+use reset_crypto::{prf_plus, Backend, ChaCha20Poly1305Suite, CipherSuite, HmacSha256Suite};
 
 use crate::IpsecError;
 
@@ -71,7 +71,9 @@ impl CryptoSuite {
         }
     }
 
-    /// Builds the concrete transform for this suite from derived keys.
+    /// Builds the concrete transform for this suite from derived keys,
+    /// with the crypto backend auto-selected
+    /// ([`reset_crypto::Backend::select`]).
     fn build(self, keys: &SaKeys) -> SuiteState {
         match self {
             CryptoSuite::HmacSha256WithKeystream => {
@@ -83,6 +85,16 @@ impl CryptoSuite {
             CryptoSuite::ChaCha20Poly1305 => {
                 SuiteState::Aead(ChaCha20Poly1305Suite::from_material(&keys.enc))
             }
+        }
+    }
+
+    /// As [`CryptoSuite::build`], but forcing a specific backend —
+    /// benches and differential tests use this to pin the scalar oracle
+    /// or a particular SIMD tier.
+    fn build_with_backend(self, keys: &SaKeys, backend: Backend) -> SuiteState {
+        match self.build(keys) {
+            SuiteState::Hmac(s) => SuiteState::Hmac(s.with_backend(backend)),
+            SuiteState::Aead(s) => SuiteState::Aead(s.with_backend(backend)),
         }
     }
 }
@@ -216,6 +228,20 @@ impl SecurityAssociation {
     pub fn with_suite(mut self, suite: CryptoSuite) -> Self {
         self.suite = suite;
         self.cipher = suite.build(&self.keys);
+        self
+    }
+
+    /// Forces a specific crypto [`Backend`] (builder style), rebuilding
+    /// the transform. By default SAs auto-select the strongest backend
+    /// the host supports ([`Backend::select`]); forcing matters for the
+    /// scalar-gated benches and backend differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot run `backend`
+    /// ([`Backend::is_supported`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.cipher = self.suite.build_with_backend(&self.keys, backend);
         self
     }
 

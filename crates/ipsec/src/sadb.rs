@@ -52,7 +52,7 @@ pub struct RemovedSa<S> {
 /// The SA database of one host.
 ///
 /// Endpoint storage is slab-based with a `BTreeMap` SPI index per
-/// direction (see the [module docs](self)): lookups and iteration are
+/// direction (see the [crate docs](crate)): lookups and iteration are
 /// SPI-deterministic, while the endpoints themselves sit in contiguous
 /// vectors for cache-dense batch drains.
 ///

@@ -182,7 +182,7 @@ impl<S: StableStore + Send + 'static> GatewayBuilder<S> {
 
 /// N-shard wrapper over [`Gateway`]: same verbs, same events, SA fleet
 /// partitioned by SPI hash, batch datapath and reset recovery running
-/// on a persistent worker pool. See the [module docs](self) for the
+/// on a persistent worker pool. See the [crate docs](crate) for the
 /// threading, determinism and shutdown model.
 ///
 /// # Examples
@@ -521,7 +521,7 @@ impl<S: StableStore + Send + 'static> ShardedGateway<S> {
         Ok(self.events.drain(..).collect())
     }
 
-    /// Drains the merged event queue (see the [module docs](self) for
+    /// Drains the merged event queue (see the [crate docs](crate) for
     /// the merge order). Completes any in-flight
     /// [`ShardedGateway::submit_batch`] first; an error discovered
     /// while doing so is deferred to the next fallible verb.

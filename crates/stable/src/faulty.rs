@@ -153,7 +153,7 @@ impl ScriptState {
 }
 
 /// A [`StableStore`] decorator that injects faults. See the
-/// [module docs](self) for the fault model.
+/// [crate docs](crate) for the fault model.
 ///
 /// # Examples
 ///

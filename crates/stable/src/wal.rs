@@ -85,7 +85,7 @@ struct WalInner {
     telemetry: Option<Telemetry>,
 }
 
-/// Shared-file write-ahead-log store. See the [module docs](self).
+/// Shared-file write-ahead-log store. See the [crate docs](crate).
 ///
 /// # Examples
 ///

@@ -15,6 +15,16 @@
 //! * [`infer_esn`] / [`EsnTracker`] — RFC 4304 extended sequence numbers,
 //!   approximating the paper's unbounded counters on a 32-bit wire field.
 //!
+//! The suite-generic tier ([`seal_frame_into`] / [`verify_frame_with`] /
+//! [`open_frame`]) dispatches all bulk crypto through the
+//! [`reset_crypto::CipherSuite`] it is handed, so the multi-lane backend
+//! the suite was constructed with ([`reset_crypto::Backend`]) applies
+//! transparently: `open_frame`'s decrypt uses the same-key multi-block
+//! lane mode on large payloads, and the SA layer's batched receive path
+//! fans whole NIC drains into `verify_batch`/`decrypt_batch`. See the
+//! repo-level `ARCHITECTURE.md` for how wire sits between the crypto
+//! and ipsec layers.
+//!
 //! # Examples
 //!
 //! ```

@@ -44,6 +44,16 @@
 //! `RATIO_CEILINGS` holds the telemetry-attached drain within 1.5x of
 //! the bare one regardless of how noisy the box is.
 //!
+//! Backend awareness: baseline entries carrying a `backend` field
+//! (`"lanes4"`, `"avx2"` — the advisory SIMD groups
+//! `datapath/suite_rx_<backend>`) are never gated: their numbers are
+//! CPU-feature-dependent, so they are compared **advisorily** when the
+//! runner produced a measurement and skipped with a notice when it did
+//! not (the runner lacks the feature, or the bench emitted nothing).
+//! Skipped backend entries are exempt from the completeness check —
+//! the scalar `datapath/suite_rx` group is the gated path and must
+//! always report.
+//!
 //! Core-count awareness: baseline entries record the `cores` of the
 //! host that produced them. Multi-shard entries of the
 //! parallelism-sensitive `gateway_shard/` group are compared
@@ -125,6 +135,10 @@ const RATIO_CEILINGS: [(&str, &str, f64); 2] = [
 struct Baseline {
     mean_ns: f64,
     cores: Option<u64>,
+    /// SIMD backend this entry was measured on (`"lanes4"`, `"avx2"`).
+    /// Tagged entries never gate: they are advisory when measured and
+    /// skipped (with a notice) when the runner lacks the feature.
+    backend: Option<String>,
 }
 
 /// Extracts `"key": <number>` from a JSON-ish line (the shim and the
@@ -175,6 +189,7 @@ fn parse_baseline(text: &str) -> BTreeMap<String, Baseline> {
                 Baseline {
                     mean_ns,
                     cores: field_f64(trimmed, "cores").map(|c| c as u64),
+                    backend: field_str(trimmed, "backend").map(str::to_string),
                 },
             );
         }
@@ -236,7 +251,8 @@ fn judge(id: &str, measured: f64, base: &Baseline, threshold_pct: f64, cores: u6
     if ratio > 1.0 + threshold_pct / 100.0 {
         if measured - base.mean_ns <= NOISE_FLOOR_NS {
             Verdict::WithinNoise
-        } else if io_bound(id) || (core_sensitive(id) && mismatched_cores) {
+        } else if base.backend.is_some() || io_bound(id) || (core_sensitive(id) && mismatched_cores)
+        {
             Verdict::Advisory
         } else {
             Verdict::Regressed
@@ -282,6 +298,13 @@ fn run(baseline_path: &str, results_path: &str, threshold_pct: f64) -> Result<Ex
                     (ratio - 1.0) * 100.0
                 );
             }
+            Verdict::Advisory if base.backend.is_some() => println!(
+                "ADVISORY   {id}: {measured:.0} ns vs baseline {:.0} ns ({:+.1}%) — \
+                 {} backend entry, CPU-feature-dependent, not gated",
+                base.mean_ns,
+                (ratio - 1.0) * 100.0,
+                base.backend.as_deref().unwrap_or("?")
+            ),
             Verdict::Advisory if io_bound(id) => println!(
                 "ADVISORY   {id}: {measured:.0} ns vs baseline {:.0} ns ({:+.1}%) — \
                  disk-bound group, absolute time not gated (the ratio floor is)",
@@ -311,6 +334,21 @@ fn run(baseline_path: &str, results_path: &str, threshold_pct: f64) -> Result<Ex
                 base.mean_ns,
                 (ratio - 1.0) * 100.0
             ),
+        }
+    }
+    // Backend-tagged baselines the runner produced no measurement for:
+    // the runner lacks the CPU feature (the bench self-skips), so the
+    // entry is reported and exempt from every gate — including the
+    // group-completeness check below, which only counts gated paths.
+    for (id, base) in baselines.iter().filter(|(id, _)| in_fast_groups(id)) {
+        if let Some(backend) = &base.backend {
+            if !results.contains_key(id) {
+                println!(
+                    "SKIPPED    {id}: baseline {:.0} ns needs the {backend} backend, \
+                     which this runner did not produce (feature not supported here)",
+                    base.mean_ns
+                );
+            }
         }
     }
     // Every gated group must have contributed: a renamed group or a
@@ -433,6 +471,7 @@ mod tests {
   },
   "benchmarks": {
     "datapath/suite_rx/process_batch_64B/chacha20-poly1305": { "mean_ns": 500000.0, "cores": 1 },
+    "datapath/suite_rx_avx2/process_batch_64B/chacha20-poly1305": { "mean_ns": 200000.0, "cores": 1, "backend": "avx2" },
     "window/in_order/1024": { "mean_ns": 24000.0, "cores": 1 },
     "gateway_shard/recover_storm_256sa/4": { "mean_ns": 40000.0, "cores": 1 },
     "datapath/wire_64B/seal": { "mean_ns": 1590.0, "cores": 1 }
@@ -445,12 +484,55 @@ mod tests {
     #[test]
     fn baseline_parser_scopes_to_the_benchmarks_block() {
         let b = parse_baseline(BASELINE);
-        assert_eq!(b.len(), 4);
+        assert_eq!(b.len(), 5);
         assert_eq!(b["window/in_order/1024"].mean_ns, 24000.0);
         assert_eq!(b["window/in_order/1024"].cores, Some(1));
+        assert_eq!(b["window/in_order/1024"].backend, None);
+        assert_eq!(
+            b["datapath/suite_rx_avx2/process_batch_64B/chacha20-poly1305"].backend,
+            Some("avx2".to_string())
+        );
         // The pre-change reference's identically named entry must not
         // clobber the live baseline.
         assert_ne!(b["window/in_order/1024"].mean_ns, 53860.0);
+    }
+
+    #[test]
+    fn backend_tagged_baselines_never_gate() {
+        // A SIMD-backend entry over threshold is advisory on any host:
+        // its absolute time depends on the CPU feature set, and its
+        // correctness story is the scalar differential, not the gate.
+        let base = Baseline {
+            mean_ns: 1000.0,
+            cores: Some(1),
+            backend: Some("avx2".to_string()),
+        };
+        assert_eq!(
+            judge(
+                "datapath/suite_rx_avx2/process_batch_64B/chacha20-poly1305",
+                2000.0,
+                &base,
+                25.0,
+                1
+            ),
+            Verdict::Advisory
+        );
+        // The untagged scalar entry of the same group still gates.
+        let scalar = Baseline {
+            mean_ns: 1000.0,
+            cores: Some(1),
+            backend: None,
+        };
+        assert_eq!(
+            judge(
+                "datapath/suite_rx/process_batch_64B/chacha20-poly1305",
+                2000.0,
+                &scalar,
+                25.0,
+                1
+            ),
+            Verdict::Regressed
+        );
     }
 
     #[test]
@@ -490,6 +572,7 @@ not json at all\n\
         let base = Baseline {
             mean_ns: 1000.0,
             cores: Some(1),
+            backend: None,
         };
         let id = "window/in_order/64";
         assert_eq!(judge(id, 1400.0, &base, 25.0, 1), Verdict::Regressed);
@@ -504,6 +587,7 @@ not json at all\n\
         let base = Baseline {
             mean_ns: 4.0,
             cores: Some(1),
+            backend: None,
         };
         let id = "gateway_fleet_1m/tick_idle_1k/plain_gateway";
         assert_eq!(judge(id, 8.0, &base, 25.0, 1), Verdict::WithinNoise);
@@ -516,6 +600,7 @@ not json at all\n\
         let base_us = Baseline {
             mean_ns: 100_000.0,
             cores: Some(1),
+            backend: None,
         };
         assert_eq!(
             judge("window/in_order/64", 130_000.0, &base_us, 25.0, 1),
@@ -528,6 +613,7 @@ not json at all\n\
         let base = Baseline {
             mean_ns: 1000.0,
             cores: Some(1),
+            backend: None,
         };
         // Parallelism-sensitive id on a 4-core runner vs 1-core record.
         assert_eq!(
@@ -603,6 +689,7 @@ not json at all\n\
         let base = Baseline {
             mean_ns: 1000.0,
             cores: Some(1),
+            backend: None,
         };
         // A 3x blowup in a disk-bound group: reported, never failing —
         // container filesystems move absolute times >2x run-to-run.
